@@ -1,0 +1,471 @@
+(* The compass CLI: run litmus tests, client verifications, the spec
+   matrix, and the full experiment battery from the command line.
+
+     compass litmus [--gap]
+     compass client (mp / mp-weak / spsc / pipeline / resource / es) [--queue ms/hw]
+     compass check (ms / hw / treiber / es) [--style STYLE]
+     compass matrix
+     compass dot (ms / hw / treiber / es / exchanger / chaselev)
+     compass axioms
+     compass replay [--script N,N,...]
+     compass report [--quick]
+*)
+
+open Cmdliner
+open Compass_rmc
+open Compass_machine
+open Compass_event
+open Compass_spec
+open Compass_dstruct
+open Compass_clients
+
+(* -- shared arguments --------------------------------------------------------- *)
+
+let execs =
+  let doc = "Execution budget for exhaustive (DFS) exploration." in
+  Arg.(value & opt int 100_000 & info [ "execs"; "e" ] ~docv:"N" ~doc)
+
+let random_mode =
+  let doc = "Use seeded random sampling instead of exhaustive DFS." in
+  Arg.(value & flag & info [ "random" ] ~doc)
+
+let seed =
+  let doc = "Seed for random exploration." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let queue_arg =
+  let impls =
+    Arg.enum [ ("ms", Msqueue.instantiate); ("hw", Hwqueue.instantiate) ]
+  in
+  let doc = "Queue implementation: $(b,ms) (Michael-Scott) or $(b,hw) (Herlihy-Wing)." in
+  Arg.(value & opt impls Msqueue.instantiate & info [ "queue"; "q" ] ~docv:"IMPL" ~doc)
+
+let style_arg =
+  let impls =
+    Arg.enum
+      [
+        ("hb", Styles.Hb);
+        ("so-abs", Styles.So_abs);
+        ("hb-abs", Styles.Hb_abs);
+        ("hist", Styles.Hist);
+        ("sc-abs", Styles.Sc_abs);
+      ]
+  in
+  let doc =
+    "Spec style to check: $(b,hb), $(b,so-abs), $(b,hb-abs), $(b,hist), or \
+     $(b,sc-abs)."
+  in
+  Arg.(value & opt impls Styles.Hb & info [ "style"; "s" ] ~docv:"STYLE" ~doc)
+
+let run_mode ~random ~execs ~seed sc =
+  if random then Explore.random ~execs ~seed sc
+  else Explore.dfs ~max_execs:execs sc
+
+let finish report =
+  Format.printf "%a@." Explore.pp_report report;
+  if Explore.ok report then 0 else 1
+
+(* -- litmus -------------------------------------------------------------------- *)
+
+let litmus_cmd =
+  let gap =
+    let doc = "Use the Gap timestamp policy (enables mo-middle insertion, e.g. 2+2W)." in
+    Arg.(value & flag & info [ "gap" ] ~doc)
+  in
+  let run gap execs =
+    let config =
+      { Machine.default_config with policy = (if gap then `Gap else `Append) }
+    in
+    let tests =
+      Litmus.all () @ if gap then [ Litmus.two_two_w () ] else []
+    in
+    let code = ref 0 in
+    List.iter
+      (fun (t : Litmus.t) ->
+        let ok, report, obs = Litmus.verdict ~max_execs:execs ~config t in
+        if not ok then code := 1;
+        Format.printf "%-12s %-42s expect %-10s observed %-8d execs %-8d %s@."
+          report.Explore.name t.Litmus.descr
+          (match t.Litmus.expect with
+          | `Observable -> "observable"
+          | `Forbidden -> "forbidden")
+          obs report.Explore.executions
+          (if ok then "OK" else "FAIL"))
+      tests;
+    !code
+  in
+  let doc = "Run the litmus-test battery against the ORC11 substrate." in
+  Cmd.v (Cmd.info "litmus" ~doc) Term.(const run $ gap $ execs)
+
+(* -- client -------------------------------------------------------------------- *)
+
+let client_cmd =
+  let which =
+    let doc =
+      "Client to verify: $(b,mp), $(b,mp-weak), $(b,spsc), $(b,pipeline), \
+       $(b,resource), $(b,es), $(b,mp-stack), $(b,strong-fifo), $(b,ws), or \
+       $(b,ws-weak)."
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [
+                         ("mp", `Mp);
+                         ("mp-weak", `Mp_weak);
+                         ("spsc", `Spsc);
+                         ("pipeline", `Pipeline);
+                         ("resource", `Resource);
+                         ("es", `Es);
+                         ("mp-stack", `Mp_stack);
+                         ("strong-fifo", `Strong_fifo);
+                         ("ws", `Ws);
+                         ("ws-weak", `Ws_weak);
+                       ]))
+          None
+      & info [] ~docv:"CLIENT" ~doc)
+  in
+  let run which factory random execs seed =
+    match which with
+    | `Mp ->
+        let st = Mp.fresh_stats () in
+        let r = run_mode ~random ~execs ~seed (Mp.make factory st) in
+        let code = finish r in
+        Format.printf "%a@." Mp.pp_stats st;
+        if st.Mp.right_empty > 0 then 1 else code
+    | `Mp_weak ->
+        let st = Mp.fresh_stats () in
+        let r = run_mode ~random ~execs ~seed (Mp.make_weak factory st) in
+        let code = finish r in
+        Format.printf "%a@." Mp.pp_stats st;
+        Format.printf
+          "(the empty outcome above is the point: no synchronisation, no \
+           exclusion)@.";
+        code
+    | `Spsc ->
+        let st = Spsc_client.fresh_stats () in
+        let r =
+          run_mode ~random ~execs ~seed (Spsc_client.make ~n:3 factory st)
+        in
+        finish r
+    | `Pipeline ->
+        let st = Pipeline.fresh_stats () in
+        let r =
+          run_mode ~random ~execs ~seed
+            (Pipeline.make ~n:2 factory Hwqueue.instantiate st)
+        in
+        finish r
+    | `Resource ->
+        let st = Resource_exchange.fresh_stats () in
+        let r =
+          run_mode ~random ~execs ~seed (Resource_exchange.make ~threads:2 st)
+        in
+        let code = finish r in
+        Format.printf "swaps %d, failed exchanges %d@."
+          st.Resource_exchange.swaps st.Resource_exchange.fails;
+        code
+    | `Es ->
+        let st = Es_compose.fresh_stats () in
+        let r =
+          run_mode ~random ~execs ~seed
+            (Es_compose.make ~pushers:2 ~poppers:2 ~ops:1 st)
+        in
+        let code = finish r in
+        Format.printf "ops via base stack %d, eliminated pairs %d@."
+          st.Es_compose.via_base st.Es_compose.eliminated;
+        code
+    | `Mp_stack ->
+        let st = Mp_stack.fresh_stats () in
+        let r =
+          run_mode ~random ~execs ~seed (Mp_stack.make Treiber.instantiate st)
+        in
+        let code = finish r in
+        Format.printf "right pop: got %d, empty %d@." st.Mp_stack.right_got
+          st.Mp_stack.right_empty;
+        code
+    | `Strong_fifo ->
+        let st = Strong_fifo.fresh_stats () in
+        let r = run_mode ~random ~execs ~seed (Strong_fifo.make factory st) in
+        let code = finish r in
+        let broke = ref 0 in
+        let rc =
+          run_mode ~random ~execs:(execs / 2) ~seed
+            (Strong_fifo.make_control factory broke)
+        in
+        Format.printf
+          "bare control: lhb non-total in %d/%d executions (the lock is what \
+           upgrades the guarantee)@."
+          !broke rc.Explore.executions;
+        code
+    | `Ws ->
+        let st = Ws_client.fresh_stats () in
+        let r =
+          run_mode ~random ~execs ~seed
+            (Ws_client.make ~tasks:2 ~thieves:1 ~steals:1 st)
+        in
+        let code = finish r in
+        Format.printf "%a@." Ws_client.pp_stats st;
+        code
+    | `Ws_weak ->
+        let st = Ws_client.fresh_stats () in
+        let r =
+          Explore.random ~execs ~seed
+            (Ws_client.make ~weak_fences:true ~tasks:2 ~thieves:1 ~steals:2 st)
+        in
+        ignore (finish r);
+        Format.printf
+          "(violations above are the POINT: the double-take the SC fences \
+           prevent)@.";
+        0
+  in
+  let doc = "Model-check one of the paper's client verifications." in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ which $ queue_arg $ random_mode $ execs $ seed)
+
+(* -- check --------------------------------------------------------------------- *)
+
+let check_cmd =
+  let which =
+    let doc = "Implementation: $(b,ms), $(b,hw), $(b,treiber), or $(b,es)." in
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [
+                         ("ms", `Q Msqueue.instantiate);
+                         ("hw", `Q Hwqueue.instantiate);
+                         ("treiber", `S Treiber.instantiate);
+                         ("es", `S Elimination.instantiate);
+                       ]))
+          None
+      & info [] ~docv:"IMPL" ~doc)
+  in
+  let threads =
+    Arg.(value & opt int 2 & info [ "threads"; "t" ] ~docv:"N"
+           ~doc:"Producer and consumer threads (each).")
+  in
+  let ops =
+    Arg.(value & opt int 1 & info [ "ops"; "o" ] ~docv:"N"
+           ~doc:"Operations per thread.")
+  in
+  let run which style threads ops random execs seed =
+    let sc =
+      match which with
+      | `Q f -> Harness.queue_workload ~style f ~enqers:threads ~deqers:threads ~ops ()
+      | `S f -> Harness.stack_workload ~style f ~pushers:threads ~poppers:threads ~ops ()
+    in
+    finish (run_mode ~random ~execs ~seed sc)
+  in
+  let doc =
+    "Explore a workload on an implementation and check a spec style on \
+     every execution."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ which $ style_arg $ threads $ ops $ random_mode $ execs $ seed)
+
+(* -- matrix --------------------------------------------------------------------- *)
+
+let matrix_cmd =
+  let run execs =
+    let cells = Experiments.matrix ~dfs_execs:execs ~rand_execs:(execs / 10) () in
+    Format.printf "%a" Experiments.pp_matrix cells;
+    0
+  in
+  let doc =
+    "Run the spec-style satisfaction matrix (experiment E2): every \
+     implementation against every spec style."
+  in
+  Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ execs)
+
+(* -- dot ------------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let which =
+    let doc = "Structure to sample: $(b,ms), $(b,hw), $(b,treiber), $(b,es), $(b,exchanger), $(b,chaselev)." in
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("ms", `Ms); ("hw", `Hw); ("treiber", `Tr); ("es", `Es); ("exchanger", `Ex); ("chaselev", `Cl) ])) None
+      & info [] ~docv:"IMPL" ~doc)
+  in
+  let run which seed =
+    (* Sample one contended finished execution and dump its graph(s). *)
+    let rec sample seed (build : Machine.t -> Value.t Prog.t list * Graph.t list) =
+      let m = Machine.create () in
+      let threads, graphs = build m in
+      Machine.spawn m threads;
+      match Machine.run m (Oracle.random ~seed) with
+      | Machine.Finished _ -> graphs
+      | _ -> sample (seed + 1) build
+    in
+    let vi n = Value.Int n in
+    let queue_build (factory : Iface.queue_factory) m =
+      let q = factory.make_queue m ~name:"q" in
+      ( [
+          Prog.returning_unit (Prog.seq [ q.Iface.enq (vi 1); q.Iface.enq (vi 2) ]);
+          Prog.bind (q.Iface.deq ()) (fun _ -> q.Iface.deq ());
+        ],
+        [ q.Iface.q_graph ] )
+    in
+    let stack_build (factory : Iface.stack_factory) m =
+      let s = factory.make_stack m ~name:"s" in
+      ( [
+          Prog.returning_unit (Prog.seq [ s.Iface.push (vi 1); s.Iface.push (vi 2) ]);
+          Prog.bind (s.Iface.pop ()) (fun _ -> s.Iface.pop ());
+        ],
+        [ s.Iface.s_graph ] )
+    in
+    let graphs =
+      match which with
+      | `Ms -> sample seed (queue_build Msqueue.instantiate)
+      | `Hw -> sample seed (queue_build Hwqueue.instantiate)
+      | `Tr -> sample seed (stack_build Treiber.instantiate)
+      | `Es ->
+          sample seed (fun m ->
+              let t = Elimination.create m ~name:"es" in
+              ( [
+                  Prog.returning_unit (Elimination.push t (vi 1));
+                  Prog.bind (Elimination.pop t) (fun _ -> Prog.return Value.Unit);
+                ],
+                [
+                  Elimination.graph t;
+                  Treiber.graph t.Elimination.base;
+                  Exchanger.graph t.Elimination.ex;
+                ] ))
+      | `Ex ->
+          sample seed (fun m ->
+              let x = Exchanger.create m ~name:"x" in
+              ( [ Exchanger.exchange x (vi 1); Exchanger.exchange x (vi 2) ],
+                [ Exchanger.graph x ] ))
+      | `Cl ->
+          sample seed (fun m ->
+              let t = Chaselev.create m ~name:"dq" in
+              let owner =
+                Prog.bind
+                  (Prog.seq [ Chaselev.push t (vi 1); Chaselev.push t (vi 2) ])
+                  (fun () -> Chaselev.pop t)
+              in
+              ([ owner; Chaselev.steal t ], [ Chaselev.graph t ]))
+    in
+    List.iter (fun g -> print_string (Graph.to_dot g)) graphs;
+    0
+  in
+  let doc = "Sample one execution and print its event graph(s) as DOT." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ which $ seed)
+
+(* -- axioms ------------------------------------------------------------------------ *)
+
+let axioms_cmd =
+  let run execs =
+    (* Differential validation: every execution of the litmus battery and
+       a workload per structure must satisfy the RC11 axioms when rebuilt
+       declaratively from the recorded accesses. *)
+    let config = { Machine.default_config with record_accesses = true } in
+    let with_rc11 (sc : Explore.scenario) =
+      {
+        sc with
+        Explore.build =
+          (fun m ->
+            let judge = sc.Explore.build m in
+            fun outcome ->
+              match judge outcome with
+              | Explore.Pass -> (
+                  match outcome with
+                  | Machine.Finished _ -> (
+                      match Rc11.check (Machine.accesses m) with
+                      | [] -> Explore.Pass
+                      | v :: _ -> Explore.Violation v)
+                  | _ -> Explore.Pass)
+              | other -> other);
+      }
+    in
+    let code = ref 0 in
+    let run_sc sc =
+      let r = Explore.dfs ~max_execs:execs ~config (with_rc11 sc) in
+      if not (Explore.ok r) then code := 1;
+      Format.printf "%-38s %7d executions  %s@." r.Explore.name
+        r.Explore.executions
+        (if Explore.ok r then "axioms OK" else "AXIOM VIOLATION")
+    in
+    List.iter (fun (t : Litmus.t) -> run_sc t.Litmus.scenario) (Litmus.all ());
+    run_sc (Harness.queue_workload Msqueue.instantiate ~enqers:2 ~deqers:1 ~ops:1 ());
+    run_sc (Harness.queue_workload Hwqueue.instantiate ~enqers:2 ~deqers:1 ~ops:1 ());
+    run_sc (Harness.stack_workload Treiber.instantiate ~pushers:2 ~poppers:1 ~ops:1 ());
+    run_sc (Harness.exchanger_workload ~threads:2 ());
+    !code
+  in
+  let doc =
+    "Differentially validate the operational semantics against the RC11 \
+     axioms (po/rf/mo/fr/sw/hb rebuilt from recorded accesses)."
+  in
+  Cmd.v (Cmd.info "axioms" ~doc) Term.(const run $ execs)
+
+(* -- replay ------------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let script_arg =
+    let doc =
+      "Decision script: comma-separated choices (from a report's \
+       counterexample)."
+    in
+    Arg.(value & opt string "" & info [ "script" ] ~docv:"N,N,..." ~doc)
+  in
+  let run factory script_str =
+    let script =
+      if script_str = "" then [||]
+      else
+        String.split_on_char ',' script_str
+        |> List.map int_of_string |> Array.of_list
+    in
+    let sc = Mp.make factory (Mp.fresh_stats ()) in
+    let m, outcome, verdict =
+      Explore.replay ~config:Machine.default_config sc script
+    in
+    Format.printf "outcome: %a@.verdict: %s@.@.%a@." Machine.pp_outcome outcome
+      (match verdict with
+      | Explore.Pass -> "pass"
+      | Explore.Violation s -> "VIOLATION: " ^ s
+      | Explore.Discard s -> "discard: " ^ s)
+      Trace.pp (Machine.trace m);
+    0
+  in
+  let doc =
+    "Replay one MP execution from a decision script with full tracing (a \
+     demonstration of counterexample replay; empty script = first path)."
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ queue_arg $ script_arg)
+
+(* -- report ---------------------------------------------------------------------- *)
+
+let report_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced budgets (~10x faster).")
+  in
+  let run quick =
+    let t0 = Unix.gettimeofday () in
+    let lines = Experiments.all ~quick () in
+    List.iter (fun l -> Format.printf "%a@.@." Experiments.pp_line l) lines;
+    Format.printf "E7 reference points from the paper (Section 1.2 / 6):@.";
+    List.iter
+      (fun (what, figure) -> Format.printf "  %-28s %s@." what figure)
+      Experiments.e7_paper_numbers;
+    let ok = List.length (List.filter (fun l -> l.Experiments.ok) lines) in
+    Format.printf "@.%d/%d experiments OK in %.1fs@." ok (List.length lines)
+      (Unix.gettimeofday () -. t0);
+    if ok = List.length lines then 0 else 1
+  in
+  let doc = "Run the full experiment battery (E1-E8) and print paper-vs-measured." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ quick)
+
+(* -- main ------------------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "COMPASS-OCaml: executable relaxed-memory library specifications \
+     (PLDI 2022 reproduction)"
+  in
+  let info = Cmd.info "compass" ~version:Core.version ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            litmus_cmd; client_cmd; check_cmd; matrix_cmd; dot_cmd; axioms_cmd;
+            replay_cmd; report_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/elimination_demo.mli:

@@ -1,0 +1,1 @@
+examples/litmus_tour.ml: Compass_clients Compass_machine Compass_rmc Explore Format List Litmus Machine Mode Prog Trace Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compass_clients Compass_dstruct Compass_machine Explore Format Mp Msqueue

@@ -1,0 +1,1 @@
+examples/spec_hierarchy.ml: Compass_clients Experiments Format

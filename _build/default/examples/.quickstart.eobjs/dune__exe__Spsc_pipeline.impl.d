@@ -1,0 +1,1 @@
+examples/spsc_pipeline.ml: Compass_clients Compass_dstruct Compass_machine Explore Format Hwqueue Iface List Msqueue Pipeline Printf Spsc_client

@@ -1,0 +1,1 @@
+examples/spsc_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/work_stealing.ml: Compass_clients Compass_machine Explore Format Ws_client

@@ -1,0 +1,1 @@
+lib/clients/compass_clients.ml: Es_compose Experiments Harness Litmus Mp Mp_stack Pipeline Resource_exchange Spsc_client Strong_fifo Ws_client

@@ -1,0 +1,1 @@
+lib/clients/es_compose.ml: Check Compass_dstruct Compass_event Compass_machine Compass_spec Elimination Event Exchanger Exchanger_spec Explore Graph Harness List Printf Prog Styles Treiber

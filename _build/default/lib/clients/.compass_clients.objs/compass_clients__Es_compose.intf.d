@@ -1,0 +1,1 @@
+lib/clients/es_compose.mli: Check Compass_dstruct Compass_machine Compass_spec Elimination Explore Styles

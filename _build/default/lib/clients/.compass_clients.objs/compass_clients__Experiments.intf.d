@@ -1,0 +1,1 @@
+lib/clients/experiments.mli: Compass_spec Format Styles

@@ -1,0 +1,1 @@
+lib/clients/harness.ml: Array Check Compass_dstruct Compass_machine Compass_rmc Compass_spec Exchanger Exchanger_spec Explore Format Iface List Machine Printf Prog Styles Value

@@ -1,0 +1,1 @@
+lib/clients/harness.mli: Check Compass_dstruct Compass_event Compass_machine Compass_rmc Compass_spec Explore Graph Iface Machine Prog Styles Value

@@ -1,0 +1,1 @@
+lib/clients/litmus.ml: Compass_machine Compass_rmc Explore List Machine Memory Mode Msg Prog Value

@@ -1,0 +1,1 @@
+lib/clients/litmus.mli: Compass_machine Compass_rmc Explore Machine Mode

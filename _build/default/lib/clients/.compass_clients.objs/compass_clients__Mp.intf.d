@@ -1,0 +1,1 @@
+lib/clients/mp.mli: Compass_dstruct Compass_machine Compass_rmc Compass_spec Explore Format Iface Mode Styles

@@ -1,0 +1,1 @@
+lib/clients/mp_stack.ml: Array Compass_dstruct Compass_event Compass_machine Compass_rmc Compass_spec Explore Graph Harness Iface List Machine Mode Printf Prog Styles Value

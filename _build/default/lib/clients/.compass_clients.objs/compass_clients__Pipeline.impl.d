@@ -1,0 +1,1 @@
+lib/clients/pipeline.ml: Array Compass_dstruct Compass_machine Compass_rmc Compass_spec Explore Format Harness Iface List Printf Prog Styles Value

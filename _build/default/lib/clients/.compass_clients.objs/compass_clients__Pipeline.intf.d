@@ -1,0 +1,1 @@
+lib/clients/pipeline.mli: Compass_dstruct Compass_machine Compass_spec Explore Iface Styles

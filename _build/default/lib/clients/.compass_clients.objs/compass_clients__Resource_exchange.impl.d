@@ -1,0 +1,1 @@
+lib/clients/resource_exchange.ml: Array Compass_dstruct Compass_machine Compass_rmc Compass_spec Exchanger Exchanger_spec Explore Harness List Mode Printf Prog Value

@@ -1,0 +1,1 @@
+lib/clients/resource_exchange.mli: Compass_machine Compass_rmc Explore Value

@@ -1,0 +1,1 @@
+lib/clients/spsc_client.ml: Compass_dstruct Compass_machine Compass_rmc Compass_spec Explore Format Harness Iface List Loc Machine Mode Printf Prog Spsc_spec Styles Value

@@ -1,0 +1,1 @@
+lib/clients/strong_fifo.ml: Compass_dstruct Compass_event Compass_machine Compass_rmc Compass_spec Event Explore Graph Harness Iface List Printf Prog Spinlock Styles Value

@@ -1,0 +1,1 @@
+lib/clients/strong_fifo.mli: Compass_dstruct Compass_event Compass_machine Explore Graph Iface

@@ -1,0 +1,1 @@
+lib/clients/ws_client.ml: Chaselev Compass_dstruct Compass_event Compass_machine Compass_rmc Compass_spec Event Explore Format Graph Harness List Printf Prog Styles Value

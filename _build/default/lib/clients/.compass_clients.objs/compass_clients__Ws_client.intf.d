@@ -1,0 +1,1 @@
+lib/clients/ws_client.mli: Compass_machine Compass_rmc Compass_spec Explore Format Styles Value

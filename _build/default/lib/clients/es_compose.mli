@@ -1,0 +1,27 @@
+open Compass_spec
+open Compass_machine
+open Compass_dstruct
+
+(** The elimination-stack composition — Section 4's flagship verification
+    as an executable simulation check: the ES graph satisfies
+    StackConsistent, the parts keep their own specs, and every ES event
+    shares its commit step with a base-stack commit or an exchange pair
+    (and conversely every base event is simulated). *)
+
+type stats = {
+  mutable executions : int;
+  mutable eliminated : int;  (** ES pairs created by exchanges *)
+  mutable via_base : int;  (** ES events created at base-stack commits *)
+}
+
+val fresh_stats : unit -> stats
+
+val simulation_violations : Elimination.t -> Check.violation list
+
+val make :
+  ?style:Styles.style ->
+  ?pushers:int ->
+  ?poppers:int ->
+  ?ops:int ->
+  stats ->
+  Explore.scenario

@@ -1,0 +1,154 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+open Compass_spec
+open Compass_dstruct
+
+(* The Message-Passing client of queues — the paper's Figure 1 and its
+   verification sketch, Figure 3.
+
+     enq(q, 41);            |           | while ([acq] flag == 0) {};
+     enq(q, 42);            |  deq(q)   | deq(q)
+     flag :=rel 1           |           | // returns 41 or 42, NOT empty
+
+   The verified property: the right thread's dequeue can never return
+   empty, because (1) at most one enqueue can have been consumed by the
+   middle thread (the deqPerm(2) counting protocol of Figure 3), and
+   (2) the release-acquire flag transfers the left thread's logical view
+   {e1, e2} to the right thread, so both enqueues happen-before its
+   dequeue, and QUEUE-EMPDEQ forbids the empty outcome.
+
+   We check the property on every explored execution, check the deqPerm
+   invariant (|G.so| <= 2), and additionally run the *exclusion analysis*:
+   for each execution, would a hypothetical empty dequeue at the right
+   thread's commit be ruled out by the spec?  Under LAThb (using the
+   transferred logical view) it always is; under Cosmo-style LATso-abs
+   (where the right thread has no so-chain to the enqueues) it never is —
+   reproducing the paper's point that Cosmo's specs cannot verify this
+   client (Section 1.1). *)
+
+type stats = {
+  mutable executions : int;
+  mutable right_got_41 : int;
+  mutable right_got_42 : int;
+  mutable right_empty : int;  (** must stay 0 with a rel/acq flag *)
+  mutable middle_empty : int;  (** fine: the middle thread may see empty *)
+  mutable excluded_hb : int;  (** executions where LAThb rules out empty *)
+  mutable excluded_so : int;  (** ... where LATso-abs does (never) *)
+}
+
+let fresh_stats () =
+  {
+    executions = 0;
+    right_got_41 = 0;
+    right_got_42 = 0;
+    right_empty = 0;
+    middle_empty = 0;
+    excluded_hb = 0;
+    excluded_so = 0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>executions       %d@ right deq = 41   %d@ right deq = 42   %d@ \
+     right deq = eps  %d@ middle deq = eps %d@ empty excluded by LAThb      \
+     %d@ empty excluded by LATso-abs  %d@]"
+    s.executions s.right_got_41 s.right_got_42 s.right_empty s.middle_empty
+    s.excluded_hb s.excluded_so
+
+(* Exclusion analysis.  [m0] is the set of enqueue events the right thread
+   knows at its dequeue (its SeenQueue logical view): under hb-tracking it
+   is {e1, e2}; under so-only tracking it is empty (the thread performed no
+   prior queue operation).  The empty outcome is *excluded* if some known
+   enqueue must still be undequeued: |m0| > number of dequeues that other
+   threads could have committed (here at most 1, by deqPerm). *)
+let excluded ~m0_size ~other_deqs = m0_size > other_deqs
+
+let make ?(flag_write = Mode.Rel) ?(flag_read = Mode.Acq) ?(style = Styles.Hb)
+    (factory : Iface.queue_factory) (st : stats) =
+  Harness.scenario
+    ~name:
+      (Printf.sprintf "mp[%s, flag %s/%s]" factory.q_name
+         (Mode.access_to_string flag_write)
+         (Mode.access_to_string flag_read))
+    (fun m ->
+      let q = factory.make_queue m ~name:"q" in
+      let flag = Machine.alloc m ~name:"flag" ~init:(Value.Int 0) 1 in
+      let left =
+        Prog.returning_unit
+          (Prog.bind (q.Iface.enq (Value.Int 41)) (fun () ->
+               Prog.bind (q.Iface.enq (Value.Int 42)) (fun () ->
+                   Prog.store flag (Value.Int 1) flag_write)))
+      in
+      let middle = q.Iface.deq () in
+      let right =
+        Prog.bind (Prog.await flag flag_read (Value.equal (Value.Int 1)))
+          (fun _ -> q.Iface.deq ())
+      in
+      let judge vs =
+        st.executions <- st.executions + 1;
+        let middle_v = vs.(1) and right_v = vs.(2) in
+        if Value.equal middle_v Value.Null then
+          st.middle_empty <- st.middle_empty + 1;
+        (match right_v with
+        | Value.Int 41 -> st.right_got_41 <- st.right_got_41 + 1
+        | Value.Int 42 -> st.right_got_42 <- st.right_got_42 + 1
+        | Value.Null -> st.right_empty <- st.right_empty + 1
+        | _ -> ());
+        (* Exclusion analysis: the right thread's knowledge. *)
+        let other_deqs = if Value.equal middle_v Value.Null then 0 else 1 in
+        if excluded ~m0_size:2 ~other_deqs then
+          st.excluded_hb <- st.excluded_hb + 1;
+        if excluded ~m0_size:0 ~other_deqs then
+          st.excluded_so <- st.excluded_so + 1;
+        (* The deqPerm(2) protocol invariant of Figure 3. *)
+        let so_size = List.length (Graph.so q.Iface.q_graph) in
+        if so_size > 2 then
+          Explore.Violation
+            (Printf.sprintf "deqPerm violated: %d successful dequeues" so_size)
+        else if
+          (* The verified property: with a release flag write and acquire
+             flag read, the right dequeue is never empty. *)
+          Mode.releases flag_write && Mode.acquires flag_read
+          && Value.equal right_v Value.Null
+        then Explore.Violation "right thread's dequeue returned empty"
+        else
+          Harness.graph_judge style Styles.Queue q.Iface.q_graph vs
+      in
+      ([ left; middle; right ], judge))
+
+(* The weak-flag ablation: with a relaxed flag there is no view transfer;
+   the right thread may observe an empty queue.  The scenario *expects* to
+   find such executions (they are Pass here; the experiment reports their
+   count — zero would mean the ablation failed to exhibit the behaviour).
+   Note the right thread cannot non-atomically touch anything the left
+   thread wrote (that would race); the queue itself is all-atomic. *)
+let make_weak (factory : Iface.queue_factory) (st : stats) =
+  Harness.scenario
+    ~name:(Printf.sprintf "mp-weak[%s, flag rlx/rlx]" factory.q_name)
+    (fun m ->
+      let q = factory.make_queue m ~name:"q" in
+      let flag = Machine.alloc m ~name:"flag" ~init:(Value.Int 0) 1 in
+      let left =
+        Prog.returning_unit
+          (Prog.bind (q.Iface.enq (Value.Int 41)) (fun () ->
+               Prog.bind (q.Iface.enq (Value.Int 42)) (fun () ->
+                   Prog.store flag (Value.Int 1) Mode.Rlx)))
+      in
+      let middle = q.Iface.deq () in
+      let right =
+        Prog.bind (Prog.await flag Mode.Rlx (Value.equal (Value.Int 1)))
+          (fun _ -> q.Iface.deq ())
+      in
+      let judge vs =
+        st.executions <- st.executions + 1;
+        (match vs.(2) with
+        | Value.Int 41 -> st.right_got_41 <- st.right_got_41 + 1
+        | Value.Int 42 -> st.right_got_42 <- st.right_got_42 + 1
+        | Value.Null -> st.right_empty <- st.right_empty + 1
+        | _ -> ());
+        (* Consistency must still hold — the queue is correct; only the
+           client-level exclusion argument is lost. *)
+        Harness.graph_judge Styles.Hb Styles.Queue q.Iface.q_graph vs
+      in
+      ([ left; middle; right ], judge))

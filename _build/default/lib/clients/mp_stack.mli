@@ -1,0 +1,16 @@
+open Compass_spec
+open Compass_machine
+open Compass_dstruct
+
+(** Message passing through a stack: Figure 1's shape with STACK-EMPPOP
+    in the role of QUEUE-EMPDEQ — the flag-synchronised thread's pop can
+    never return empty. *)
+
+type stats = {
+  mutable executions : int;
+  mutable right_got : int;
+  mutable right_empty : int;
+}
+
+val fresh_stats : unit -> stats
+val make : ?style:Styles.style -> Iface.stack_factory -> stats -> Explore.scenario

@@ -1,0 +1,22 @@
+open Compass_machine
+open Compass_spec
+open Compass_dstruct
+
+(** A two-queue pipeline client — the "protocol governing multiple
+    abstract states" of Section 2.2: source -> q1 -> stage (applies
+    [v + 100]) -> q2 -> sink; the sink must observe the transformed
+    values in order.  The two queues may be different implementations —
+    the modularity the LAT specs buy. *)
+
+type stats = { mutable executions : int }
+
+val fresh_stats : unit -> stats
+
+val make :
+  ?style:Styles.style ->
+  ?n:int ->
+  ?retries:int ->
+  Iface.queue_factory ->
+  Iface.queue_factory ->
+  stats ->
+  Explore.scenario

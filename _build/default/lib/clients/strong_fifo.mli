@@ -1,0 +1,18 @@
+open Compass_event
+open Compass_machine
+open Compass_dstruct
+
+(** Section 3.1's flexibility claim, executed: a client that runs every
+    queue operation under a global lock regains the {e strong} FIFO
+    condition ([(d', d) ∈ lhb]), a total lhb, and even the SC-strength
+    empty condition — for any implementation, including the weak
+    Herlihy-Wing queue.  {!make_control} is the negative control: on the
+    bare queue the strong conditions fail. *)
+
+type stats = { mutable executions : int }
+
+val fresh_stats : unit -> stats
+val lhb_total : Graph.t -> bool
+val strong_fifo : Graph.t -> bool
+val make : Iface.queue_factory -> stats -> Explore.scenario
+val make_control : Iface.queue_factory -> int ref -> Explore.scenario

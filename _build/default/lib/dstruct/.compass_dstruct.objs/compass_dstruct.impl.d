@@ -1,0 +1,1 @@
+lib/dstruct/compass_dstruct.ml: Chaselev Elimination Exchanger Exchanger_array Hwqueue Iface Lockqueue Lockstack Msqueue Msqueue_fences Spinlock Treiber

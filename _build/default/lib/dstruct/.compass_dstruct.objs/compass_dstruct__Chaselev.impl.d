@@ -1,0 +1,1 @@
+lib/dstruct/chaselev.ml: Commit Compass_event Compass_machine Compass_rmc Event Format Graph Hashtbl Loc Machine Mode Prog Value

@@ -1,0 +1,1 @@
+lib/dstruct/chaselev.mli: Commit Compass_event Compass_machine Compass_rmc Graph Loc Machine Prog Value

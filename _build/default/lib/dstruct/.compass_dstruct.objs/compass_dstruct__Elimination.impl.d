@@ -1,0 +1,1 @@
+lib/dstruct/elimination.ml: Commit Compass_event Compass_machine Compass_rmc Event Exchanger Graph Hashtbl Iface List Machine Prog Registry Treiber Value

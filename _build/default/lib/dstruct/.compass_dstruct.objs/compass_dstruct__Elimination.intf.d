@@ -1,0 +1,1 @@
+lib/dstruct/elimination.mli: Compass_event Compass_machine Compass_rmc Exchanger Graph Hashtbl Iface Machine Prog Registry Treiber Value

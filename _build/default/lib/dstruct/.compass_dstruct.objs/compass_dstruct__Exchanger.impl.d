@@ -1,0 +1,1 @@
+lib/dstruct/exchanger.ml: Commit Compass_event Compass_machine Compass_rmc Event Format Graph Iface Loc Lview Machine Mode Prog Value

@@ -1,0 +1,1 @@
+lib/dstruct/exchanger_array.ml: Array Compass_event Compass_machine Compass_rmc Exchanger Graph Iface Machine Printf Prog Value

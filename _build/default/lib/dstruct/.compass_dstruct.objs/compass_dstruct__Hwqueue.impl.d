@@ -1,0 +1,1 @@
+lib/dstruct/hwqueue.ml: Commit Compass_event Compass_machine Compass_rmc Event Graph Hashtbl Iface Loc Machine Mode Prog Value

@@ -1,0 +1,1 @@
+lib/dstruct/hwqueue.mli: Commit Compass_event Compass_machine Compass_rmc Graph Iface Machine Prog Value

@@ -1,0 +1,1 @@
+lib/dstruct/iface.ml: Compass_event Compass_machine Compass_rmc Graph Machine Prog Value

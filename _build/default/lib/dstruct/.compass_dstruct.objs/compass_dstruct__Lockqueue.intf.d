@@ -1,0 +1,1 @@
+lib/dstruct/lockqueue.mli: Commit Compass_event Compass_machine Compass_rmc Graph Iface Machine Prog Value

@@ -1,0 +1,1 @@
+lib/dstruct/msqueue.ml: Commit Compass_event Compass_machine Compass_rmc Event Graph Iface Loc Machine Mode Prog Value

@@ -1,0 +1,1 @@
+lib/dstruct/msqueue_fences.mli: Commit Compass_event Compass_machine Compass_rmc Graph Iface Machine Prog Value

@@ -1,0 +1,1 @@
+lib/dstruct/spinlock.ml: Compass_machine Compass_rmc Loc Machine Mode Prog Value

@@ -1,0 +1,1 @@
+lib/dstruct/spinlock.mli: Compass_machine Machine Prog

@@ -1,0 +1,217 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+open Prog.Syntax
+
+(* Chase-Lev work-stealing deque [Chase & Lev, SPAA'05], with the C11
+   access modes of Le, Pop, Cohen & Zappa Nardelli [PPoPP'13] — the
+   paper's named future work (Section 6 cites exactly these two papers;
+   we reproduce it as experiment E8).
+
+   The owner pushes and pops at the *bottom*; thieves steal at the *top*.
+   The take/steal race on the last element is resolved by a CAS on [top]
+   guarded by SC fences — the classic store-buffering-shaped race that is
+   *incorrect* with weaker fences.  Our machine models SC fences with a
+   global SC view, and the model checker confirms both directions: with
+   [F_sc] no element is ever lost or duplicated; weaken the fences to
+   acq-rel (set [weak_fences] — an ablation used by the tests) and the
+   checker exhibits the double-take.
+
+   This bounded variant indexes the buffer by absolute position (no
+   wrap-around), eliminating ABA concerns exactly like our Herlihy-Wing
+   queue; the synchronisation skeleton is unchanged.  The buffer slots
+   hold pointers to [value; eid] cells; the ghost table carries (value,
+   event id) into the commit functions, as in Hwqueue.
+
+   Access modes (following Le et al.):
+   - push:  load_rlx bottom; load_acq top; slot :=rlx cell;
+            fence_rel; bottom :=rlx b+1  (the commit point);
+   - take:  bottom :=rlx b-1; fence_sc; t = load_rlx top;
+            - t < b-1:  plain take at the bottom (commit at the slot read);
+            - t = b-1:  last element: CAS_sc top (commit point; failure is
+              the empty-pop commit — a thief won);
+            - t > b-1:  empty (commit at the top load); bottom restored;
+   - steal: load_acq top; fence_sc; load_acq bottom;
+            t < b: read slot, CAS_sc top (commit point; failure aborts and
+            retries under fuel); else empty (commit at the bottom load). *)
+
+type t = {
+  top : Loc.t;
+  bottom : Loc.t;
+  buf : Loc.t;
+  capacity : int;
+  graph : Graph.t;
+  ghost : (int, Value.t * int) Hashtbl.t;  (** cell base -> (value, push id) *)
+  fuel : int;
+  sc_fence : Mode.fence;  (** [F_sc], or [F_acqrel] for the broken ablation *)
+}
+
+let default_fuel = 8
+
+let create ?(capacity = 8) ?(fuel = default_fuel) ?(weak_fences = false) m
+    ~name =
+  let graph = Machine.new_graph m ~name in
+  let base = Machine.alloc m ~name (capacity + 2) in
+  ignore
+    (Machine.solo m
+       (Prog.returning_unit
+          (let* () = Prog.store base (Value.Int 0) Mode.Na in
+           let* () = Prog.store (Loc.shift base 1) (Value.Int 0) Mode.Na in
+           Prog.for_ 0 (capacity - 1) (fun i ->
+               Prog.store (Loc.shift base (2 + i)) Value.Null Mode.Na))));
+  {
+    top = base;
+    bottom = Loc.shift base 1;
+    buf = Loc.shift base 2;
+    capacity;
+    graph;
+    ghost = Hashtbl.create 16;
+    fuel;
+    sc_fence = (if weak_fences then Mode.F_acqrel else Mode.F_sc);
+  }
+
+let graph t = t.graph
+let slot t i = Loc.shift t.buf i
+let bottom_loc t = t.bottom
+
+let take_commit t ~obj ~d ~extra : Commit.fn =
+  Commit.compose
+    (fun (r : Commit.op_result) ->
+      match r.value with
+      | Value.Ptr cell ->
+          let v, e = Hashtbl.find t.ghost (Loc.base cell) in
+          [ Commit.spec ~obj [ Commit.ev d (Event.Pop v) ] ~so:[ (e, d) ] ]
+      | _ -> [])
+    extra
+
+(* Owner: push at the bottom. *)
+let push ?(extra = fun _ -> []) t v =
+  let* e = Prog.reserve in
+  let* cell = Prog.alloc ~name:"task" 2 in
+  let* () = Prog.store cell v Mode.Na in
+  let* () = Prog.store (Loc.shift cell 1) (Value.Int e) Mode.Na in
+  Hashtbl.replace t.ghost (Loc.base cell) (v, e);
+  let* b = Prog.load t.bottom Mode.Rlx in
+  let b = Value.to_int_exn b in
+  let* tp = Prog.load t.top Mode.Acq in
+  let tp = Value.to_int_exn tp in
+  if b >= t.capacity || b - tp >= t.capacity then
+    raise (Prog.Out_of_fuel "chaselev-capacity")
+  else
+    let* () = Prog.store (slot t b) (Value.Ptr cell) Mode.Rlx in
+    let* () = Prog.fence Mode.F_rel in
+    let commit =
+      Commit.compose
+        (Commit.always ~obj:(Graph.obj t.graph) (fun _ -> (e, Event.Push v)))
+        extra
+    in
+    Prog.store t.bottom (Value.Int (b + 1)) Mode.Rlx ~commit
+
+(* Owner: take from the bottom.  Returns the value or [Null] (empty). *)
+let pop ?(extra = fun _ -> []) t =
+  let* d = Prog.reserve in
+  let obj = Graph.obj t.graph in
+  let* b0 = Prog.load t.bottom Mode.Rlx in
+  let b = Value.to_int_exn b0 - 1 in
+  let* () = Prog.store t.bottom (Value.Int b) Mode.Rlx in
+  let* () = Prog.fence t.sc_fence in
+  let empty_commit =
+    (* t > b: the deque was empty — this top read is the commit point. *)
+    Commit.compose
+      (fun (r : Commit.op_result) ->
+        if Value.to_int_exn r.value > b then
+          [ Commit.spec ~obj [ Commit.ev d Event.EmpPop ] ]
+        else [])
+      extra
+  in
+  let* tpv = Prog.load t.top Mode.Rlx ~commit:empty_commit in
+  let tp = Value.to_int_exn tpv in
+  if tp < b then
+    (* More than one element: the bottom one is ours alone. *)
+    let* x = Prog.load (slot t b) Mode.Rlx ~commit:(take_commit t ~obj ~d ~extra) in
+    match x with
+    | Value.Ptr cell -> Prog.load (Loc.shift cell 0) Mode.Na
+    | w -> failwith (Format.asprintf "chaselev: corrupt slot %a" Value.pp w)
+  else if tp = b then begin
+    (* Last element: race the thieves with a CAS on top.  Success commits
+       the pop; failure means a thief took it — an empty pop. *)
+    let* x = Prog.load (slot t b) Mode.Rlx in
+    let* () = Prog.fence t.sc_fence in
+    let cas_commit =
+      Commit.compose
+        (fun (r : Commit.op_result) ->
+          if r.success then
+            match x with
+            | Value.Ptr cell ->
+                let v, e = Hashtbl.find t.ghost (Loc.base cell) in
+                [ Commit.spec ~obj [ Commit.ev d (Event.Pop v) ] ~so:[ (e, d) ] ]
+            | _ -> []
+          else [ Commit.spec ~obj [ Commit.ev d Event.EmpPop ] ])
+        extra
+    in
+    let* _, ok =
+      Prog.cas t.top ~expected:(Value.Int tp) ~desired:(Value.Int (tp + 1))
+        Mode.AcqRel ~commit:cas_commit
+    in
+    let* () = Prog.store t.bottom (Value.Int (b + 1)) Mode.Rlx in
+    if ok then
+      match x with
+      | Value.Ptr cell -> Prog.load (Loc.shift cell 0) Mode.Na
+      | w -> failwith (Format.asprintf "chaselev: corrupt slot %a" Value.pp w)
+    else Prog.return Value.Null
+  end
+  else
+    (* Empty (the commit already happened at the top load). *)
+    let* () = Prog.store t.bottom (Value.Int (b + 1)) Mode.Rlx in
+    Prog.return Value.Null
+
+(* Thief: steal from the top.  Returns the value or [Null] (empty);
+   aborts (lost CAS races) retry under fuel. *)
+let steal ?(extra = fun _ -> []) t =
+  let* d = Prog.reserve in
+  let obj = Graph.obj t.graph in
+  Prog.with_fuel ~fuel:t.fuel ~what:"chaselev-steal" (fun () ->
+      let* tpv = Prog.load t.top Mode.Acq in
+      let tp = Value.to_int_exn tpv in
+      let* () = Prog.fence t.sc_fence in
+      let empty_commit =
+        Commit.compose
+          (fun (r : Commit.op_result) ->
+            if tp >= Value.to_int_exn r.value then
+              [ Commit.spec ~obj [ Commit.ev d Event.EmpSteal ] ]
+            else [])
+          extra
+      in
+      let* bv = Prog.load t.bottom Mode.Acq ~commit:empty_commit in
+      let b = Value.to_int_exn bv in
+      if tp >= b then Prog.return (Some Value.Null)
+      else
+        let* x = Prog.load (slot t tp) Mode.Rlx in
+        let steal_commit =
+          Commit.compose
+            (fun (r : Commit.op_result) ->
+              if r.success then
+                match x with
+                | Value.Ptr cell ->
+                    let v, e = Hashtbl.find t.ghost (Loc.base cell) in
+                    [
+                      Commit.spec ~obj
+                        [ Commit.ev d (Event.Steal v) ]
+                        ~so:[ (e, d) ];
+                    ]
+                | _ -> []
+              else [])
+            extra
+        in
+        let* _, ok =
+          Prog.cas t.top ~expected:(Value.Int tp)
+            ~desired:(Value.Int (tp + 1))
+            Mode.AcqRel ~commit:steal_commit
+        in
+        if ok then
+          match x with
+          | Value.Ptr cell ->
+              let* v = Prog.load (Loc.shift cell 0) Mode.Na in
+              Prog.return (Some v)
+          | w -> failwith (Format.asprintf "chaselev: corrupt slot %a" Value.pp w)
+        else Prog.return None (* abort: lost to another thief or the owner *))

@@ -1,0 +1,35 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** Chase-Lev work-stealing deque [Chase & Lev, SPAA'05] with the C11
+    access modes of Le, Pop, Cohen & Zappa Nardelli [PPoPP'13] — the
+    paper's named future work (Section 6), reproduced as experiment E8.
+
+    The owner pushes/pops at the bottom, thieves steal at the top; the
+    take/steal race on the last element is a CAS on [top] guarded by SC
+    fences.  [weak_fences] substitutes acq-rel fences — the broken
+    ablation in which the model checker exhibits the classic double-take.
+    Bounded, non-circular variant (absolute buffer indices; exceeding the
+    capacity discards the execution), same synchronisation skeleton. *)
+
+type t
+
+val default_fuel : int
+
+val create :
+  ?capacity:int -> ?fuel:int -> ?weak_fences:bool -> Machine.t -> name:string -> t
+
+val graph : t -> Graph.t
+val slot : t -> int -> Loc.t
+val bottom_loc : t -> Loc.t
+
+val push :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> unit Prog.t
+(** owner only *)
+
+val pop : ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t Prog.t
+(** owner only; [Null] for the empty case *)
+
+val steal : ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t Prog.t
+(** thieves; [Null] for the empty case; lost CAS races retry under fuel *)

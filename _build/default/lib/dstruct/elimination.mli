@@ -1,0 +1,44 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** Elimination stack [Hendler, Shavit & Yerushalmi, SPAA'04], composed
+    from a base Treiber stack and an exchanger exactly as in the paper's
+    Section 4.1, with {e no new atomic instructions}: its events are
+    grafted onto the parts' commit points through the [extra] commit
+    hooks — the executable form of the simulation argument.  A successful
+    value/SENTINEL exchange commits an ES push and pop {e in the same
+    atomic step} as the exchanger's own pair, which is what preserves
+    LIFO.
+
+    The record is transparent so composition experiments can check the
+    sub-libraries' graphs alongside the composed one. *)
+
+type t = {
+  base : Treiber.t;
+  ex : Exchanger.t;
+  graph : Graph.t;
+  reg : Registry.t;
+  push_map : (int, int) Hashtbl.t;
+      (** base push event id -> ES push event id: the simulation relation,
+          as data *)
+  fuel : int;
+}
+
+val default_fuel : int
+
+val create : ?fuel:int -> Machine.t -> name:string -> t
+val graph : t -> Graph.t
+
+val try_push : t -> Value.t -> Value.t Prog.t
+(** the paper's [try_push]: [Int 1] on success, [Fail] on contention *)
+
+val try_pop : t -> Value.t Prog.t
+(** the paper's [try_pop]: the value, [Null] for empty, [Fail] on
+    contention *)
+
+val push : t -> Value.t -> unit Prog.t
+(** retry [try_push] under fuel *)
+
+val pop : t -> Value.t Prog.t
+val instantiate : Iface.stack_factory

@@ -1,0 +1,41 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** A single-slot exchanger (the core of Scherer-Lea-Scott's elimination
+    channel) with the paper's helping discipline (Section 4.2) realised
+    operationally: the helper's hole-CAS is the commit point of BOTH
+    exchanges — helpee first (with the views released at its offer, the
+    operational reading of Figure 5's [V1]/[M']), then the helper — with
+    symmetric so edges, in one atomic machine step.  The helpee learns the
+    completed graph when it acquire-reads the filled hole (the paper's
+    local postcondition).  A successful retract CAS is the commit point of
+    a failed exchange. *)
+
+type t
+
+val default_fuel : int
+
+val create : ?fuel:int -> ?graph:Graph.t -> Machine.t -> name:string -> t
+(** [graph] shares an event graph across several slots — the array of
+    exchangers (Section 4.1) is just more slots on one graph *)
+
+val graph : t -> Graph.t
+
+val exchange_attempt :
+  ?extra:(Commit.spec list -> Commit.spec list) ->
+  t ->
+  e1:int ->
+  my_tid:int ->
+  Value.t ->
+  Value.t option Prog.t
+(** one attempt on this slot: [Some v2] done ([Null] = committed failure),
+    [None] = contention, try again (possibly on another slot) *)
+
+val exchange :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> Value.t Prog.t
+(** [exchange t v] offers [v] (must not be [Null]); returns the partner's
+    value, or [Null] if the exchange failed.
+    @raise Invalid_argument on a [Null] offer *)
+
+val instantiate : Machine.t -> name:string -> Iface.exchanger

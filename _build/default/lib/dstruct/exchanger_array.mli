@@ -1,0 +1,21 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** An array of exchangers (Section 4.1: the exchanger "can be
+    implemented as an array of exchangers"): independent slots sharing
+    one event graph, so the composite satisfies the same
+    ExchangerConsistent spec.  Threads start at an id-derived slot and
+    rotate on contention. *)
+
+type t
+
+val default_fuel : int
+
+val create : ?slots:int -> ?fuel:int -> Machine.t -> name:string -> t
+val graph : t -> Graph.t
+
+val exchange :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> Value.t Prog.t
+
+val instantiate : ?slots:int -> Machine.t -> name:string -> Iface.exchanger

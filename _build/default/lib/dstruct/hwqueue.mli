@@ -1,0 +1,30 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** Herlihy-Wing queue [Herlihy & Wing, TOPLAS'90], the weak relaxed
+    variant of Yacovet that the paper verifies against the LAThb specs
+    (Section 3.2): release enqueues (FAA a slot, publish it), acquire
+    dequeues (scan-and-swap), and deliberately no synchronisation among
+    enqueues or among dequeues.
+
+    This implementation cannot construct an abstract state at its commit
+    points (FAA order diverges from publication order; the SC proof needs
+    prophecy variables) — experiment E3 exhibits the LATabs failure while
+    LAThb and offline linearisation hold. *)
+
+type t
+
+val create : ?capacity:int -> Machine.t -> name:string -> t
+(** exceeding [capacity] discards the execution (the unbounded algorithm
+    has no such behaviour) *)
+
+val graph : t -> Graph.t
+
+val enq :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> unit Prog.t
+
+val deq : ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t Prog.t
+(** one full scan; [Null] (an empty dequeue) if nothing was found *)
+
+val instantiate : Iface.queue_factory

@@ -1,0 +1,22 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** Coarse-grained lock-based queue — the SC baseline: every operation
+    holds a spinlock throughout, all data is non-atomic under it.  This is
+    the limit case of Section 3.1's "sufficient external synchronisation":
+    it satisfies even the SC-strength spec ([Sc_abs]), which no relaxed
+    implementation does (experiment E2's top row). *)
+
+type t
+
+val default_fuel : int
+
+val create : ?capacity:int -> ?fuel:int -> Machine.t -> name:string -> t
+val graph : t -> Graph.t
+
+val enq :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> unit Prog.t
+
+val deq : ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t Prog.t
+val instantiate : Iface.queue_factory

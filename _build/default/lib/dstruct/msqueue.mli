@@ -1,0 +1,28 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** Michael-Scott queue [Michael & Scott, PODC'96], purely release-acquire
+    — verified in the paper against the LATabs-hb specs (Section 3.2).
+
+    Commit points: enqueue = the successful link CAS; successful dequeue =
+    the head CAS; empty dequeue = the acquire load of [head->next] that
+    returned null.  All CASes are acq-rel: the release side of the head
+    CAS is load-bearing (a later dequeuer reaches nodes through head, not
+    through the enqueuers' next-chain — weakening it to a plain acquire
+    CAS is a genuine relaxed-memory bug that the race detector catches). *)
+
+type t
+
+val default_fuel : int
+
+val create : ?fuel:int -> Machine.t -> name:string -> t
+val graph : t -> Graph.t
+
+val enq :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> unit Prog.t
+
+val deq : ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t Prog.t
+(** returns the value, or [Null] for the empty case *)
+
+val instantiate : Iface.queue_factory

@@ -1,0 +1,24 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** Michael-Scott queue, fence-based: the same algorithm as {!Msqueue}
+    with relaxed accesses and explicit release/acquire fences — the other
+    half of ORC11's synchronisation vocabulary (iRC11's F_rel/F_acq rules,
+    Section 5).  Spec-equivalent to the access-based version: it satisfies
+    the same LATabs-hb specs, verifies the same MP client, and passes the
+    same RC11 differential checks (fence-based sw is rebuilt independently
+    by the axiomatic checker). *)
+
+type t
+
+val default_fuel : int
+
+val create : ?fuel:int -> Machine.t -> name:string -> t
+val graph : t -> Graph.t
+
+val enq :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> unit Prog.t
+
+val deq : ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t Prog.t
+val instantiate : Iface.queue_factory

@@ -1,0 +1,30 @@
+open Compass_rmc
+open Compass_machine
+open Prog.Syntax
+
+(* Test-and-set spinlock — a substrate self-test and the tool clients use
+   to run a library "in an SC fashion" (Section 3.1: a client that adds
+   sufficient external synchronisation can recover the strong FIFO
+   condition).  Acquire = blocking-await for 0 then acq-rel CAS; release =
+   release store of 0. *)
+
+type t = { cell : Loc.t }
+
+let create m ~name = { cell = Machine.alloc m ~name ~init:(Value.Int 0) 1 }
+
+let lock ?(fuel = 16) t =
+  Prog.with_fuel ~fuel ~what:"spinlock" (fun () ->
+      let* _ = Prog.await t.cell Mode.Rlx (Value.equal (Value.Int 0)) in
+      let* _, ok =
+        Prog.cas t.cell ~expected:(Value.Int 0) ~desired:(Value.Int 1)
+          Mode.AcqRel
+      in
+      Prog.return (if ok then Some () else None))
+
+let unlock t = Prog.store t.cell (Value.Int 0) Mode.Rel
+
+let with_lock ?fuel t body =
+  let* () = lock ?fuel t in
+  let* r = body in
+  let* () = unlock t in
+  Prog.return r

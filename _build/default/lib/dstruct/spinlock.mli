@@ -1,0 +1,11 @@
+open Compass_machine
+
+(** Test-and-set spinlock: a substrate self-test, and the tool for
+    running a library "in an SC fashion" (paper, Section 3.1). *)
+
+type t
+
+val create : Machine.t -> name:string -> t
+val lock : ?fuel:int -> t -> unit Prog.t
+val unlock : t -> unit Prog.t
+val with_lock : ?fuel:int -> t -> 'a Prog.t -> 'a Prog.t

@@ -1,0 +1,32 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(** Treiber stack [Treiber'86], relaxed: release CAS pushes, acquire CAS
+    pops — the access modes of the paper's Section 3.3, where this
+    implementation is verified against the LAThist specs.  Our commit
+    order {e is} the head's modification order, so it is usually already
+    a valid linearisation (experiment E5). *)
+
+type t
+
+val default_fuel : int
+
+val create : ?fuel:int -> Machine.t -> name:string -> t
+val graph : t -> Graph.t
+
+val push :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> unit Prog.t
+
+val pop : ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t Prog.t
+(** [Null] for the empty case *)
+
+val try_push :
+  ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t -> Value.t Prog.t
+(** single attempt: [Int 1] on success, [Fail] on contention — the
+    paper's [try_push'] (Section 4.1) *)
+
+val try_pop : ?extra:(Commit.spec list -> Commit.spec list) -> t -> Value.t Prog.t
+(** single attempt: the value, [Null] for empty, [Fail] on contention *)
+
+val instantiate : Iface.stack_factory

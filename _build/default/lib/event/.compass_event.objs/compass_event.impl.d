@@ -1,0 +1,1 @@
+lib/event/compass_event.ml: Event Graph Order Registry

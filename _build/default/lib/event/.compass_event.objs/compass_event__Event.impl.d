@@ -1,0 +1,1 @@
+lib/event/event.ml: Compass_rmc Format List Lview String Value View

@@ -1,0 +1,1 @@
+lib/event/event.mli: Compass_rmc Format Lview Value View

@@ -1,0 +1,1 @@
+lib/event/graph.ml: Buffer Compass_rmc Event Format Int List Lview Map Printf

@@ -1,0 +1,1 @@
+lib/event/graph.mli: Event Format

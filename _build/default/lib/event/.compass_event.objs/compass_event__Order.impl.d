@@ -1,0 +1,1 @@
+lib/event/order.ml: Hashtbl Int List Map Set

@@ -1,0 +1,1 @@
+lib/event/registry.ml: Graph Hashtbl Int List Printf

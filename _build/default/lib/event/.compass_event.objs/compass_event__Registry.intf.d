@@ -1,0 +1,1 @@
+lib/event/registry.mli: Graph

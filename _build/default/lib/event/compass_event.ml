@@ -1,0 +1,10 @@
+(** Yacovet-style event graphs (paper, Section 3.1): events with physical
+    and logical views, per-object graphs with the synchronised-with relation
+    [so] and the derived local-happens-before [lhb], a global registry
+    allocating event ids, and partial-order utilities used by the spec
+    checkers. *)
+
+module Event = Event
+module Graph = Graph
+module Registry = Registry
+module Order = Order

@@ -1,0 +1,82 @@
+open Compass_rmc
+
+(* Library events — the nodes of the paper's Yacovet-style event graphs
+   (Figure 2, bottom left).  Event ids are globally unique across all
+   objects so that logical views can be plain id-sets. *)
+
+type typ =
+  | Enq of Value.t
+  | Deq of Value.t
+  | EmpDeq  (** failing (empty) dequeue *)
+  | Push of Value.t
+  | Pop of Value.t
+  | EmpPop  (** failing (empty) pop *)
+  | Exchange of Value.t * Value.t
+      (** [Exchange (v1, v2)]: gave [v1], received [v2]; [v2 = Null] is the
+          failed exchange (the paper's bottom). *)
+  | Steal of Value.t
+      (** work-stealing deque: a thief took [v] from the top (the paper's
+          Section 6 future work, reproduced as experiment E8) *)
+  | EmpSteal  (** failing (empty) steal *)
+  | Custom of string * Value.t list
+
+let typ_equal a b =
+  match (a, b) with
+  | Enq x, Enq y | Deq x, Deq y | Push x, Push y | Pop x, Pop y
+  | Steal x, Steal y ->
+      Value.equal x y
+  | EmpDeq, EmpDeq | EmpPop, EmpPop | EmpSteal, EmpSteal -> true
+  | Exchange (a1, a2), Exchange (b1, b2) -> Value.equal a1 b1 && Value.equal a2 b2
+  | Custom (n, vs), Custom (m, ws) ->
+      String.equal n m
+      && List.length vs = List.length ws
+      && List.for_all2 Value.equal vs ws
+  | _ -> false
+
+let pp_typ ppf = function
+  | Enq v -> Format.fprintf ppf "Enq(%a)" Value.pp v
+  | Deq v -> Format.fprintf ppf "Deq(%a)" Value.pp v
+  | EmpDeq -> Format.pp_print_string ppf "Deq(eps)"
+  | Push v -> Format.fprintf ppf "Push(%a)" Value.pp v
+  | Pop v -> Format.fprintf ppf "Pop(%a)" Value.pp v
+  | EmpPop -> Format.pp_print_string ppf "Pop(eps)"
+  | Exchange (v1, v2) -> Format.fprintf ppf "Xchg(%a,%a)" Value.pp v1 Value.pp v2
+  | Steal v -> Format.fprintf ppf "Steal(%a)" Value.pp v
+  | EmpSteal -> Format.pp_print_string ppf "Steal(eps)"
+  | Custom (n, vs) ->
+      Format.fprintf ppf "%s(%a)" n
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Value.pp)
+        vs
+
+(* Commit index: (machine step, sub-index within the step).  Two events with
+   the same step were committed in one atomic instruction — the exchanger's
+   helper committing helpee-then-helper (Section 4.2), or the elimination
+   stack's composed push/pop pair (Section 4.1). *)
+type cix = int * int
+
+let cix_compare (a : cix) (b : cix) = compare a b
+let pp_cix ppf ((s, i) : cix) = Format.fprintf ppf "%d.%d" s i
+
+type data = {
+  id : int;
+  obj : int;  (** owning graph / library object *)
+  typ : typ;
+  tid : int;  (** committing-on-behalf-of thread: the operation's caller *)
+  view : View.t;  (** physical view at the commit point *)
+  logview : Lview.t;  (** the paper's [G(e).logview]; includes [id] itself *)
+  cix : cix;
+}
+
+let pp ppf e =
+  Format.fprintf ppf "e%d:%a[T%d@@%a]" e.id pp_typ e.typ e.tid pp_cix e.cix
+
+let is_enq e = match e.typ with Enq _ -> true | _ -> false
+let is_deq e = match e.typ with Deq _ -> true | _ -> false
+let is_empdeq e = match e.typ with EmpDeq -> true | _ -> false
+let is_push e = match e.typ with Push _ -> true | _ -> false
+let is_pop e = match e.typ with Pop _ -> true | _ -> false
+let is_emppop e = match e.typ with EmpPop -> true | _ -> false
+let is_exchange e = match e.typ with Exchange _ -> true | _ -> false
+let is_steal e = match e.typ with Steal _ -> true | _ -> false
+let is_empsteal e = match e.typ with EmpSteal -> true | _ -> false

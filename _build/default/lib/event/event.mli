@@ -1,0 +1,55 @@
+open Compass_rmc
+
+(** Library events: the nodes of the paper's Yacovet-style event graphs
+    (Figure 2).  Event ids are globally unique across all objects so that
+    logical views can be plain id-sets. *)
+
+type typ =
+  | Enq of Value.t
+  | Deq of Value.t
+  | EmpDeq  (** failing (empty) dequeue *)
+  | Push of Value.t
+  | Pop of Value.t
+  | EmpPop  (** failing (empty) pop *)
+  | Exchange of Value.t * Value.t
+      (** [Exchange (v1, v2)]: gave [v1], received [v2]; [v2 = Null] is
+          the failed exchange (the paper's bottom) *)
+  | Steal of Value.t
+      (** work-stealing deque: a thief took [v] from the top (experiment
+          E8, the paper's Section 6 future work) *)
+  | EmpSteal  (** failing (empty) steal *)
+  | Custom of string * Value.t list
+
+val typ_equal : typ -> typ -> bool
+val pp_typ : Format.formatter -> typ -> unit
+
+type cix = int * int
+(** Commit index: (machine step, sub-index within the step).  Two events
+    sharing a step were committed by one atomic instruction — the
+    exchanger's helper committing helpee-then-helper (Section 4.2), or the
+    elimination stack's composed push/pop pair (Section 4.1). *)
+
+val cix_compare : cix -> cix -> int
+val pp_cix : Format.formatter -> cix -> unit
+
+type data = {
+  id : int;
+  obj : int;  (** owning graph / library object *)
+  typ : typ;
+  tid : int;  (** the operation's calling thread *)
+  view : View.t;  (** physical view at the commit point *)
+  logview : Lview.t;  (** the paper's [G(e).logview]; contains [id] *)
+  cix : cix;
+}
+
+val pp : Format.formatter -> data -> unit
+
+val is_enq : data -> bool
+val is_deq : data -> bool
+val is_empdeq : data -> bool
+val is_push : data -> bool
+val is_pop : data -> bool
+val is_emppop : data -> bool
+val is_exchange : data -> bool
+val is_steal : data -> bool
+val is_empsteal : data -> bool

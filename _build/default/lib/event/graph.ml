@@ -1,0 +1,132 @@
+open Compass_rmc
+
+(* Per-object event graphs: the paper's [G = (events, so)] (Section 3.1).
+
+   A graph accumulates the events committed so far during one execution,
+   plus the synchronised-with relation [so] between matched operations
+   (enqueue/dequeue, push/pop, symmetric exchange pairs).  The local
+   happens-before relation [lhb] is not stored: it is derived from logical
+   views — [(d, e) ∈ lhb] iff [d ∈ G(e).logview] — exactly as in the
+   paper. *)
+
+module Imap = Map.Make (Int)
+
+type t = {
+  obj : int;
+  name : string;
+  mutable events : Event.data Imap.t;
+  mutable so : (int * int) list;  (** newest first *)
+}
+
+let create ~obj ~name = { obj; name; events = Imap.empty; so = [] }
+let name g = g.name
+let obj g = g.obj
+let mem g id = Imap.mem id g.events
+let find_opt g id = Imap.find_opt id g.events
+
+let find g id =
+  match find_opt g id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Graph.find: e%d not in graph %s" id g.name)
+
+let commit g (e : Event.data) =
+  assert (not (mem g e.id));
+  g.events <- Imap.add e.id e g.events
+
+let add_so g ~from ~into =
+  assert (mem g from && mem g into);
+  g.so <- (from, into) :: g.so
+
+let events g = Imap.bindings g.events |> List.map snd
+
+(* Events in commit order — the total order of commit instructions in the
+   interleaved execution.  For strongly-synchronised structures this is
+   already a valid linearisation (Section 3.3). *)
+let events_by_cix g =
+  events g |> List.sort (fun a b -> Event.cix_compare a.Event.cix b.Event.cix)
+
+let so g = g.so
+let so_mem g p = List.exists (fun q -> q = p) g.so
+let size g = Imap.cardinal g.events
+
+(* The paper's [(d, e) ∈ G.lhb ⟺ d ∈ G(e).logview]; restricted to events
+   of this graph, and irreflexive by convention. *)
+let lhb g ~(before : int) ~(after : int) =
+  before <> after
+  &&
+  match find_opt g after with
+  | None -> false
+  | Some e -> Lview.mem before e.logview && mem g before
+
+(* All lhb pairs, for closure computations and DOT export. *)
+let lhb_pairs g =
+  Imap.fold
+    (fun id e acc ->
+      Lview.fold
+        (fun d acc -> if d <> id && mem g d then (d, id) :: acc else acc)
+        e.Event.logview acc)
+    g.events []
+
+(* Matched partner(s) of [id] under so. *)
+let so_out g id = List.filter_map (fun (f, t) -> if f = id then Some t else None) g.so
+let so_in g id = List.filter_map (fun (f, t) -> if t = id then Some f else None) g.so
+
+(* The commit-prefix of a graph: events committed strictly before [upto],
+   with so restricted.  The paper's consistency conditions are
+   *invariants* — they hold after every commit — so a checker run on every
+   prefix validates exactly that (the prefix-closedness tests). *)
+let prefix g ~(upto : Event.cix) =
+  let keep (e : Event.data) = Event.cix_compare e.cix upto < 0 in
+  let p = create ~obj:g.obj ~name:(g.name ^ "~") in
+  List.iter (fun e -> if keep e then commit p e) (events_by_cix g);
+  List.iter
+    (fun (a, b) -> if mem p a && mem p b then add_so p ~from:a ~into:b)
+    (List.rev g.so);
+  p
+
+(* Graph inclusion [G ⊑ G']: every event of [g] is in [g'] with identical
+   data, and so edges are preserved.  Snapshots in the paper are exactly
+   sub-graphs in this sense. *)
+let included g g' =
+  Imap.for_all
+    (fun id e ->
+      match find_opt g' id with
+      | Some e' ->
+          Event.typ_equal e.Event.typ e'.Event.typ && e.Event.cix = e'.Event.cix
+      | None -> false)
+    g.events
+  && List.for_all (fun p -> so_mem g' p) g.so
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph %s (%d events)@ %a@ so: %a@]" g.name (size g)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Event.pp)
+    (events_by_cix g)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (a, b) -> Format.fprintf ppf "(e%d,e%d)" a b))
+    (List.rev g.so)
+
+(* DOT export: events as nodes (commit order as rank), so edges solid, lhb
+   edges (transitively reduced by construction of logviews? no — raw) dashed. *)
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=TB;\n" g.name);
+  List.iter
+    (fun (e : Event.data) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  e%d [label=\"%s\\nT%d @ %d.%d\"];\n" e.id
+           (Format.asprintf "%a" Event.pp_typ e.typ)
+           e.tid (fst e.cix) (snd e.cix)))
+    (events_by_cix g);
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf (Printf.sprintf "  e%d -> e%d [color=red];\n" a b))
+    g.so;
+  List.iter
+    (fun (a, b) ->
+      if not (so_mem g (a, b)) then
+        Buffer.add_string buf
+          (Printf.sprintf "  e%d -> e%d [style=dashed,color=gray];\n" a b))
+    (lhb_pairs g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Per-object event graphs: the paper's [G = (events, so)]
+    (Section 3.1).
+
+    A graph accumulates the events committed so far in one execution plus
+    the synchronised-with relation [so] between matched operations.  The
+    local happens-before relation [lhb] is not stored: it is derived from
+    logical views — [(d, e) ∈ lhb iff d ∈ G(e).logview] — exactly as in
+    the paper. *)
+
+type t
+
+val create : obj:int -> name:string -> t
+val name : t -> string
+val obj : t -> int
+
+val mem : t -> int -> bool
+val find_opt : t -> int -> Event.data option
+
+val find : t -> int -> Event.data
+(** @raise Invalid_argument for ids not in the graph *)
+
+val commit : t -> Event.data -> unit
+(** add a (fresh) event — performed by the machine at commit points *)
+
+val add_so : t -> from:int -> into:int -> unit
+
+val events : t -> Event.data list
+val events_by_cix : t -> Event.data list
+(** events in commit order — the total order of commit instructions; for
+    strongly-placed commit points this is already a valid linearisation
+    (Section 3.3) *)
+
+val so : t -> (int * int) list
+val so_mem : t -> int * int -> bool
+val size : t -> int
+
+val lhb : t -> before:int -> after:int -> bool
+(** [(before, after) ∈ G.lhb], i.e. [before ∈ G(after).logview];
+    irreflexive, restricted to events of this graph *)
+
+val lhb_pairs : t -> (int * int) list
+
+val so_out : t -> int -> int list
+val so_in : t -> int -> int list
+
+val prefix : t -> upto:Event.cix -> t
+(** the commit-prefix strictly before [upto]; so restricted.  The paper's
+    consistency conditions are invariants — they hold after every commit —
+    so checking every prefix validates exactly that. *)
+
+val included : t -> t -> bool
+(** graph inclusion [G ⊑ G']: snapshots in the paper's sense *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** DOT export: so edges solid red, lhb edges dashed gray *)

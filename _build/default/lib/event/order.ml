@@ -1,0 +1,132 @@
+(* Finite partial-order utilities over integer-identified events.
+
+   Used by the spec checkers: transitive closure of lhb ∪ so, acyclicity,
+   and linear extensions (the paper's [to] total order, Section 3.3). *)
+
+module Iset = Set.Make (Int)
+module Imap = Map.Make (Int)
+
+type rel = { nodes : int list; succs : Iset.t Imap.t }
+
+let succs_of r n = match Imap.find_opt n r.succs with Some s -> s | None -> Iset.empty
+
+let of_pairs ~nodes pairs =
+  let node_set = Iset.of_list nodes in
+  let succs =
+    List.fold_left
+      (fun m (a, b) ->
+        if Iset.mem a node_set && Iset.mem b node_set then
+          Imap.update a
+            (function None -> Some (Iset.singleton b) | Some s -> Some (Iset.add b s))
+            m
+        else m)
+      Imap.empty pairs
+  in
+  { nodes; succs }
+
+let mem r a b = Iset.mem b (succs_of r a)
+let pairs r = Imap.fold (fun a s acc -> Iset.fold (fun b acc -> (a, b) :: acc) s acc) r.succs []
+
+(* Reachability by DFS; [closure] materialises it for repeated queries. *)
+let reaches r a b =
+  let visited = Hashtbl.create 16 in
+  let rec go n =
+    n = b
+    || (not (Hashtbl.mem visited n))
+       && begin
+            Hashtbl.replace visited n ();
+            Iset.exists go (succs_of r n)
+          end
+  in
+  a <> b && Iset.exists go (succs_of r a)
+
+let closure r =
+  let memo : (int, Iset.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec reach n =
+    match Hashtbl.find_opt memo n with
+    | Some s -> s
+    | None ->
+        (* Mark before recursing so cycles terminate (they yield partial
+           sets, which is fine for the acyclic graphs we feed in; [acyclic]
+           is checked separately). *)
+        Hashtbl.replace memo n Iset.empty;
+        let s =
+          Iset.fold
+            (fun m acc -> Iset.union (Iset.add m (reach m)) acc)
+            (succs_of r n) Iset.empty
+        in
+        Hashtbl.replace memo n s;
+        s
+  in
+  List.iter (fun n -> ignore (reach n)) r.nodes;
+  fun a b -> a <> b && Iset.mem b (reach a)
+
+let acyclic r =
+  (* Colours: 0 unvisited, 1 on stack, 2 done. *)
+  let colour = Hashtbl.create 16 in
+  let get n = match Hashtbl.find_opt colour n with Some c -> c | None -> 0 in
+  let rec go n =
+    match get n with
+    | 1 -> false
+    | 2 -> true
+    | _ ->
+        Hashtbl.replace colour n 1;
+        let ok = Iset.for_all go (succs_of r n) in
+        Hashtbl.replace colour n 2;
+        ok
+  in
+  List.for_all go r.nodes
+
+(* One topological sort (Kahn); [None] if cyclic. *)
+let topo_sort r =
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indeg n 0) r.nodes;
+  Imap.iter
+    (fun _ s ->
+      Iset.iter
+        (fun b ->
+          match Hashtbl.find_opt indeg b with
+          | Some d -> Hashtbl.replace indeg b (d + 1)
+          | None -> ())
+        s)
+    r.succs;
+  let ready =
+    List.filter (fun n -> Hashtbl.find indeg n = 0) r.nodes |> ref
+  in
+  let out = ref [] in
+  let count = ref 0 in
+  while !ready <> [] do
+    match !ready with
+    | [] -> ()
+    | n :: rest ->
+        ready := rest;
+        out := n :: !out;
+        incr count;
+        Iset.iter
+          (fun b ->
+            let d = Hashtbl.find indeg b - 1 in
+            Hashtbl.replace indeg b d;
+            if d = 0 then ready := b :: !ready)
+          (succs_of r n)
+  done;
+  if !count = List.length r.nodes then Some (List.rev !out) else None
+
+(* Is [order] (a list, earliest first) a linear extension of [r]? *)
+let is_linear_extension r order =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace pos n i) order;
+  List.length order = List.length r.nodes
+  && List.for_all (fun n -> Hashtbl.mem pos n) r.nodes
+  && Imap.for_all
+       (fun a s ->
+         Iset.for_all
+           (fun b ->
+             match (Hashtbl.find_opt pos a, Hashtbl.find_opt pos b) with
+             | Some i, Some j -> i < j
+             | _ -> false)
+           s)
+       r.succs
+
+(* Restrict a pair list to a node predicate. *)
+let restrict_pairs pairs p =
+  List.filter (fun (a, b) -> p a && p b) pairs

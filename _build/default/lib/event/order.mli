@@ -1,0 +1,28 @@
+(** Finite partial-order utilities over integer-identified events, used by
+    the spec checkers: transitive closure, acyclicity, and linear
+    extensions (the paper's [to] total order, Section 3.3). *)
+
+type rel
+
+val of_pairs : nodes:int list -> (int * int) list -> rel
+(** build a relation; pairs mentioning foreign nodes are dropped *)
+
+val mem : rel -> int -> int -> bool
+val pairs : rel -> (int * int) list
+
+val reaches : rel -> int -> int -> bool
+(** one-off reachability query (DFS) *)
+
+val closure : rel -> int -> int -> bool
+(** materialised transitive closure for repeated queries; irreflexive *)
+
+val acyclic : rel -> bool
+
+val topo_sort : rel -> int list option
+(** one topological sort; [None] if cyclic *)
+
+val is_linear_extension : rel -> int list -> bool
+(** is the list (earliest first) a linear extension covering exactly the
+    relation's nodes? *)
+
+val restrict_pairs : (int * int) list -> (int -> bool) -> (int * int) list

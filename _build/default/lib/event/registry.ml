@@ -1,0 +1,40 @@
+(* The per-execution registry of library objects and their graphs.
+
+   Event ids are allocated here, globally across all objects, so that
+   logical views (id-sets) can mention events of several libraries at once —
+   which is what lets a client combine, say, a stack's and an exchanger's
+   orderings (Section 4). *)
+
+type t = {
+  mutable next_eid : int;
+  mutable next_obj : int;
+  graphs : (int, Graph.t) Hashtbl.t;
+}
+
+let create () = { next_eid = 0; next_obj = 0; graphs = Hashtbl.create 8 }
+
+let new_graph t ~name =
+  let obj = t.next_obj in
+  t.next_obj <- obj + 1;
+  let g = Graph.create ~obj ~name in
+  Hashtbl.replace t.graphs obj g;
+  g
+
+(* Reserve a fresh event id.  Reservation is separate from commit: an
+   operation reserves its id up front (so it can stash it in shared memory,
+   e.g. a queue node's eid field) and the id enters the graph only at the
+   commit instruction — the paper's "fresh e ∉ G" added at the commit
+   point. *)
+let reserve t =
+  let e = t.next_eid in
+  t.next_eid <- e + 1;
+  e
+
+let graph t obj =
+  match Hashtbl.find_opt t.graphs obj with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Registry.graph: no object %d" obj)
+
+let graphs t =
+  Hashtbl.fold (fun _ g acc -> g :: acc) t.graphs []
+  |> List.sort (fun a b -> Int.compare (Graph.obj a) (Graph.obj b))

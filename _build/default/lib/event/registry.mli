@@ -1,0 +1,23 @@
+(** The per-execution registry of library objects and their graphs.
+
+    Event ids are allocated here, globally across objects, so logical
+    views can mention several libraries' events at once — which is what
+    lets a client combine, say, a stack's and an exchanger's orderings
+    (Section 4). *)
+
+type t
+
+val create : unit -> t
+val new_graph : t -> name:string -> Graph.t
+
+val reserve : t -> int
+(** Reserve a fresh event id.  Reservation is separate from commit: an
+    operation reserves up front (so the id can travel through shared
+    memory, e.g. a queue node's eid field) and the id enters the graph
+    only at the commit instruction — the paper's "fresh [e ∉ G] added at
+    the commit point". *)
+
+val graph : t -> int -> Graph.t
+(** @raise Invalid_argument for unknown object ids *)
+
+val graphs : t -> Graph.t list

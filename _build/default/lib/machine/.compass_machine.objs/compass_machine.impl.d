@@ -1,0 +1,1 @@
+lib/machine/compass_machine.ml: Access Commit Explore Machine Oracle Prog Rc11 Trace

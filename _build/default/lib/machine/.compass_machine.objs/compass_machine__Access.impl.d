@@ -1,0 +1,1 @@
+lib/machine/access.ml: Compass_rmc Format Loc Mode Timestamp

@@ -1,0 +1,1 @@
+lib/machine/access.mli: Compass_rmc Format Loc Mode Timestamp

@@ -1,0 +1,1 @@
+lib/machine/commit.ml: Compass_event Compass_rmc Event Lview Value View

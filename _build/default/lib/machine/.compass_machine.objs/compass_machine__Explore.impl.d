@@ -1,0 +1,1 @@
+lib/machine/explore.ml: Array Format List Machine Oracle

@@ -1,0 +1,1 @@
+lib/machine/explore.mli: Format Machine Oracle

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Access Array Commit Compass_event Compass_rmc Event Format Graph History List Loc Lview Memory Mode Msg Option Oracle Prog Registry Timestamp Trace Tview Value View

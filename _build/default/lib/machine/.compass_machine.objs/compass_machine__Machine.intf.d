@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Access Compass_event Compass_rmc Format Graph Loc Memory Oracle Prog Registry Trace Tview Value

@@ -1,0 +1,1 @@
+lib/machine/oracle.ml: Array List Printf Random

@@ -1,0 +1,1 @@
+lib/machine/prog.ml: Commit Compass_rmc Loc Lview Mode Value View

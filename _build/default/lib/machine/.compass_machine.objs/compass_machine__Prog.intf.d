@@ -1,0 +1,1 @@
+lib/machine/prog.mli: Commit Compass_rmc Loc Lview Mode Value View

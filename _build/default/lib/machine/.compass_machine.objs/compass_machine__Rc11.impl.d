@@ -1,0 +1,1 @@
+lib/machine/rc11.ml: Access Array Compass_event Compass_rmc Format Hashtbl List Loc Mode Option Order Printf Timestamp

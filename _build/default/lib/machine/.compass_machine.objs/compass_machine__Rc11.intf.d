@@ -1,0 +1,1 @@
+lib/machine/rc11.mli: Access

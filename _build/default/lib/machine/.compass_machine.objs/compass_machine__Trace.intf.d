@@ -1,0 +1,1 @@
+lib/machine/trace.mli: Format

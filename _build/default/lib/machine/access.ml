@@ -1,0 +1,40 @@
+open Compass_rmc
+
+(* Memory-access events, recorded (when the machine config asks) for the
+   axiomatic differential check: an independent RC11-style checker
+   ({!Rc11}) rebuilds the execution's po/rf/mo/fr/sw/hb relations from
+   these and validates the memory-model axioms — cross-checking the
+   view-based operational semantics against the declarative model it is
+   supposed to implement. *)
+
+type kind = Load | Store | Update
+
+type t =
+  | Access of {
+      aid : int;  (** position in recording order; unique *)
+      tid : int;
+      loc : Loc.t;
+      kind : kind;
+      mode : Mode.access;
+      read_ts : Timestamp.t option;  (** the message read (loads, updates) *)
+      write_ts : Timestamp.t option;  (** the message written *)
+    }
+  | Fence of { aid : int; tid : int; fence : Mode.fence }
+
+let aid = function Access a -> a.aid | Fence f -> f.aid
+let tid = function Access a -> a.tid | Fence f -> f.tid
+
+let pp ppf = function
+  | Access a ->
+      Format.fprintf ppf "%d:T%d %s_%a %a%a%a" a.aid a.tid
+        (match a.kind with Load -> "R" | Store -> "W" | Update -> "U")
+        Mode.pp_access a.mode Loc.pp a.loc
+        (fun ppf -> function
+          | Some ts -> Format.fprintf ppf " r@%a" Timestamp.pp ts
+          | None -> ())
+        a.read_ts
+        (fun ppf -> function
+          | Some ts -> Format.fprintf ppf " w@%a" Timestamp.pp ts
+          | None -> ())
+        a.write_ts
+  | Fence f -> Format.fprintf ppf "%d:T%d %a" f.aid f.tid Mode.pp_fence f.fence

@@ -1,0 +1,23 @@
+open Compass_rmc
+
+(** Memory-access events recorded for the axiomatic differential check
+    ({!Rc11}): the machine logs one entry per instruction when the config
+    asks for it. *)
+
+type kind = Load | Store | Update
+
+type t =
+  | Access of {
+      aid : int;  (** position in recording order; unique *)
+      tid : int;
+      loc : Loc.t;
+      kind : kind;
+      mode : Mode.access;
+      read_ts : Timestamp.t option;  (** the message read (loads, updates) *)
+      write_ts : Timestamp.t option;  (** the message written *)
+    }
+  | Fence of { aid : int; tid : int; fence : Mode.fence }
+
+val aid : t -> int
+val tid : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+open Compass_rmc
+open Compass_event
+
+(* Commit annotations.
+
+   A memory operation annotated with a commit function is a (potential)
+   commit point: when the machine executes the operation, it applies the
+   function to the operation's result; the returned specs are performed in
+   the *same atomic step* — events enter their graphs, so edges are added,
+   the committing thread observes the new events, and the message written by
+   the operation (if any) is patched to carry them.  This realises the
+   paper's logically-atomic commit: the abstract update is fused with one
+   physical instruction.
+
+   A commit may target several graphs at once (the elimination stack adds
+   events to its own graph at the base stack's / exchanger's commits —
+   Section 4.1), and may commit several events in one step (the exchanger's
+   helper committing helpee-then-helper — Section 4.2). *)
+
+type ev_spec = {
+  eid : int;  (** a previously {!Compass_event.Registry.reserve}d id *)
+  typ : Event.typ;
+  view : View.t option;
+      (** physical view of the event; [None] = committing thread's current
+          view.  Overridden for helped events, whose view is the helpee's. *)
+  lview : Lview.t option;
+      (** logical view; [None] = committing thread's current logical view
+          plus the event itself. *)
+  absorb : bool;
+      (** add the event to the committing thread's logical view and to the
+          logical view of the message this step wrote (so later readers of
+          the commit write observe the event). *)
+  tid : int option;
+      (** the thread the event belongs to; [None] = the committing thread.
+          Overridden for helped events, whose operation runs on the helpee's
+          thread (Section 4.2). *)
+}
+
+type spec = { obj : int; events : ev_spec list; so : (int * int) list }
+
+(* The operation result a commit function inspects: the value read (loads,
+   RMWs) or written (stores), and whether an RMW succeeded. *)
+type op_result = { value : Value.t; success : bool }
+
+type fn = op_result -> spec list
+
+let ev ?view ?lview ?(absorb = true) ?tid eid typ =
+  { eid; typ; view; lview; absorb; tid }
+
+(* Post-compose a commit function with extra specs derived from the base
+   ones — how the elimination stack grafts its own events onto the base
+   stack's and exchanger's commit points without new atomic instructions
+   (Section 4.1). *)
+let compose (f : fn) (extra : spec list -> spec list) : fn =
+ fun r ->
+  let base = f r in
+  base @ extra base
+let spec ?(so = []) ~obj events = { obj; events; so }
+
+(* Common cases. *)
+
+(* Commit a single event unconditionally. *)
+let always ~obj ?(so = fun (_ : op_result) -> []) mk : fn =
+ fun r -> [ spec ~obj [ ev (fst (mk r)) (snd (mk r)) ] ~so:(so r) ]
+
+(* Commit only when an RMW succeeded. *)
+let on_success ~obj ?(so = fun (_ : op_result) -> []) mk : fn =
+ fun r -> if r.success then [ spec ~obj [ ev (fst (mk r)) (snd (mk r)) ] ~so:(so r) ] else []

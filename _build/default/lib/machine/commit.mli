@@ -1,0 +1,75 @@
+open Compass_rmc
+open Compass_event
+
+(** Commit annotations: logically atomic commit points, operationally.
+
+    A memory operation annotated with a commit function is a (potential)
+    commit point: the machine applies the function to the operation's
+    result and performs the returned specs in the {e same atomic step} —
+    events enter their graphs, so edges are added, the committing thread
+    observes the new events, and the message written by the operation (if
+    any) is patched to carry them.  This fuses the abstract update with
+    one physical instruction, which is what the paper's logically atomic
+    triples assert.
+
+    A commit may target several graphs at once (the elimination stack
+    grafts its events onto the base stack's and exchanger's commits —
+    Section 4.1) and may commit several events in one step (the
+    exchanger's helper committing helpee-then-helper — Section 4.2). *)
+
+type ev_spec = {
+  eid : int;  (** a previously {!Compass_event.Registry.reserve}d id *)
+  typ : Event.typ;
+  view : View.t option;
+      (** physical view override; [None] = the committing thread's current
+          view.  Used for helped events, whose view is the helpee's. *)
+  lview : Lview.t option;
+      (** logical view override; [None] = the committing thread's current
+          logical view plus the event itself *)
+  absorb : bool;
+      (** add the event to the committing thread's logical view and to the
+          logical view of the message this step wrote *)
+  tid : int option;
+      (** owning thread override; [None] = the committing thread.  Used
+          for helped events (the helpee's operation runs elsewhere). *)
+}
+
+type spec = { obj : int; events : ev_spec list; so : (int * int) list }
+
+type op_result = { value : Value.t; success : bool }
+(** what the commit function inspects: the value read (loads, RMWs) or
+    written (stores), and whether an RMW succeeded *)
+
+type fn = op_result -> spec list
+(** the empty list means "no commit at this instruction" (e.g. a failed
+    CAS, or a non-null read on an empty-case commit point) *)
+
+val ev :
+  ?view:View.t ->
+  ?lview:Lview.t ->
+  ?absorb:bool ->
+  ?tid:int ->
+  int ->
+  Event.typ ->
+  ev_spec
+(** [absorb] defaults to [true] *)
+
+val spec : ?so:(int * int) list -> obj:int -> ev_spec list -> spec
+
+val always :
+  obj:int ->
+  ?so:(op_result -> (int * int) list) ->
+  (op_result -> int * Event.typ) ->
+  fn
+(** commit a single event unconditionally *)
+
+val on_success :
+  obj:int ->
+  ?so:(op_result -> (int * int) list) ->
+  (op_result -> int * Event.typ) ->
+  fn
+(** commit only when the RMW succeeded *)
+
+val compose : fn -> (spec list -> spec list) -> fn
+(** [compose f extra] post-composes [f] with extra specs derived from its
+    output — the elimination stack's grafting hook *)

@@ -1,0 +1,14 @@
+(** The execution machine: a program DSL over the ORC11 substrate
+    ({!Prog}), commit annotations realising logically-atomic commit points
+    ({!Commit}), the interleaving interpreter ({!Machine}), decision oracles
+    ({!Oracle}), traces ({!Trace}), and the stateless model-checking drivers
+    ({!Explore}). *)
+
+module Prog = Prog
+module Commit = Commit
+module Oracle = Oracle
+module Trace = Trace
+module Access = Access
+module Rc11 = Rc11
+module Machine = Machine
+module Explore = Explore

@@ -1,0 +1,151 @@
+(* Exploration drivers: stateless model checking.
+
+   Executions are replayed from decision scripts (arrays of oracle
+   choices).  The DFS driver enumerates the decision tree exhaustively:
+   after each run it inspects the logged (arity, choice) pairs, finds the
+   deepest position with an untried alternative, and restarts with the
+   bumped prefix.  The random driver samples seeded executions.  Where the
+   paper *proves* a property of all executions, we *enumerate* them (up to
+   the configured bounds) and check it on each. *)
+
+type verdict =
+  | Pass
+  | Violation of string
+  | Discard of string
+      (** blocked / bounded / irrelevant execution: not counted as pass or
+          fail (e.g. a spin loop ran out of fuel) *)
+
+(* A scenario builds its memory, graphs, and threads on a fresh machine and
+   returns the judge that decides the verdict of the finished execution.
+   [build] runs once per execution; shared statistics live in closures
+   created before the scenario. *)
+type scenario = {
+  name : string;
+  build : Machine.t -> (Machine.outcome -> verdict);
+}
+
+type failure = { message : string; script : int array }
+
+type report = {
+  name : string;
+  executions : int;
+  passed : int;
+  discarded : int;
+  bounded : int;
+  blocked : int;
+  violations : failure list;  (** first few, oldest first *)
+  complete : bool;  (** DFS exhausted the tree within the budget *)
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d executions (%s)@ passed %d, discarded %d (blocked %d, bounded %d), violations %d%a@]"
+    r.name r.executions
+    (if r.complete then "exhaustive" else "budget-limited")
+    r.passed r.discarded r.blocked r.bounded (List.length r.violations)
+    (fun ppf vs ->
+      List.iteri
+        (fun i (f : failure) ->
+          if i < 3 then Format.fprintf ppf "@   - %s" f.message)
+        vs)
+    r.violations
+
+let ok r = r.violations = []
+
+let run_one ~config scenario script =
+  let m = Machine.create ~config () in
+  let judge = scenario.build m in
+  let oracle = Oracle.script script in
+  let outcome = Machine.run m oracle in
+  let verdict = judge outcome in
+  (m, oracle, outcome, verdict)
+
+(* Re-run one script with tracing on, for counterexample display. *)
+let replay ~config scenario script =
+  let config = { config with Machine.record_trace = true } in
+  let m, _, outcome, verdict = run_one ~config scenario script in
+  (m, outcome, verdict)
+
+type stats = {
+  mutable execs : int;
+  mutable passed : int;
+  mutable discarded : int;
+  mutable bounded : int;
+  mutable blocked : int;
+  mutable violations : failure list;  (** newest first *)
+}
+
+let fresh_stats () =
+  { execs = 0; passed = 0; discarded = 0; bounded = 0; blocked = 0; violations = [] }
+
+let account st (outcome : Machine.outcome) verdict script =
+  st.execs <- st.execs + 1;
+  (match outcome with
+  | Machine.Bounded -> st.bounded <- st.bounded + 1
+  | Machine.Blocked _ -> st.blocked <- st.blocked + 1
+  | _ -> ());
+  match verdict with
+  | Pass -> st.passed <- st.passed + 1
+  | Discard _ -> st.discarded <- st.discarded + 1
+  | Violation message ->
+      if List.length st.violations < 16 then
+        st.violations <- { message; script } :: st.violations
+
+let to_report ~name ~complete st =
+  {
+    name;
+    executions = st.execs;
+    passed = st.passed;
+    discarded = st.discarded;
+    bounded = st.bounded;
+    blocked = st.blocked;
+    violations = List.rev st.violations;
+    complete;
+  }
+
+(* Exhaustive DFS over the decision tree, up to [max_execs] executions. *)
+let dfs ?(max_execs = 100_000) ?(config = Machine.default_config) scenario =
+  let st = fresh_stats () in
+  let script = ref [||] in
+  let exhausted = ref false in
+  (try
+     while (not !exhausted) && st.execs < max_execs do
+       let _, oracle, outcome, verdict = run_one ~config scenario !script in
+       let ds = Array.of_list (Oracle.decisions oracle) in
+       account st outcome verdict ds;
+       let ars = Array.of_list (Oracle.arities oracle) in
+       (* Deepest decision with an untried alternative. *)
+       let rec find i =
+         if i < 0 then None
+         else if ds.(i) + 1 < ars.(i) then Some i
+         else find (i - 1)
+       in
+       match find (Array.length ds - 1) with
+       | None -> exhausted := true
+       | Some i ->
+           script := Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |]
+     done
+   with e ->
+     raise e);
+  to_report ~name:scenario.name ~complete:!exhausted st
+
+(* Random sampling: [execs] seeded executions. *)
+let random ?(execs = 1_000) ?(seed = 0) ?(config = Machine.default_config)
+    scenario =
+  let st = fresh_stats () in
+  for i = 0 to execs - 1 do
+    let m = Machine.create ~config () in
+    let judge = scenario.build m in
+    let oracle = Oracle.random ~seed:(seed + i) in
+    let outcome = Machine.run m oracle in
+    let verdict = judge outcome in
+    account st outcome verdict (Array.of_list (Oracle.decisions oracle))
+  done;
+  to_report ~name:scenario.name ~complete:false st
+
+type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
+
+let run ?(config = Machine.default_config) ~mode scenario =
+  match mode with
+  | Dfs { max_execs } -> dfs ~max_execs ~config scenario
+  | Random { execs; seed } -> random ~execs ~seed ~config scenario

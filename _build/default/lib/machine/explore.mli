@@ -1,0 +1,62 @@
+(** Exploration drivers: stateless model checking.
+
+    Executions replay from decision scripts.  The DFS driver enumerates
+    the decision tree exhaustively: after each run it takes the logged
+    (arity, choice) pairs, finds the deepest position with an untried
+    alternative, and restarts with the bumped prefix.  The random driver
+    samples seeded executions.  Where the paper {e proves} a property of
+    all executions, we {e enumerate} them (up to the configured bounds)
+    and check it on each. *)
+
+type verdict =
+  | Pass
+  | Violation of string
+  | Discard of string
+      (** blocked / bounded / irrelevant execution — counted separately *)
+
+type scenario = {
+  name : string;
+  build : Machine.t -> (Machine.outcome -> verdict);
+      (** runs once per execution on a fresh machine: allocate, spawn
+          threads, return the judge.  Shared statistics live in closures
+          created before the scenario. *)
+}
+
+type failure = { message : string; script : int array }
+
+type report = {
+  name : string;
+  executions : int;
+  passed : int;
+  discarded : int;
+  bounded : int;
+  blocked : int;
+  violations : failure list;  (** first few, oldest first *)
+  complete : bool;  (** DFS exhausted the tree within the budget *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val ok : report -> bool
+(** no violations *)
+
+val run_one :
+  config:Machine.config ->
+  scenario ->
+  int array ->
+  Machine.t * Oracle.t * Machine.outcome * verdict
+(** one execution from a decision script (exposed for replay tooling) *)
+
+val replay :
+  config:Machine.config ->
+  scenario ->
+  int array ->
+  Machine.t * Machine.outcome * verdict
+(** re-run one script with tracing on, for counterexample display *)
+
+val dfs : ?max_execs:int -> ?config:Machine.config -> scenario -> report
+val random : ?execs:int -> ?seed:int -> ?config:Machine.config -> scenario -> report
+
+type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
+
+val run : ?config:Machine.config -> mode:mode -> scenario -> report

@@ -1,0 +1,486 @@
+open Compass_rmc
+open Compass_event
+
+(* The interleaving machine.
+
+   One machine instance executes one scenario once: a solo setup phase
+   (allocation and initialisation, deterministic), a concurrent phase
+   (threads interleaved step by step, all nondeterminism resolved by an
+   oracle), and an optional finale (runs after all threads have returned,
+   with the join of their views — the parent thread after joining its
+   children).
+
+   Because ORC11 forbids load-buffering (po ∪ rf acyclic), an interleaving-
+   based operational semantics with stale-read choices is adequate: the
+   weak behaviours come from reading old messages and from view-limited
+   message views, never from cycles in po ∪ rf. *)
+
+type config = {
+  max_steps : int;  (** per concurrent phase; exceeding yields [Bounded] *)
+  policy : Memory.policy;
+  record_trace : bool;
+  record_accesses : bool;
+      (** record memory accesses for the axiomatic differential check
+          ({!Rc11}) *)
+}
+
+let default_config =
+  {
+    max_steps = 10_000;
+    policy = `Append;
+    record_trace = false;
+    record_accesses = false;
+  }
+
+type thread = {
+  tid : int;
+  mutable prog : Value.t Prog.t;
+  mutable tv : Tview.t;
+  mutable finished : Value.t option;
+}
+
+type outcome =
+  | Finished of Value.t array  (** all threads returned; their results *)
+  | Fault of string  (** data race, uninitialised read, or program error *)
+  | Blocked of string  (** deadlock on [await], or a spin loop out of fuel *)
+  | Bounded  (** step budget exhausted *)
+
+let pp_outcome ppf = function
+  | Finished vs ->
+      Format.fprintf ppf "finished(%a)"
+        (Format.pp_print_seq
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Value.pp)
+        (Array.to_seq vs)
+  | Fault s -> Format.fprintf ppf "fault: %s" s
+  | Blocked s -> Format.fprintf ppf "blocked: %s" s
+  | Bounded -> Format.pp_print_string ppf "bounded"
+
+type t = {
+  config : config;
+  mem : Memory.t;
+  reg : Registry.t;
+  mutable setup_tv : Tview.t;
+  mutable threads : thread array;
+  mutable step : int;
+  mutable trace : Trace.entry list;  (** newest first *)
+  mutable sc_view : View.t;
+      (** global SC-fence view: SC fences join with it both ways, which
+          totally orders them — the standard operational account of C11 SC
+          fences (e.g. in the promising semantics) *)
+  mutable sc_lview : Lview.t;
+  mutable accesses : Access.t list;  (** newest first; see [record_accesses] *)
+  mutable next_aid : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    mem = Memory.create ~policy:config.policy ();
+    reg = Registry.create ();
+    setup_tv = Tview.init;
+    threads = [||];
+    step = 0;
+    trace = [];
+    sc_view = View.bot;
+    sc_lview = Lview.empty;
+    accesses = [];
+    next_aid = 0;
+  }
+
+let registry m = m.reg
+let memory m = m.mem
+let trace m = List.rev m.trace
+let steps m = m.step
+let new_graph m ~name = Registry.new_graph m.reg ~name
+
+let record m ~tid descr =
+  if m.config.record_trace then
+    m.trace <- { Trace.step = m.step; tid; descr = descr () } :: m.trace
+
+let accesses m = List.rev m.accesses
+
+let record_access m ~tid ~loc ~kind ~mode ~read_ts ~write_ts =
+  if m.config.record_accesses then begin
+    let aid = m.next_aid in
+    m.next_aid <- aid + 1;
+    m.accesses <-
+      Access.Access { aid; tid; loc; kind; mode; read_ts; write_ts }
+      :: m.accesses
+  end
+
+let record_fence m ~tid fence =
+  if m.config.record_accesses then begin
+    let aid = m.next_aid in
+    m.next_aid <- aid + 1;
+    m.accesses <- Access.Fence { aid; tid; fence } :: m.accesses
+  end
+
+(* Choices with a single alternative consume no oracle decision: this keeps
+   DFS decision scripts short. *)
+let choose oracle ~arity = if arity = 1 then 0 else Oracle.choose oracle ~arity
+
+(* -- commits ---------------------------------------------------------------- *)
+
+(* Perform the commit specs produced by an operation's commit function, in
+   the same atomic step as the operation.  [written] is the message the
+   operation wrote, if any; absorbed events are patched into its logical
+   view so that future readers of the commit write observe them. *)
+let run_commits m (th : thread) ~(written : Msg.t ref option)
+    (specs : Commit.spec list) =
+  let sub = ref 0 in
+  List.iter
+    (fun (spec : Commit.spec) ->
+      let g = Registry.graph m.reg spec.obj in
+      List.iter
+        (fun (es : Commit.ev_spec) ->
+          let view = match es.view with Some v -> v | None -> th.tv.Tview.cur in
+          let logview =
+            match es.lview with
+            | Some lv -> Lview.add es.eid lv
+            | None -> Lview.add es.eid th.tv.Tview.cur_l
+          in
+          let data =
+            {
+              Event.id = es.eid;
+              obj = spec.obj;
+              typ = es.typ;
+              tid = Option.value es.tid ~default:th.tid;
+              view;
+              logview;
+              cix = (m.step, !sub);
+            }
+          in
+          incr sub;
+          Graph.commit g data;
+          record m ~tid:th.tid (fun () ->
+              Format.asprintf "commit %a to %s" Event.pp data (Graph.name g));
+          if es.absorb then begin
+            th.tv <- Tview.observe_event th.tv es.eid;
+            match written with
+            | Some msg ->
+                msg := { !msg with Msg.lview = Lview.add es.eid !msg.Msg.lview }
+            | None -> ()
+          end)
+        spec.events;
+      List.iter (fun (a, b) -> Graph.add_so g ~from:a ~into:b) spec.so)
+    specs
+
+(* -- operation semantics ----------------------------------------------------- *)
+
+let mk_res ?(success = true) ~value ~view ~lview () =
+  { Prog.value; view; lview; success }
+
+(* Execute the write half of a store/RMW: pick a timestamp, compute the
+   message views, insert the message.  Returns the inserted message ref and
+   the per-message result. *)
+let do_write m (th : thread) oracle ~l ~value ~mode ?rmw_read () =
+  let above = View.get th.tv.Tview.cur l in
+  let ts =
+    match rmw_read with
+    | Some (msg : Msg.t) ->
+        (* RMW atomicity: the new write is immediately mo-after the read. *)
+        let next = Memory.max_ts m.mem l + 1 in
+        assert (msg.Msg.ts = Memory.max_ts m.mem l);
+        next
+    | None ->
+        if mode = Mode.Na then begin
+          ignore (Memory.na_check m.mem l ~tv:th.tv ~tid:th.tid ~kind:"na-write");
+          Memory.max_ts m.mem l + 1
+        end
+        else begin
+          let choices = Memory.write_ts_choices m.mem l ~above in
+          List.nth choices (choose oracle ~arity:(List.length choices))
+        end
+  in
+  let tv', view, lview = Tview.write th.tv ~l ~ts ~mode ?rmw_read () in
+  th.tv <- tv';
+  let msg = Msg.make ~loc:l ~ts ~value ~view ~lview ~wtid:th.tid in
+  Memory.add_msg m.mem msg;
+  (* Fetch the ref just inserted so commits can patch it. *)
+  let mref = Option.get (History.find_opt (Memory.hist m.mem l) ts) in
+  mref
+
+(* Read choice for an atomic load. *)
+let pick_read m (th : thread) oracle l =
+  let from = View.get th.tv.Tview.cur l in
+  let choices = Memory.read_choices m.mem l ~from in
+  assert (choices <> []);
+  List.nth choices (choose oracle ~arity:(List.length choices))
+
+(* Execute one operation of thread [th].  Returns the continuation's next
+   program.  Raises [Memory.Error] on races and whatever the program raises
+   on logic errors. *)
+let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.t)
+    : Value.t Prog.t =
+  match op with
+  | Prog.Load (l, mode, commit) ->
+      let mref =
+        if mode = Mode.Na then Memory.na_read m.mem l ~tv:th.tv ~tid:th.tid
+        else pick_read m th oracle l
+      in
+      let msg = !mref in
+      th.tv <- Tview.read th.tv msg mode;
+      record m ~tid:th.tid (fun () ->
+          Format.asprintf "load_%a %a -> %a" Mode.pp_access mode Loc.pp l
+            Value.pp msg.Msg.value);
+      record_access m ~tid:th.tid ~loc:l ~kind:Access.Load ~mode
+        ~read_ts:(Some msg.Msg.ts) ~write_ts:None;
+      let res =
+        mk_res ~value:msg.Msg.value ~view:msg.Msg.view ~lview:msg.Msg.lview ()
+      in
+      (match commit with
+      | Some f -> run_commits m th ~written:None (f { value = msg.Msg.value; success = true })
+      | None -> ());
+      k res
+  | Prog.Await (l, mode, pred, commit) ->
+      let from = View.get th.tv.Tview.cur l in
+      let sat =
+        Memory.read_choices m.mem l ~from
+        |> List.filter (fun mref -> pred !mref.Msg.value)
+      in
+      (* The scheduler only runs an await when it is enabled. *)
+      assert (sat <> []);
+      let mref = List.nth sat (choose oracle ~arity:(List.length sat)) in
+      let msg = !mref in
+      th.tv <- Tview.read th.tv msg mode;
+      record m ~tid:th.tid (fun () ->
+          Format.asprintf "await_%a %a -> %a" Mode.pp_access mode Loc.pp l
+            Value.pp msg.Msg.value);
+      record_access m ~tid:th.tid ~loc:l ~kind:Access.Load ~mode
+        ~read_ts:(Some msg.Msg.ts) ~write_ts:None;
+      let res =
+        mk_res ~value:msg.Msg.value ~view:msg.Msg.view ~lview:msg.Msg.lview ()
+      in
+      (match commit with
+      | Some f -> run_commits m th ~written:None (f { value = msg.Msg.value; success = true })
+      | None -> ());
+      k res
+  | Prog.Store (l, v, mode, commit) ->
+      let mref = do_write m th oracle ~l ~value:v ~mode () in
+      record m ~tid:th.tid (fun () ->
+          Format.asprintf "store_%a %a := %a" Mode.pp_access mode Loc.pp l
+            Value.pp v);
+      record_access m ~tid:th.tid ~loc:l ~kind:Access.Store ~mode ~read_ts:None
+        ~write_ts:(Some !mref.Msg.ts);
+      (match commit with
+      | Some f -> run_commits m th ~written:(Some mref) (f { value = v; success = true })
+      | None -> ());
+      k (mk_res ~value:v ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ())
+  | Prog.Rmw (l, kind, mode, commit) ->
+      (* Read-mode / write-mode split of the RMW access mode. *)
+      let rmode =
+        match mode with
+        | Mode.AcqRel | Mode.Acq -> Mode.Acq
+        | Mode.Rel | Mode.Rlx -> Mode.Rlx
+        | Mode.Na -> invalid_arg "RMW cannot be non-atomic"
+      in
+      let wmode =
+        match mode with
+        | Mode.AcqRel | Mode.Rel -> Mode.Rel
+        | Mode.Acq | Mode.Rlx -> Mode.Rlx
+        | Mode.Na -> assert false
+      in
+      let from = View.get th.tv.Tview.cur l in
+      let latest_ts = Memory.max_ts m.mem l in
+      let readable = Memory.read_choices m.mem l ~from in
+      let candidates =
+        match kind with
+        | Prog.Cas (expected, _) ->
+            (* A strong CAS must succeed whenever it reads [expected]; a
+               successful RMW must read the mo-maximal message.  Hence: the
+               latest message is always a candidate; an older message is a
+               candidate (a genuine failure) only if its value differs. *)
+            List.filter
+              (fun mref ->
+                !mref.Msg.ts = latest_ts
+                || not (Value.equal !mref.Msg.value expected))
+              readable
+        | Prog.Faa _ | Prog.Xchg _ ->
+            (* Unconditional RMWs always succeed: only the latest. *)
+            List.filter (fun mref -> !mref.Msg.ts = latest_ts) readable
+      in
+      assert (candidates <> []);
+      let mref = List.nth candidates (choose oracle ~arity:(List.length candidates)) in
+      let msg = !mref in
+      let success, new_value =
+        match kind with
+        | Prog.Cas (expected, desired) ->
+            if msg.Msg.ts = latest_ts && Value.equal msg.Msg.value expected then
+              (true, Some desired)
+            else (false, None)
+        | Prog.Faa d -> (true, Some (Value.Int (Value.to_int_exn msg.Msg.value + d)))
+        | Prog.Xchg v -> (true, Some v)
+      in
+      th.tv <- Tview.read th.tv msg rmode;
+      let written =
+        match new_value with
+        | Some v -> Some (do_write m th oracle ~l ~value:v ~mode:wmode ~rmw_read:msg ())
+        | None -> None
+      in
+      record m ~tid:th.tid (fun () ->
+          Format.asprintf "rmw_%a %a: read %a%s" Mode.pp_access mode Loc.pp l
+            Value.pp msg.Msg.value
+            (match new_value with
+            | Some v -> Format.asprintf ", wrote %a" Value.pp v
+            | None -> " (failed)"));
+      (match written with
+      | Some w ->
+          record_access m ~tid:th.tid ~loc:l ~kind:Access.Update ~mode
+            ~read_ts:(Some msg.Msg.ts) ~write_ts:(Some !w.Msg.ts)
+      | None ->
+          (* A failed CAS is just a read with the read-part mode. *)
+          record_access m ~tid:th.tid ~loc:l ~kind:Access.Load ~mode:rmode
+            ~read_ts:(Some msg.Msg.ts) ~write_ts:None);
+      (match commit with
+      | Some f -> run_commits m th ~written (f { value = msg.Msg.value; success })
+      | None -> ());
+      k (mk_res ~success ~value:msg.Msg.value ~view:msg.Msg.view ~lview:msg.Msg.lview ())
+  | Prog.Fence f ->
+      th.tv <- Tview.fence th.tv f;
+      (if f = Mode.F_sc then begin
+         (* Join with the global SC view both ways: the interleaving order
+            of SC fences becomes their total (sc) order. *)
+         let tv = th.tv in
+         let cur = View.join tv.Tview.cur m.sc_view in
+         let cur_l = Lview.join tv.Tview.cur_l m.sc_lview in
+         m.sc_view <- cur;
+         m.sc_lview <- cur_l;
+         th.tv <-
+           {
+             Tview.cur;
+             acq = View.join tv.Tview.acq cur;
+             rel = cur;
+             cur_l;
+             acq_l = Lview.join tv.Tview.acq_l cur_l;
+             rel_l = cur_l;
+           }
+       end);
+      record m ~tid:th.tid (fun () -> Format.asprintf "%a" Mode.pp_fence f);
+      record_fence m ~tid:th.tid f;
+      k (mk_res ~value:Value.Unit ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ())
+  | Prog.Alloc { name; size; init } ->
+      let loc = Memory.alloc m.mem ~name ~size ~init_value:init in
+      (* The allocating thread observes the initialisation writes. *)
+      let tv = ref th.tv in
+      for off = 0 to size - 1 do
+        let cell = Loc.shift loc off in
+        tv :=
+          {
+            !tv with
+            Tview.cur = View.extend !tv.Tview.cur cell Timestamp.init;
+            acq = View.extend !tv.Tview.acq cell Timestamp.init;
+          };
+        (* The initialisation writes, so reads-from-init has a source. *)
+        record_access m ~tid:th.tid ~loc:cell ~kind:Access.Store ~mode:Mode.Na
+          ~read_ts:None ~write_ts:(Some Timestamp.init)
+      done;
+      th.tv <- !tv;
+      record m ~tid:th.tid (fun () ->
+          Format.asprintf "alloc %s[%d] = %a" name size Loc.pp loc);
+      k (mk_res ~value:(Value.Ptr loc) ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ())
+  | Prog.Yield ->
+      record m ~tid:th.tid (fun () -> "yield");
+      k (mk_res ~value:Value.Unit ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ())
+  | Prog.Tid ->
+      k (mk_res ~value:(Value.Int th.tid) ~view:th.tv.Tview.cur
+           ~lview:th.tv.Tview.cur_l ())
+
+(* Resolve non-step constructors: [Reserve] consumes no machine step (ids
+   commute with everything), and [Ret] finishes the thread. *)
+let rec settle m (th : thread) =
+  match th.prog with
+  | Prog.Reserve k ->
+      th.prog <- k (Registry.reserve m.reg);
+      settle m th
+  | Prog.Ret v -> if th.finished = None then th.finished <- Some v
+  | Prog.Op _ -> ()
+
+(* Is the thread's next operation enabled? *)
+let enabled m (th : thread) =
+  match th.prog with
+  | Prog.Op (Prog.Await (l, _, pred, _), _) ->
+      let from = View.get th.tv.Tview.cur l in
+      Memory.read_choices m.mem l ~from
+      |> List.exists (fun mref -> pred !mref.Msg.value)
+  | _ -> true
+
+let step_thread m (th : thread) oracle =
+  match th.prog with
+  | Prog.Op (op, k) ->
+      m.step <- m.step + 1;
+      th.prog <- exec_op m th oracle op k;
+      settle m th
+  | Prog.Ret _ | Prog.Reserve _ -> assert false
+
+(* -- phases ------------------------------------------------------------------ *)
+
+(* Run [prog] to completion deterministically on a fresh pseudo-thread that
+   shares the setup view.  Used for setup (before [spawn]) and finale
+   (after [run]). *)
+let solo ?(tid = -1) m prog =
+  let th = { tid; prog; tv = m.setup_tv; finished = None } in
+  let oracle = Oracle.fresh_latest () in
+  settle m th;
+  let fuel = ref 1_000_000 in
+  while th.finished = None do
+    decr fuel;
+    if !fuel <= 0 then failwith "Machine.solo: divergence";
+    if not (enabled m th) then failwith "Machine.solo: blocked await";
+    step_thread m th oracle
+  done;
+  m.setup_tv <- th.tv;
+  Option.get th.finished
+
+(* Convenience: allocate during setup. *)
+let alloc m ?init ~name size =
+  solo m (Prog.map (Prog.alloc ?init ~name size) (fun l -> Value.Ptr l))
+  |> Value.to_loc_exn
+
+let spawn m progs =
+  m.threads <-
+    Array.of_list
+      (List.mapi
+         (fun i prog -> { tid = i; prog; tv = m.setup_tv; finished = None })
+         progs)
+
+let thread_view m tid = m.threads.(tid).tv
+
+(* Interleave the spawned threads until they all finish (or fault / block /
+   exhaust the budget). *)
+let run m oracle =
+  let n = Array.length m.threads in
+  if n = 0 then invalid_arg "Machine.run: no threads (call spawn)";
+  let deadline = m.step + m.config.max_steps in
+  let rec loop () =
+    Array.iter (fun th -> settle m th) m.threads;
+    let runnable =
+      Array.to_list m.threads
+      |> List.filter (fun th -> th.finished = None && enabled m th)
+    in
+    let unfinished = Array.exists (fun th -> th.finished = None) m.threads in
+    if not unfinished then
+      Finished (Array.map (fun th -> Option.get th.finished) m.threads)
+    else if runnable = [] then Blocked "deadlock: all unfinished threads await"
+    else if m.step >= deadline then Bounded
+    else begin
+      let th =
+        List.nth runnable (choose oracle ~arity:(List.length runnable))
+      in
+      step_thread m th oracle;
+      loop ()
+    end
+  in
+  try loop () with
+  | Memory.Error e -> Fault (Format.asprintf "%a" Memory.pp_error e)
+  | Prog.Out_of_fuel what -> Blocked ("out of fuel: " ^ what)
+  | Invalid_argument s | Failure s -> Fault ("program error: " ^ s)
+
+(* Join all thread views into the setup view (the parent joining children),
+   so a finale prog can read results without racing. *)
+let join_views m =
+  Array.iter (fun th -> m.setup_tv <- Tview.join m.setup_tv th.tv) m.threads
+
+let finale m prog =
+  join_views m;
+  solo m prog

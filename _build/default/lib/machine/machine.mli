@@ -1,0 +1,80 @@
+open Compass_rmc
+open Compass_event
+
+(** The interleaving machine.
+
+    One machine instance executes one scenario once: a deterministic solo
+    setup phase (allocation, initialisation), a concurrent phase (threads
+    interleaved step by step, nondeterminism resolved by an oracle), and
+    an optional finale running with the join of all thread views (the
+    parent after joining its children).
+
+    Because ORC11 forbids load-buffering ([po ∪ rf] acyclic — the model's
+    defining restriction, Section 1.2), an interleaving-based operational
+    semantics with stale-read choices is adequate: weak behaviours come
+    from reading old messages and from view-limited message views, never
+    from cycles in [po ∪ rf]. *)
+
+type config = {
+  max_steps : int;  (** per concurrent phase; exceeding yields [Bounded] *)
+  policy : Memory.policy;
+  record_trace : bool;
+  record_accesses : bool;
+      (** record memory accesses for the axiomatic differential check
+          ({!Rc11}) *)
+}
+
+val default_config : config
+
+type thread = {
+  tid : int;
+  mutable prog : Value.t Prog.t;
+  mutable tv : Tview.t;
+  mutable finished : Value.t option;
+}
+
+type outcome =
+  | Finished of Value.t array  (** all threads returned; their results *)
+  | Fault of string  (** data race, uninitialised read, or program error *)
+  | Blocked of string  (** deadlock on [await], or a spin loop out of fuel *)
+  | Bounded  (** step budget exhausted *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type t
+
+val create : ?config:config -> unit -> t
+val registry : t -> Registry.t
+val memory : t -> Memory.t
+val trace : t -> Trace.entry list
+
+val accesses : t -> Access.t list
+(** recorded memory accesses (oldest first), when [record_accesses] is on *)
+
+val steps : t -> int
+val new_graph : t -> name:string -> Graph.t
+
+val solo : ?tid:int -> t -> Value.t Prog.t -> Value.t
+(** run a program to completion deterministically on a pseudo-thread
+    sharing the setup view; for setup (before {!spawn}) and finale (after
+    {!run}).
+    @raise Failure on divergence or a blocked await *)
+
+val alloc : t -> ?init:Value.t -> name:string -> int -> Loc.t
+(** convenience: allocate during setup *)
+
+val spawn : t -> Value.t Prog.t list -> unit
+(** install the concurrent threads, each starting from the setup view *)
+
+val thread_view : t -> int -> Tview.t
+
+val run : t -> Oracle.t -> outcome
+(** interleave the spawned threads to completion (or fault / block /
+    budget) *)
+
+val join_views : t -> unit
+(** join all thread views into the setup view (parent joins children) *)
+
+val finale : t -> Value.t Prog.t -> Value.t
+(** {!join_views} then {!solo} — e.g. to read results non-atomically
+    without racing *)

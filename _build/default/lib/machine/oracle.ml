@@ -1,0 +1,54 @@
+(* Decision oracles.
+
+   All nondeterminism in an execution — which thread steps, which message a
+   load reads, which timestamp a write takes — is resolved by a sequence of
+   bounded integer choices.  An oracle answers those choices and logs the
+   branching factor of each, which is exactly what the stateless DFS
+   explorer needs to enumerate the decision tree. *)
+
+type t = {
+  mutable pos : int;
+  mutable log : (int * int) list;  (** (arity, choice), newest first *)
+  pick : pos:int -> arity:int -> int;
+}
+
+let choose o ~arity =
+  if arity <= 0 then invalid_arg "Oracle.choose: empty choice";
+  let pos = o.pos in
+  o.pos <- pos + 1;
+  let c = o.pick ~pos ~arity in
+  assert (0 <= c && c < arity);
+  o.log <- (arity, c) :: o.log;
+  c
+
+(* Decisions taken so far, earliest first. *)
+let decisions o = List.rev_map snd o.log
+let arities o = List.rev_map fst o.log
+
+(* Deterministic oracle: always the last alternative.  For loads the
+   alternatives are in ascending timestamp order, so "last" reads the
+   mo-maximal message — the right default for solo (setup) execution. *)
+let latest = { pos = 0; log = []; pick = (fun ~pos:_ ~arity -> arity - 1) }
+let fresh_latest () = { pos = 0; log = []; pick = (fun ~pos:_ ~arity -> arity - 1) }
+
+(* Seeded pseudo-random oracle (deterministic per seed). *)
+let random ~seed =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  { pos = 0; log = []; pick = (fun ~pos:_ ~arity -> Random.State.int st arity) }
+
+(* Replay [script] and fall back to choice 0 (the "first" alternative) past
+   its end — the DFS explorer's workhorse. *)
+let script choices =
+  {
+    pos = 0;
+    log = [];
+    pick =
+      (fun ~pos ~arity ->
+        if pos < Array.length choices then (
+          let c = choices.(pos) in
+          if c >= arity then
+            invalid_arg
+              (Printf.sprintf "Oracle.script: choice %d/%d at %d" c arity pos);
+          c)
+        else 0);
+  }

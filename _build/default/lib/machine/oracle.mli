@@ -1,0 +1,30 @@
+(** Decision oracles.
+
+    All nondeterminism in an execution — which thread steps, which message
+    a load reads, which timestamp a write takes — is a sequence of bounded
+    integer choices.  An oracle answers them and logs each branching
+    factor, which is exactly what the stateless DFS explorer needs to
+    enumerate the decision tree. *)
+
+type t
+
+val choose : t -> arity:int -> int
+(** pick a choice in [0 .. arity-1] and log it *)
+
+val decisions : t -> int list
+(** choices taken so far, earliest first *)
+
+val arities : t -> int list
+
+val latest : t
+(** deterministic: always the last alternative (for loads: the mo-maximal
+    message) — the right default for solo/setup execution.  Shared
+    mutable state: prefer {!fresh_latest} per run. *)
+
+val fresh_latest : unit -> t
+val random : seed:int -> t
+
+val script : int array -> t
+(** replay the given choices, falling back to choice 0 past the end; the
+    DFS explorer's workhorse.
+    @raise Invalid_argument if a scripted choice exceeds the arity *)

@@ -1,0 +1,153 @@
+open Compass_rmc
+
+(* The program DSL.
+
+   Thread programs are values of type ['a t]: free-monad terms whose
+   operations are the memory instructions of ORC11.  Each operation is one
+   atomic machine step; the machine resolves all nondeterminism (scheduling,
+   read choices, timestamp choices) through an oracle, which is what makes
+   stateless model checking possible.
+
+   Operations uniformly yield a {!res} record so the DSL needs no GADTs;
+   the exposed combinators project out the interesting part.  [res] exposes
+   the message views a load obtained — the operational counterpart of the
+   paper's view-explicit reasoning (Section 5.2): library code may capture a
+   message's physical/logical view and use it later in a commit (the
+   exchanger's helper does exactly this with the helpee's offer). *)
+
+type res = {
+  value : Value.t;
+  view : View.t;  (** message view for loads/RMWs; thread view otherwise *)
+  lview : Lview.t;
+  success : bool;  (** RMW success; [true] for other operations *)
+}
+
+type rmw_kind =
+  | Cas of Value.t * Value.t  (** expected, desired *)
+  | Faa of int
+  | Xchg of Value.t
+
+type op =
+  | Load of Loc.t * Mode.access * Commit.fn option
+  | Store of Loc.t * Value.t * Mode.access * Commit.fn option
+  | Rmw of Loc.t * rmw_kind * Mode.access * Commit.fn option
+  | Await of Loc.t * Mode.access * (Value.t -> bool) * Commit.fn option
+      (** blocking read: schedulable only when a readable message satisfies
+          the predicate — the standard encoding of a spin-loop that avoids
+          enumerating unboundedly many failed reads *)
+  | Fence of Mode.fence
+  | Alloc of { name : string; size : int; init : Value.t }
+  | Yield
+  | Tid  (** the executing thread's id, as [Int tid] *)
+
+type 'a t =
+  | Ret of 'a
+  | Op of op * (res -> 'a t)
+  | Reserve of (int -> 'a t)
+      (** draw a fresh event id from the registry (no memory effect) *)
+
+(* Raised (inside a machine step) when a bounded spin loop exhausts its
+   fuel; the machine converts it to a discarded execution, not an error. *)
+exception Out_of_fuel of string
+
+let return x = Ret x
+
+let rec bind m f =
+  match m with
+  | Ret x -> f x
+  | Op (op, k) -> Op (op, fun r -> bind (k r) f)
+  | Reserve k -> Reserve (fun e -> bind (k e) f)
+
+let map m f = bind m (fun x -> return (f x))
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) = map
+  let ( >>= ) = bind
+end
+
+open Syntax
+
+(* -- memory operations ---------------------------------------------------- *)
+
+let load ?commit l mode = Op (Load (l, mode, commit), fun r -> Ret r.value)
+
+(* Load returning the full result, including the message's views. *)
+let load_explicit ?commit l mode = Op (Load (l, mode, commit), fun r -> Ret r)
+let store ?commit l v mode = Op (Store (l, v, mode, commit), fun _ -> Ret ())
+
+(* CAS returning [(old_value, success)]. *)
+let cas ?commit l ~expected ~desired mode =
+  Op (Rmw (l, Cas (expected, desired), mode, commit), fun r -> Ret (r.value, r.success))
+
+let cas_explicit ?commit l ~expected ~desired mode =
+  Op (Rmw (l, Cas (expected, desired), mode, commit), fun r -> Ret r)
+
+(* Fetch-and-add returning the old value (which must be an [Int]). *)
+let faa ?commit l delta mode =
+  Op (Rmw (l, Faa delta, mode, commit), fun r -> Ret (Value.to_int_exn r.value))
+
+(* Atomic exchange returning the old value. *)
+let xchg ?commit l v mode = Op (Rmw (l, Xchg v, mode, commit), fun r -> Ret r.value)
+
+let xchg_explicit ?commit l v mode =
+  Op (Rmw (l, Xchg v, mode, commit), fun r -> Ret r)
+
+let await ?commit l mode pred = Op (Await (l, mode, pred, commit), fun r -> Ret r.value)
+
+let await_explicit ?commit l mode pred =
+  Op (Await (l, mode, pred, commit), fun r -> Ret r)
+
+let fence f = Op (Fence f, fun _ -> Ret ())
+
+let alloc ?(init = Value.Poison) ~name size =
+  Op (Alloc { name; size; init }, fun r -> Ret (Value.to_loc_exn r.value))
+
+let yield = Op (Yield, fun _ -> Ret ())
+let tid = Op (Tid, fun r -> Ret (Value.to_int_exn r.value))
+let reserve = Reserve (fun e -> Ret e)
+
+(* Threads return [Value.t]; lift a unit program. *)
+let returning_unit p = bind p (fun () -> Ret Value.Unit)
+
+(* -- control combinators -------------------------------------------------- *)
+
+let rec seq = function
+  | [] -> return ()
+  | p :: ps ->
+      let* () = p in
+      seq ps
+
+let rec iter f = function
+  | [] -> return ()
+  | x :: xs ->
+      let* () = f x in
+      iter f xs
+
+let rec fold_left f acc = function
+  | [] -> return acc
+  | x :: xs ->
+      let* acc = f acc x in
+      fold_left f acc xs
+
+let rec map_list f = function
+  | [] -> return []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_list f xs in
+      return (y :: ys)
+
+let for_ lo hi f =
+  let rec go i = if i > hi then return () else let* () = f i in go (succ i) in
+  go lo
+
+(* Retry [body] until it yields [Some v], at most [fuel] times; raises
+   {!Out_of_fuel} past the budget (the machine discards such executions). *)
+let with_fuel ~fuel ~what body =
+  let rec go n =
+    if n <= 0 then Op (Yield, fun _ -> raise (Out_of_fuel what))
+    else
+      let* r = body () in
+      match r with Some v -> return v | None -> go (n - 1)
+  in
+  go fuel

@@ -1,0 +1,111 @@
+open Compass_rmc
+
+(** The program DSL: thread programs as free-monad terms whose operations
+    are ORC11 memory instructions.  Each operation is one atomic machine
+    step; the machine resolves all nondeterminism (scheduling, read
+    choices, timestamp choices) through an oracle, enabling stateless
+    model checking. *)
+
+type res = {
+  value : Value.t;
+  view : View.t;
+      (** the message view for loads/RMWs (view-explicit reasoning,
+          Section 5.2 — e.g. the exchanger's helper captures the offer's
+          views here); the thread view otherwise *)
+  lview : Lview.t;
+  success : bool;  (** RMW success; [true] for other operations *)
+}
+
+type rmw_kind =
+  | Cas of Value.t * Value.t  (** expected, desired *)
+  | Faa of int
+  | Xchg of Value.t
+
+type op =
+  | Load of Loc.t * Mode.access * Commit.fn option
+  | Store of Loc.t * Value.t * Mode.access * Commit.fn option
+  | Rmw of Loc.t * rmw_kind * Mode.access * Commit.fn option
+  | Await of Loc.t * Mode.access * (Value.t -> bool) * Commit.fn option
+      (** blocking read: schedulable only when a readable message
+          satisfies the predicate — the standard spin-loop encoding that
+          avoids enumerating unboundedly many failed reads *)
+  | Fence of Mode.fence
+  | Alloc of { name : string; size : int; init : Value.t }
+  | Yield
+  | Tid  (** the executing thread's id, as [Int tid] *)
+
+type 'a t =
+  | Ret of 'a
+  | Op of op * (res -> 'a t)
+  | Reserve of (int -> 'a t)
+      (** draw a fresh event id from the registry (no memory effect) *)
+
+exception Out_of_fuel of string
+(** raised when a bounded spin loop exhausts its budget; the machine turns
+    it into a discarded ([Blocked]) execution, not an error *)
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : 'a t -> ('a -> 'b) -> 'b t
+
+module Syntax : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+end
+
+(** {1 Memory operations} *)
+
+val load : ?commit:Commit.fn -> Loc.t -> Mode.access -> Value.t t
+val load_explicit : ?commit:Commit.fn -> Loc.t -> Mode.access -> res t
+val store : ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> unit t
+
+val cas :
+  ?commit:Commit.fn ->
+  Loc.t ->
+  expected:Value.t ->
+  desired:Value.t ->
+  Mode.access ->
+  (Value.t * bool) t
+(** returns (read value, success) *)
+
+val cas_explicit :
+  ?commit:Commit.fn ->
+  Loc.t ->
+  expected:Value.t ->
+  desired:Value.t ->
+  Mode.access ->
+  res t
+
+val faa : ?commit:Commit.fn -> Loc.t -> int -> Mode.access -> int t
+(** fetch-and-add; returns the old value (which must be an [Int]) *)
+
+val xchg : ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> Value.t t
+val xchg_explicit : ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> res t
+
+val await :
+  ?commit:Commit.fn -> Loc.t -> Mode.access -> (Value.t -> bool) -> Value.t t
+
+val await_explicit :
+  ?commit:Commit.fn -> Loc.t -> Mode.access -> (Value.t -> bool) -> res t
+
+val fence : Mode.fence -> unit t
+val alloc : ?init:Value.t -> name:string -> int -> Loc.t t
+val yield : unit t
+val tid : int t
+val reserve : int t
+
+val returning_unit : unit t -> Value.t t
+(** threads return [Value.t]; lift a unit program *)
+
+(** {1 Control combinators} *)
+
+val seq : unit t list -> unit t
+val iter : ('a -> unit t) -> 'a list -> unit t
+val fold_left : ('a -> 'b -> 'a t) -> 'a -> 'b list -> 'a t
+val map_list : ('a -> 'b t) -> 'a list -> 'b list t
+val for_ : int -> int -> (int -> unit t) -> unit t
+
+val with_fuel : fuel:int -> what:string -> (unit -> 'a option t) -> 'a t
+(** retry the body until it yields [Some v], at most [fuel] times;
+    raises {!Out_of_fuel} past the budget *)

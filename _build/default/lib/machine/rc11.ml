@@ -1,0 +1,381 @@
+open Compass_rmc
+open Compass_event
+
+(* An independent RC11-style axiomatic checker, for differential
+   validation of the operational semantics.
+
+   The machine (with [record_accesses]) logs every memory access and
+   fence; this module rebuilds the execution's relations — po, rf (from
+   the timestamps reads chose), mo (the timestamp order itself), fr,
+   sw (release/acquire synchronisation including release sequences,
+   fence-based synchronisation, and the SC-fence total order), and
+   hb = (po ∪ asw ∪ sw)+ — and checks the axioms the model owes us:
+
+   - COHERENCE:  per location, hb|loc ∪ rf ∪ mo ∪ fr is acyclic;
+   - ATOMICITY:  no write intervenes (in mo) between an update and the
+     write it read from;
+   - NO-LB:      po ∪ rf is acyclic — ORC11's defining restriction;
+   - RACES:      conflicting accesses involving a non-atomic are
+     hb-ordered (the machine's race detector must have caught anything
+     else, so non-faulting executions must pass).
+
+   Any violation here means the view machinery and the declarative model
+   disagree — the differential tests run this on every execution of the
+   litmus battery and the data-structure workloads. *)
+
+type t = {
+  items : Access.t array;  (** indexed by aid *)
+  n : int;
+}
+
+let of_accesses accesses =
+  let items = Array.of_list accesses in
+  Array.iteri (fun i a -> assert (Access.aid a = i)) items;
+  { items; n = Array.length items }
+
+let is_write = function
+  | Access.Access { kind = Access.Store | Access.Update; _ } -> true
+  | _ -> false
+
+let is_update = function
+  | Access.Access { kind = Access.Update; _ } -> true
+  | _ -> false
+
+let is_na = function
+  | Access.Access { mode = Mode.Na; _ } -> true
+  | _ -> false
+
+let loc_of = function Access.Access a -> Some a.loc | Access.Fence _ -> None
+
+(* -- base relations ----------------------------------------------------------- *)
+
+(* Program order: per thread, in recording order. *)
+let po_pairs x =
+  let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (fun a ->
+      let tid = Access.tid a and aid = Access.aid a in
+      (match Hashtbl.find_opt last tid with
+      | Some prev -> acc := (prev, aid) :: !acc
+      | None -> ());
+      Hashtbl.replace last tid aid)
+    x.items;
+  !acc
+
+(* Additional synchronises-with: fork (the last setup access before each
+   thread's first access) and join (each thread's last access before the
+   first post-join setup access).  Setup runs as tid -1, solo, strictly
+   before spawn and after join. *)
+let asw_pairs x =
+  let firsts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let lasts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun a ->
+      let tid = Access.tid a and aid = Access.aid a in
+      if not (Hashtbl.mem firsts tid) then Hashtbl.replace firsts tid aid;
+      Hashtbl.replace lasts tid aid)
+    x.items;
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun tid first ->
+      if tid >= 0 then begin
+        (* fork: the setup access just before this thread's first. *)
+        let best = ref (-1) in
+        Array.iter
+          (fun a ->
+            if Access.tid a = -1 && Access.aid a < first && Access.aid a > !best
+            then best := Access.aid a)
+          x.items;
+        if !best >= 0 then acc := (!best, first) :: !acc
+      end)
+    firsts;
+  Hashtbl.iter
+    (fun tid last ->
+      if tid >= 0 then begin
+        (* join: the first setup access after this thread's last. *)
+        let best = ref max_int in
+        Array.iter
+          (fun a ->
+            if Access.tid a = -1 && Access.aid a > last && Access.aid a < !best
+            then best := Access.aid a)
+          x.items;
+        if !best < max_int then acc := (last, !best) :: !acc
+      end)
+    lasts;
+  !acc
+
+(* Writes by (loc, timestamp): the rf sources. *)
+let write_index x =
+  let tbl : (Loc.t * Timestamp.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun a ->
+      match a with
+      | Access.Access ({ write_ts = Some ts; _ } as acc) ->
+          Hashtbl.replace tbl (acc.loc, ts) acc.aid
+      | _ -> ())
+    x.items;
+  tbl
+
+(* Reads-from: read r with read_ts = ts at loc reads the write at
+   (loc, ts).  Missing sources (possible only through a recording bug)
+   are reported. *)
+let rf_pairs x =
+  let widx = write_index x in
+  let missing = ref [] in
+  let acc = ref [] in
+  Array.iter
+    (fun a ->
+      match a with
+      | Access.Access ({ read_ts = Some ts; _ } as r) -> (
+          match Hashtbl.find_opt widx (r.loc, ts) with
+          | Some w -> acc := (w, r.aid) :: !acc
+          | None ->
+              missing :=
+                Printf.sprintf "read %d has no rf source at ts %d" r.aid ts
+                :: !missing)
+      | _ -> ())
+    x.items;
+  (!acc, !missing)
+
+(* Modification order: per location, writes by timestamp. *)
+let mo_pairs x =
+  let by_loc : (Loc.t, (Timestamp.t * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iter
+    (fun a ->
+      match a with
+      | Access.Access ({ write_ts = Some ts; _ } as w) ->
+          let l =
+            match Hashtbl.find_opt by_loc w.loc with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace by_loc w.loc l;
+                l
+          in
+          l := (ts, w.aid) :: !l
+      | _ -> ())
+    x.items;
+  Hashtbl.fold
+    (fun _ l acc ->
+      let sorted = List.sort compare !l in
+      let rec consecutive = function
+        | (_, a) :: ((_, b) :: _ as rest) -> (a, b) :: consecutive rest
+        | _ -> []
+      in
+      consecutive sorted @ acc)
+    by_loc []
+
+(* -- synchronises-with -------------------------------------------------------- *)
+
+let mode_geq_rel = function Mode.Rel | Mode.AcqRel -> true | _ -> false
+let mode_geq_acq = function Mode.Acq | Mode.AcqRel -> true | _ -> false
+let mode_atomic = function Mode.Na -> false | _ -> true
+
+let rel_fence = function
+  | Mode.F_rel | Mode.F_acqrel | Mode.F_sc -> true
+  | _ -> false
+
+let acq_fence = function
+  | Mode.F_acq | Mode.F_acqrel | Mode.F_sc -> true
+  | _ -> false
+
+(* Release point of an atomic write: itself if rel; else the nearest
+   release fence po-before it (same thread). *)
+let release_point x (w : int) =
+  match x.items.(w) with
+  | Access.Access a when mode_geq_rel a.mode -> Some w
+  | Access.Access a when mode_atomic a.mode ->
+      let best = ref None in
+      Array.iter
+        (fun item ->
+          match item with
+          | Access.Fence f
+            when f.tid = a.tid && f.aid < w && rel_fence f.fence -> (
+              match !best with
+              | Some b when b > f.aid -> ()
+              | _ -> best := Some f.aid)
+          | _ -> ())
+        x.items;
+      !best
+  | _ -> None
+
+(* Acquire point of an atomic read: itself if acq; else the nearest
+   acquire fence po-after it. *)
+let acquire_point x (r : int) =
+  match x.items.(r) with
+  | Access.Access a when mode_geq_acq a.mode -> Some r
+  | Access.Access a when mode_atomic a.mode ->
+      let best = ref None in
+      Array.iter
+        (fun item ->
+          match item with
+          | Access.Fence f
+            when f.tid = a.tid && f.aid > r && acq_fence f.fence -> (
+              match !best with
+              | Some b when b < f.aid -> ()
+              | _ -> best := Some f.aid)
+          | _ -> ())
+        x.items;
+      !best
+  | _ -> None
+
+(* Release sequence of write w: w plus updates reachable by rf chains
+   among updates. *)
+let release_sequence x rf (w : int) =
+  let rec grow set =
+    let next =
+      List.filter_map
+        (fun (src, dst) ->
+          if List.mem src set && is_update x.items.(dst) && not (List.mem dst set)
+          then Some dst
+          else None)
+        rf
+    in
+    if next = [] then set else grow (next @ set)
+  in
+  grow [ w ]
+
+let sw_pairs x rf =
+  let acc = ref [] in
+  (* rel/acq chains through release sequences. *)
+  Array.iter
+    (fun a ->
+      if is_write a && not (is_na a) then
+        let w = Access.aid a in
+        match release_point x w with
+        | None -> ()
+        | Some p ->
+            let rs = release_sequence x rf w in
+            List.iter
+              (fun (src, r) ->
+                if List.mem src rs && not (is_na x.items.(r)) then
+                  match acquire_point x r with
+                  | Some q when p <> q -> acc := (p, q) :: !acc
+                  | _ -> ())
+              rf)
+    x.items;
+  (* SC fences are totally ordered by their execution order. *)
+  let sc_fences =
+    Array.to_list x.items
+    |> List.filter_map (function
+         | Access.Fence f when f.fence = Mode.F_sc -> Some f.aid
+         | _ -> None)
+  in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+        acc := (a, b) :: !acc;
+        chain rest
+    | _ -> ()
+  in
+  chain sc_fences;
+  !acc
+
+(* -- the axioms ---------------------------------------------------------------- *)
+
+let check accesses =
+  let x = of_accesses accesses in
+  let nodes = List.init x.n (fun i -> i) in
+  let po = po_pairs x in
+  let asw = asw_pairs x in
+  let rf, missing = rf_pairs x in
+  let mo = mo_pairs x in
+  let violations = ref (List.map (fun s -> "rc11-rf: " ^ s) missing) in
+  (* NO-LB: po ∪ rf acyclic (ORC11's defining restriction). *)
+  let porf = Order.of_pairs ~nodes (po @ rf) in
+  if not (Order.acyclic porf) then
+    violations := "rc11-no-lb: po ∪ rf has a cycle" :: !violations;
+  (* hb = (po ∪ asw ∪ sw)+ *)
+  let sw = sw_pairs x rf in
+  let hb_rel = Order.of_pairs ~nodes (po @ asw @ sw) in
+  if not (Order.acyclic hb_rel) then
+    violations := "rc11-hb: hb has a cycle" :: !violations;
+  let hb = Order.closure hb_rel in
+  (* fr = rf⁻¹ ; mo (per location, via timestamps). *)
+  let ts_of_write w =
+    match x.items.(w) with
+    | Access.Access { write_ts = Some ts; _ } -> ts
+    | _ -> assert false
+  in
+  let fr =
+    List.concat_map
+      (fun (w, r) ->
+        let l = Option.get (loc_of x.items.(w)) in
+        let ts = ts_of_write w in
+        List.filter_map
+          (fun a ->
+            match a with
+            | Access.Access { write_ts = Some ts'; loc; aid; _ }
+              when Loc.equal loc l && ts' > ts && aid <> r ->
+                Some (r, aid)
+            | _ -> None)
+          (Array.to_list x.items))
+      rf
+  in
+  (* COHERENCE: per location, hb|loc ∪ rf ∪ mo ∪ fr acyclic. *)
+  let locs =
+    Array.to_list x.items |> List.filter_map loc_of |> List.sort_uniq Loc.compare
+  in
+  List.iter
+    (fun l ->
+      let on_loc aid =
+        match loc_of x.items.(aid) with
+        | Some l' -> Loc.equal l l'
+        | None -> false
+      in
+      let lnodes = List.filter on_loc nodes in
+      let hb_loc =
+        List.concat_map
+          (fun a -> List.filter_map (fun b -> if a <> b && hb a b then Some (a, b) else None) lnodes)
+          lnodes
+      in
+      let here ps = List.filter (fun (a, b) -> on_loc a && on_loc b) ps in
+      let coh = Order.of_pairs ~nodes:lnodes (hb_loc @ here rf @ here mo @ here fr) in
+      if not (Order.acyclic coh) then
+        violations :=
+          Format.asprintf "rc11-coherence: cycle at %a" Loc.pp l :: !violations)
+    locs;
+  (* ATOMICITY: no write in mo between an update and its rf source. *)
+  List.iter
+    (fun (w, u) ->
+      if is_update x.items.(u) then begin
+        let l = Option.get (loc_of x.items.(w)) in
+        let ts_w = ts_of_write w and ts_u = ts_of_write u in
+        Array.iter
+          (fun a ->
+            match a with
+            | Access.Access { write_ts = Some ts'; loc; aid; _ }
+              when Loc.equal loc l && ts' > ts_w && ts' < ts_u && aid <> u ->
+                violations :=
+                  Printf.sprintf
+                    "rc11-atomicity: write %d intervenes between %d and update %d"
+                    aid w u
+                  :: !violations
+            | _ -> ())
+          x.items
+      end)
+    rf;
+  (* RACES: conflicting accesses involving a non-atomic must be
+     hb-ordered.  (Initialisation writes by tid -1 are setup and always
+     hb-before via asw.) *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a < b then
+            match (x.items.(a), x.items.(b)) with
+            | Access.Access ia, Access.Access ib
+              when Loc.equal ia.loc ib.loc
+                   && (is_write x.items.(a) || is_write x.items.(b))
+                   && (is_na x.items.(a) || is_na x.items.(b))
+                   && ia.tid <> ib.tid ->
+                if not (hb a b || hb b a) then
+                  violations :=
+                    Printf.sprintf "rc11-race: %d and %d unordered" a b
+                    :: !violations
+            | _ -> ())
+        nodes)
+    nodes;
+  List.rev !violations

@@ -1,0 +1,13 @@
+(** An independent RC11-style axiomatic checker for differential
+    validation of the operational semantics.
+
+    From the machine's recorded accesses it rebuilds po, rf, mo, fr,
+    sw (release/acquire with release sequences, fence-based
+    synchronisation, SC-fence total order) and hb, and checks:
+    coherence (per-location [hb|loc ∪ rf ∪ mo ∪ fr] acyclicity), RMW
+    atomicity, [po ∪ rf] acyclicity (ORC11's defining restriction), and
+    hb-ordering of non-atomic conflicts.  A violation means the
+    view-based machine and the declarative model disagree. *)
+
+val check : Access.t list -> string list
+(** axiom violations of one recorded execution; [[]] = consistent *)

@@ -1,0 +1,11 @@
+(* Execution traces, recorded only when requested (counterexample replay):
+   one entry per machine step. *)
+
+type entry = { step : int; tid : int; descr : string }
+
+let pp_entry ppf e = Format.fprintf ppf "%4d  T%d  %s" e.step e.tid e.descr
+
+let pp ppf entries =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    entries

@@ -1,0 +1,7 @@
+(** Execution traces (recorded only when the machine config asks for
+    them): one entry per machine step, for counterexample display. *)
+
+type entry = { step : int; tid : int; descr : string }
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> entry list -> unit

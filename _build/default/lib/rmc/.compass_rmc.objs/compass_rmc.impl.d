@@ -1,0 +1,1 @@
+lib/rmc/compass_rmc.ml: History Loc Lview Memory Mode Msg Timestamp Tview Value View

@@ -1,0 +1,1 @@
+lib/rmc/history.ml: Format Int List Map Msg Timestamp

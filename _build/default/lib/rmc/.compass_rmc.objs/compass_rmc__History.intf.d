@@ -1,0 +1,1 @@
+lib/rmc/history.mli: Format Loc Msg Timestamp Value

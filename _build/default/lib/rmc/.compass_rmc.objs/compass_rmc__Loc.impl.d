@@ -1,0 +1,1 @@
+lib/rmc/loc.ml: Format Hashtbl Int Map Printf Set

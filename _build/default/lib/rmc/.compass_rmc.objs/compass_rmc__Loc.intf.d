@@ -1,0 +1,1 @@
+lib/rmc/loc.mli: Format Map Set

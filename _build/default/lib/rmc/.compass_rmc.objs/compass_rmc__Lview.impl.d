@@ -1,0 +1,1 @@
+lib/rmc/lview.ml: Format Int Set

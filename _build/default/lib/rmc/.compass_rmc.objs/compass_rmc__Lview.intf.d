@@ -1,0 +1,1 @@
+lib/rmc/lview.mli: Format Set

@@ -1,0 +1,1 @@
+lib/rmc/memory.ml: Format Hashtbl History Loc Msg Timestamp Tview Value View

@@ -1,0 +1,1 @@
+lib/rmc/memory.mli: Format History Loc Msg Timestamp Tview Value

@@ -1,0 +1,1 @@
+lib/rmc/mode.ml: Format

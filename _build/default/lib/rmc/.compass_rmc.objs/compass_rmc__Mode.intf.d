@@ -1,0 +1,1 @@
+lib/rmc/mode.mli: Format

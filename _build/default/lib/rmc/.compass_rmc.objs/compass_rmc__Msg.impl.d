@@ -1,0 +1,1 @@
+lib/rmc/msg.ml: Format Loc Lview Timestamp Value View

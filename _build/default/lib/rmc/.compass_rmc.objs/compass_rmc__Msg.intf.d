@@ -1,0 +1,1 @@
+lib/rmc/msg.mli: Format Loc Lview Timestamp Value View

@@ -1,0 +1,1 @@
+lib/rmc/timestamp.ml: Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/rmc/timestamp.mli: Format

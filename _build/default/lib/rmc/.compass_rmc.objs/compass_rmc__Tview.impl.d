@@ -1,0 +1,1 @@
+lib/rmc/tview.ml: Format Loc Lview Mode Msg Timestamp View

@@ -1,0 +1,1 @@
+lib/rmc/tview.mli: Format Loc Lview Mode Msg Timestamp View

@@ -1,0 +1,1 @@
+lib/rmc/value.ml: Format Int Loc

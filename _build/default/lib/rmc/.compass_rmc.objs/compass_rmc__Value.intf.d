@@ -1,0 +1,1 @@
+lib/rmc/value.mli: Format Loc

@@ -1,0 +1,1 @@
+lib/rmc/view.ml: Format Loc Timestamp

@@ -1,0 +1,1 @@
+lib/rmc/view.mli: Format Loc Timestamp

@@ -1,0 +1,20 @@
+(** COMPASS-OCaml memory-model substrate: an operational, view-based
+    simulator for ORC11 (the RC11 variant targeted by iRC11 / the Compass
+    paper).
+
+    The modules here correspond to the semantic objects of the paper's
+    Section 2.3: {!View} (physical views), {!Lview} (logical views —
+    Section 3.1), {!Msg}/{!History} (the histories of atomic points-to
+    assertions), {!Tview} (the Rel-Write / Acq-Read transitions), and
+    {!Memory} (the global store plus race detection for non-atomics). *)
+
+module Loc = Loc
+module Value = Value
+module Mode = Mode
+module Timestamp = Timestamp
+module View = View
+module Lview = Lview
+module Msg = Msg
+module History = History
+module Tview = Tview
+module Memory = Memory

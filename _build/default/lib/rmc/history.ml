@@ -1,0 +1,68 @@
+(* Per-location write histories.
+
+   The history of a location is the set of its write messages, keyed by
+   timestamp — the modification order.  This is the [h] of the paper's
+   atomic points-to assertion (Section 2.3): a set of write events that may
+   still be visible to some threads.  Messages sit behind refs so the
+   machine can patch a commit write's logical view in the same atomic step
+   that creates the event. *)
+
+module Tsmap = Map.Make (Int)
+
+type t = { mutable msgs : Msg.t ref Tsmap.t }
+
+let create ~loc ~init_value =
+  { msgs = Tsmap.singleton Timestamp.init (ref (Msg.init ~loc ~value:init_value)) }
+
+let max_ts h = fst (Tsmap.max_binding h.msgs)
+let latest h = snd (Tsmap.max_binding h.msgs)
+let find_opt h ts = Tsmap.find_opt ts h.msgs
+let mem h ts = Tsmap.mem ts h.msgs
+let cardinal h = Tsmap.cardinal h.msgs
+
+let add h (m : Msg.t) =
+  assert (not (mem h m.ts));
+  h.msgs <- Tsmap.add m.ts (ref m) h.msgs
+
+(* All messages readable by a thread whose view of this location is [from]:
+   coherence forbids reading below the view, nothing forbids reading above.
+   Returned in ascending timestamp order. *)
+let readable h ~from =
+  Tsmap.fold
+    (fun ts m acc -> if Timestamp.leq from ts then m :: acc else acc)
+    h.msgs []
+  |> List.rev
+
+let to_list h = Tsmap.bindings h.msgs |> List.map snd
+
+(* Next unused timestamp strictly above [above], per the allocation policy:
+   [`Append] always goes past the maximum; [`Gap] may land between existing
+   writes when a midpoint slot is free.  Returns candidates (ascending). *)
+let fresh_ts h ~policy ~above =
+  let top = Timestamp.max (max_ts h) above in
+  match policy with
+  | `Append -> [ top + 1 ]
+  | `Gap ->
+      (* Candidate slots: midpoints between consecutive writes above [above],
+         plus one past the end (spaced by the stride to keep gaps open). *)
+      let tss = Tsmap.bindings h.msgs |> List.map fst in
+      let rec mids = function
+        | a :: (b :: _ as rest) ->
+            let here =
+              if Timestamp.lt above b then
+                match Timestamp.midpoint (Timestamp.max a above) b with
+                | Some m when not (Tsmap.mem m h.msgs) -> [ m ]
+                | _ -> []
+              else []
+            in
+            here @ mids rest
+        | _ -> []
+      in
+      mids tss @ [ top + Timestamp.stride ]
+
+let pp ppf h =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf m -> Msg.pp ppf !m))
+    (to_list h)

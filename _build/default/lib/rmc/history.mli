@@ -1,0 +1,30 @@
+(** Per-location write histories: the set of a location's write messages,
+    keyed by timestamp — its modification order.  This is the [h] of the
+    paper's atomic points-to assertion (Section 2.3). *)
+
+type t
+
+val create : loc:Loc.t -> init_value:Value.t -> t
+val max_ts : t -> Timestamp.t
+val latest : t -> Msg.t ref
+val find_opt : t -> Timestamp.t -> Msg.t ref option
+val mem : t -> Timestamp.t -> bool
+val cardinal : t -> int
+
+val add : t -> Msg.t -> unit
+(** insert a message at a fresh timestamp *)
+
+val readable : t -> from:Timestamp.t -> Msg.t ref list
+(** all messages a thread whose view of this location is [from] may read
+    (coherence forbids reading below the view); ascending timestamp
+    order *)
+
+val to_list : t -> Msg.t ref list
+
+val fresh_ts :
+  t -> policy:[ `Append | `Gap ] -> above:Timestamp.t -> Timestamp.t list
+(** candidate timestamps for a new write that must be mo-after [above]:
+    [`Append] gives only past-the-end; [`Gap] also offers free midpoints
+    (ascending) *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(* Memory locations.
+
+   A location is an offset into an allocated block.  Blocks are identified by
+   an integer [base] handed out by the machine's allocator; [off] selects a
+   cell within the block.  Named blocks make traces and DOT dumps readable. *)
+
+type t = { base : int; off : int }
+
+let compare (a : t) (b : t) =
+  match Int.compare a.base b.base with
+  | 0 -> Int.compare a.off b.off
+  | c -> c
+
+let equal a b = compare a b = 0
+let hash (l : t) = (l.base * 65599) + l.off
+let make ~base ~off = { base; off }
+let base l = l.base
+let off l = l.off
+
+(* Pointer arithmetic within a block: [shift l i] is the cell [i] slots past
+   [l].  Blocks are bounds-checked by the allocator, not here. *)
+let shift l i = { l with off = l.off + i }
+
+(* Human-readable names for allocated blocks, for trace output only.  The
+   registry is global and append-only; it does not affect semantics. *)
+let names : (int, string) Hashtbl.t = Hashtbl.create 64
+let register_name ~base ~name = Hashtbl.replace names base name
+
+let pp ppf l =
+  let name =
+    match Hashtbl.find_opt names l.base with
+    | Some n -> n
+    | None -> Printf.sprintf "b%d" l.base
+  in
+  if l.off = 0 then Format.fprintf ppf "%s" name
+  else Format.fprintf ppf "%s[%d]" name l.off
+
+let to_string l = Format.asprintf "%a" pp l
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,28 @@
+(* Logical views: sets of library-event identifiers.
+
+   This is the paper's key device (Section 3.1): where a physical view
+   approximates happens-before between *memory instructions*, a logical view
+   approximates happens-before between *library operations*.  Event ids are
+   globally unique across all library objects (see [Compass_event.Graph]), so
+   a single set suffices; per-object relations are obtained by restriction.
+
+   Logical views piggyback on exactly the same transfer machinery as
+   physical views: every message carries one, release writes attach the
+   writer's current logical view, acquire reads join the message's logical
+   view into the reader's.  This is what makes *external* synchronisation
+   (e.g. the MP client's flag) transfer library-event observations — the
+   operational counterpart of the paper's [SeenQueue(q, G, M)] assertions. *)
+
+include Set.Make (Int)
+
+let join = union
+let leq = subset
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf e -> Format.fprintf ppf "e%d" e))
+    (to_seq s)
+
+let to_string s = Format.asprintf "%a" pp s

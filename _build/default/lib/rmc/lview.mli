@@ -1,0 +1,21 @@
+(** Logical views: sets of library-event identifiers (paper, Section 3.1).
+
+    Where a physical view approximates happens-before between memory
+    instructions, a logical view approximates happens-before between
+    {e library operations}: [(d, e) ∈ G.lhb  iff  d ∈ G(e).logview].
+    Event ids are globally unique across all objects
+    ({!Compass_event.Registry}), so one set serves every library at once;
+    per-object relations are obtained by restriction.
+
+    Logical views ride on exactly the same transfer machinery as physical
+    views — release writes attach them to messages, acquire reads join
+    them — which is what lets {e external} synchronisation (the MP
+    client's flag) transfer library-event observations: the operational
+    content of the paper's [SeenQueue(q, G, M)]. *)
+
+include Set.S with type elt = int
+
+val join : t -> t -> t
+val leq : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

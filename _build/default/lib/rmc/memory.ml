@@ -1,0 +1,83 @@
+(* Global simulated memory: an allocator plus one history per location.
+
+   Memory is mutable and created fresh for every execution (the model
+   checker is stateless: it re-runs executions from decision scripts rather
+   than snapshotting state). *)
+
+type policy = [ `Append | `Gap ]
+
+type t = {
+  mutable next_base : int;
+  hists : (Loc.t, History.t) Hashtbl.t;
+  policy : policy;
+}
+
+type error =
+  | Race of { loc : Loc.t; tid : int; kind : string }
+  | Unallocated of Loc.t
+  | Uninitialised of { loc : Loc.t; tid : int }
+
+let pp_error ppf = function
+  | Race { loc; tid; kind } ->
+      Format.fprintf ppf "data race on %a by thread %d (%s)" Loc.pp loc tid kind
+  | Unallocated l -> Format.fprintf ppf "access to unallocated %a" Loc.pp l
+  | Uninitialised { loc; tid } ->
+      Format.fprintf ppf "uninitialised non-atomic read of %a by thread %d"
+        Loc.pp loc tid
+
+exception Error of error
+
+let error e = raise (Error e)
+let create ?(policy = `Append) () = { next_base = 0; hists = Hashtbl.create 256; policy }
+
+let alloc mem ~name ~size ~init_value =
+  let base = mem.next_base in
+  mem.next_base <- base + 1;
+  Loc.register_name ~base ~name;
+  for off = 0 to size - 1 do
+    let loc = Loc.make ~base ~off in
+    Hashtbl.replace mem.hists loc (History.create ~loc ~init_value)
+  done;
+  Loc.make ~base ~off:0
+
+let hist mem l =
+  match Hashtbl.find_opt mem.hists l with
+  | Some h -> h
+  | None -> error (Unallocated l)
+
+(* All messages a thread with view-of-[l] [from] may read.  Non-atomic reads
+   are handled separately in [na_read]. *)
+let read_choices mem l ~from = History.readable (hist mem l) ~from
+
+let latest mem l = History.latest (hist mem l)
+let max_ts mem l = History.max_ts (hist mem l)
+
+(* Non-atomic access check: the accessing thread must have observed the
+   mo-maximal write to the location, otherwise the access races with that
+   write (ORC11 makes racy non-atomics undefined behaviour; we *detect* and
+   report them instead).  Returns the unique readable message. *)
+let na_check mem l ~(tv : Tview.t) ~tid ~kind =
+  let h = hist mem l in
+  let m = History.latest h in
+  if not (Timestamp.leq (History.max_ts h) (View.get tv.Tview.cur l)) then
+    error (Race { loc = l; tid; kind });
+  m
+
+let na_read mem l ~tv ~tid =
+  let m = na_check mem l ~tv ~tid ~kind:"na-read" in
+  (match !m.Msg.value with
+  | Value.Poison -> error (Uninitialised { loc = l; tid })
+  | _ -> ());
+  m
+
+(* Candidate timestamps for a new write by a thread whose view of [l] is
+   [above]; the new write must be mo-after everything the writer observed. *)
+let write_ts_choices mem l ~above =
+  History.fresh_ts (hist mem l) ~policy:mem.policy ~above
+
+let add_msg mem (m : Msg.t) = History.add (hist mem m.loc) m
+
+let pp ppf mem =
+  Hashtbl.iter
+    (fun l h -> Format.fprintf ppf "%a: %a@." Loc.pp l History.pp h)
+    mem.hists

@@ -1,0 +1,46 @@
+(** The global simulated store: an allocator plus one {!History} per
+    location, with race detection for non-atomic accesses.
+
+    Memory is mutable and created fresh per execution: the model checker
+    is stateless (it replays executions from decision scripts). *)
+
+type policy = [ `Append | `Gap ]
+
+type t
+
+type error =
+  | Race of { loc : Loc.t; tid : int; kind : string }
+  | Unallocated of Loc.t
+  | Uninitialised of { loc : Loc.t; tid : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Error of error
+
+val create : ?policy:policy -> unit -> t
+
+val alloc : t -> name:string -> size:int -> init_value:Value.t -> Loc.t
+(** allocate a block of [size] cells, each with an initialisation write
+    of [init_value]; returns the base location *)
+
+val hist : t -> Loc.t -> History.t
+(** @raise Error ([Unallocated]) for unknown locations *)
+
+val read_choices : t -> Loc.t -> from:Timestamp.t -> Msg.t ref list
+(** the messages an atomic load may read (coherence-filtered, ascending) *)
+
+val latest : t -> Loc.t -> Msg.t ref
+val max_ts : t -> Loc.t -> Timestamp.t
+
+val na_check : t -> Loc.t -> tv:Tview.t -> tid:int -> kind:string -> Msg.t ref
+(** non-atomic access check: the thread must have observed the mo-maximal
+    write, else the access races (ORC11 undefined behaviour, detected).
+    @raise Error ([Race]) otherwise *)
+
+val na_read : t -> Loc.t -> tv:Tview.t -> tid:int -> Msg.t ref
+(** {!na_check} plus rejection of uninitialised ([Poison]) values.
+    @raise Error ([Race] or [Uninitialised]) *)
+
+val write_ts_choices : t -> Loc.t -> above:Timestamp.t -> Timestamp.t list
+val add_msg : t -> Msg.t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(* Write messages.
+
+   One message per write: its location, its timestamp in that location's
+   modification order, the value written, and the release views (physical
+   and logical) the writer attached.  Messages are immutable except that the
+   machine may *patch* a commit write's logical view to include the event it
+   just committed (see [Compass_machine.Machine]); histories therefore store
+   messages behind a ref. *)
+
+type t = {
+  loc : Loc.t;
+  ts : Timestamp.t;
+  value : Value.t;
+  view : View.t;  (** physical release view *)
+  lview : Lview.t;  (** logical release view *)
+  wtid : int;  (** writing thread, for traces; -1 = initialisation *)
+}
+
+let make ~loc ~ts ~value ~view ~lview ~wtid = { loc; ts; value; view; lview; wtid }
+
+let init ~loc ~value =
+  {
+    loc;
+    ts = Timestamp.init;
+    value;
+    view = View.singleton loc Timestamp.init;
+    lview = Lview.empty;
+    wtid = -1;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf "%a@@%a=%a" Loc.pp m.loc Timestamp.pp m.ts Value.pp
+    m.value

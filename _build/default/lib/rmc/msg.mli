@@ -1,0 +1,29 @@
+(** Write messages: one per write, carrying the release views the writer
+    attached (physical and logical).
+
+    Histories store messages behind refs because the machine patches a
+    commit write's logical view in the same atomic step that creates the
+    event (see {!Compass_machine.Machine}). *)
+
+type t = {
+  loc : Loc.t;
+  ts : Timestamp.t;
+  value : Value.t;
+  view : View.t;  (** physical release view *)
+  lview : Lview.t;  (** logical release view *)
+  wtid : int;  (** writing thread, for traces; [-1] = initialisation *)
+}
+
+val make :
+  loc:Loc.t ->
+  ts:Timestamp.t ->
+  value:Value.t ->
+  view:View.t ->
+  lview:Lview.t ->
+  wtid:int ->
+  t
+
+val init : loc:Loc.t -> value:Value.t -> t
+(** the initialisation write at {!Timestamp.init} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+(* Thread view state and its transitions.
+
+   Each thread carries three physical views and their logical twins:
+
+   - [cur]   the thread's current view (the paper's "seen V");
+   - [acq]   an accumulator (>= cur) for message views obtained by relaxed
+             reads, released into [cur] by an acquire fence;
+   - [rel]   the view frozen by the last release fence (<= cur), attached to
+             relaxed writes.
+
+   This is the standard view-machine for RC11-like models (promising
+   semantics / iRC11's race detector), restricted to the fragment ORC11
+   needs.  The logical components mirror the physical ones exactly, which is
+   the whole point: library-event observations flow wherever physical
+   synchronisation flows. *)
+
+type t = {
+  cur : View.t;
+  acq : View.t;
+  rel : View.t;
+  cur_l : Lview.t;
+  acq_l : Lview.t;
+  rel_l : Lview.t;
+}
+
+let init =
+  {
+    cur = View.bot;
+    acq = View.bot;
+    rel = View.bot;
+    cur_l = Lview.empty;
+    acq_l = Lview.empty;
+    rel_l = Lview.empty;
+  }
+
+(* Invariant check, used by tests: rel <= cur <= acq (likewise logically). *)
+let wf tv =
+  View.leq tv.rel tv.cur && View.leq tv.cur tv.acq
+  && Lview.leq tv.rel_l tv.cur_l
+  && Lview.leq tv.cur_l tv.acq_l
+
+let join a b =
+  {
+    cur = View.join a.cur b.cur;
+    acq = View.join a.acq b.acq;
+    rel = View.join a.rel b.rel;
+    cur_l = Lview.join a.cur_l b.cur_l;
+    acq_l = Lview.join a.acq_l b.acq_l;
+    rel_l = Lview.join a.rel_l b.rel_l;
+  }
+
+(* Effect of reading message [m] with access mode [mode] (the paper's
+   Acq-Read rule and its relaxed/non-atomic weakenings). *)
+let read tv (m : Msg.t) (mode : Mode.access) =
+  let obs v = View.extend v m.loc m.ts in
+  let tv = { tv with cur = obs tv.cur; acq = obs tv.acq } in
+  if Mode.acquires mode then
+    {
+      tv with
+      cur = View.join tv.cur m.view;
+      acq = View.join tv.acq m.view;
+      cur_l = Lview.join tv.cur_l m.lview;
+      acq_l = Lview.join tv.acq_l m.lview;
+    }
+  else if mode = Mode.Rlx then
+    {
+      tv with
+      acq = View.join tv.acq m.view;
+      acq_l = Lview.join tv.acq_l m.lview;
+    }
+  else tv
+
+(* Effect of writing to [l] at timestamp [ts] with mode [mode]: returns the
+   new thread state and the (physical, logical) release views to attach to
+   the message (the paper's Rel-Write rule and weakenings).
+
+   [rmw_read] is the message an RMW read from: C11 release sequences make
+   the RMW's store inherit that message's views, so chains of RMWs keep
+   propagating the head release. *)
+let write tv ~(l : Loc.t) ~(ts : Timestamp.t) ~(mode : Mode.access)
+    ?(rmw_read : Msg.t option) () =
+  let obs v = View.extend v l ts in
+  let tv = { tv with cur = obs tv.cur; acq = obs tv.acq } in
+  let base_view, base_lview =
+    if Mode.releases mode then (tv.cur, tv.cur_l)
+    else if mode = Mode.Rlx then
+      (View.extend tv.rel l ts, tv.rel_l)
+    else (View.singleton l ts, Lview.empty)
+  in
+  let view, lview =
+    match rmw_read with
+    | None -> (base_view, base_lview)
+    | Some m -> (View.join base_view m.view, Lview.join base_lview m.lview)
+  in
+  (tv, view, lview)
+
+let fence tv (f : Mode.fence) =
+  let do_acq tv =
+    { tv with cur = View.join tv.cur tv.acq; cur_l = Lview.join tv.cur_l tv.acq_l }
+  in
+  let do_rel tv = { tv with rel = tv.cur; rel_l = tv.cur_l } in
+  match f with
+  | Mode.F_acq -> do_acq tv
+  | Mode.F_rel -> do_rel tv
+  (* F_sc additionally joins the machine's global SC view (both ways),
+     which the machine performs — see [Compass_machine.Machine]; the
+     thread-local part is acq+rel. *)
+  | Mode.F_acqrel | Mode.F_sc -> do_rel (do_acq tv)
+
+(* Record that the thread has observed library event [e] — the operational
+   step behind "SeenQueue now contains e" after a commit. *)
+let observe_event tv e =
+  {
+    tv with
+    cur_l = Lview.add e tv.cur_l;
+    acq_l = Lview.add e tv.acq_l;
+  }
+
+let pp ppf tv =
+  Format.fprintf ppf "@[<v>cur=%a@ cur_l=%a@]" View.pp tv.cur Lview.pp tv.cur_l

@@ -1,0 +1,55 @@
+(** Thread view state and its transitions: the operational content of the
+    paper's Rel-Write / Acq-Read rules (Section 2.3) and their relaxed /
+    non-atomic / fence weakenings, for physical views and their logical
+    twins alike. *)
+
+type t = {
+  cur : View.t;  (** the thread's current view (the paper's "seen V") *)
+  acq : View.t;
+      (** accumulator ([>= cur]) of relaxed-read message views, released
+          into [cur] by an acquire fence *)
+  rel : View.t;
+      (** view frozen at the last release fence ([<= cur]), attached to
+          relaxed writes *)
+  cur_l : Lview.t;
+  acq_l : Lview.t;
+  rel_l : Lview.t;
+}
+
+val init : t
+
+val wf : t -> bool
+(** well-formedness: [rel ⊑ cur ⊑ acq], physically and logically *)
+
+val join : t -> t -> t
+(** componentwise join — used when a parent joins its children *)
+
+val read : t -> Msg.t -> Mode.access -> t
+(** effect of reading a message with the given access mode: coherence
+    always bumps [cur] at the location; acquire joins the message views
+    into [cur]; relaxed joins them into [acq] only *)
+
+val write :
+  t ->
+  l:Loc.t ->
+  ts:Timestamp.t ->
+  mode:Mode.access ->
+  ?rmw_read:Msg.t ->
+  unit ->
+  t * View.t * Lview.t
+(** effect of writing at [ts]: the new thread state and the (physical,
+    logical) release views to attach to the message.  Release writes
+    attach [cur]/[cur_l]; relaxed writes attach [rel]/[rel_l]; non-atomic
+    writes attach only the write itself.  [rmw_read] is the message an
+    RMW read from — C11 release sequences make the RMW's store inherit its
+    views. *)
+
+val fence : t -> Mode.fence -> t
+(** [F_acq]: [cur ⊔= acq]; [F_rel]: [rel := cur]; [F_acqrel]/[F_sc]:
+    both (the SC fence's global-view join is performed by the machine) *)
+
+val observe_event : t -> int -> t
+(** record that the thread has observed library event [e] — the step
+    behind "SeenQueue now contains e" after a commit *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Values stored in simulated memory and returned by library operations. *)
+
+type t =
+  | Int of int
+  | Ptr of Loc.t
+  | Null  (** null pointer; doubles as the exchange-failure token (bottom) *)
+  | Unit
+  | Sentinel  (** the elimination stack's SENTINEL (paper, Section 4.1) *)
+  | Taken  (** slot already consumed (Herlihy-Wing slots, exchanger holes) *)
+  | Fail  (** contention failure (the paper's FAIL_RACE) *)
+  | Poison  (** uninitialised memory; non-atomic reads of it are errors *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val int : int -> t
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an [Int]. *)
+
+val to_loc_exn : t -> Loc.t
+(** @raise Invalid_argument if the value is not a [Ptr]. *)
+
+val is_ptr : t -> bool

@@ -1,0 +1,44 @@
+(* Physical views: finite maps from locations to timestamps.
+
+   A thread's view records, per location, the latest write it has observed
+   (the paper's [View ::= Loc -> Time], Section 2.3).  A location absent from
+   the map has never been observed at all — this is strictly below the
+   initialisation timestamp, so that non-atomic accesses by threads that have
+   not even synchronised with the allocation are flagged as races. *)
+
+type t = Timestamp.t Loc.Map.t
+
+let bot : t = Loc.Map.empty
+
+(* [unseen] is returned for locations the view has no entry for; it is below
+   [Timestamp.init] so "observed the initialisation write" is expressible. *)
+let unseen : Timestamp.t = -1
+let get (v : t) (l : Loc.t) = match Loc.Map.find_opt l v with Some t -> t | None -> unseen
+let observed v l = get v l >= Timestamp.init
+let singleton l t : t = Loc.Map.singleton l t
+let set (v : t) l t : t = Loc.Map.add l t v
+
+(* Record an observation, keeping the view monotone: the entry only grows. *)
+let extend (v : t) l t : t =
+  Loc.Map.update l
+    (function None -> Some t | Some t' -> Some (Timestamp.max t t'))
+    v
+
+let join (a : t) (b : t) : t =
+  Loc.Map.union (fun _ x y -> Some (Timestamp.max x y)) a b
+
+let leq (a : t) (b : t) =
+  Loc.Map.for_all (fun l t -> Timestamp.leq t (get b l)) a
+
+let equal (a : t) (b : t) = Loc.Map.equal Timestamp.equal a b
+
+let pp ppf (v : t) =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (l, t) -> Format.fprintf ppf "%a@@%a" Loc.pp l Timestamp.pp t))
+    (Loc.Map.to_seq v)
+
+let to_string v = Format.asprintf "%a" pp v
+let cardinal (v : t) = Loc.Map.cardinal v
+let fold f (v : t) acc = Loc.Map.fold f v acc

@@ -1,0 +1,35 @@
+(** Physical views: finite maps from locations to timestamps (the paper's
+    [View ::= Loc -> Time], Section 2.3).
+
+    A thread's view records, per location, the latest write it has
+    observed.  A location absent from the map has never been observed at
+    all — strictly below the initialisation timestamp, so "has observed
+    the allocation" is expressible (and its absence is a data race for
+    non-atomic accesses). *)
+
+type t
+
+val bot : t
+
+val unseen : Timestamp.t
+(** returned for locations with no entry; [unseen < Timestamp.init] *)
+
+val get : t -> Loc.t -> Timestamp.t
+val observed : t -> Loc.t -> bool
+val singleton : Loc.t -> Timestamp.t -> t
+val set : t -> Loc.t -> Timestamp.t -> t
+
+val extend : t -> Loc.t -> Timestamp.t -> t
+(** record an observation; monotone (entries only grow) *)
+
+val join : t -> t -> t
+(** pointwise maximum — the lattice join [⊔] *)
+
+val leq : t -> t -> bool
+(** the view-inclusion order [⊑] *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val cardinal : t -> int
+val fold : (Loc.t -> Timestamp.t -> 'a -> 'a) -> t -> 'a -> 'a

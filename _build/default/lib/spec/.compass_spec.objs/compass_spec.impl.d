@@ -1,0 +1,1 @@
+lib/spec/compass_spec.ml: Check Exchanger_spec Linearize Queue_spec Spsc_spec Stack_spec Styles Ws_spec

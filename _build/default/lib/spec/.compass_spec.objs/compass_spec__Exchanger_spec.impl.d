@@ -1,0 +1,1 @@
+lib/spec/exchanger_spec.ml: Check Compass_event Compass_rmc Event Format Graph List Lview Value

@@ -1,0 +1,1 @@
+lib/spec/exchanger_spec.mli: Check Compass_event Graph

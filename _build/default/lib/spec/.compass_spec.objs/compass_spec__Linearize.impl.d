@@ -1,0 +1,1 @@
+lib/spec/linearize.ml: Compass_event Compass_rmc Event Graph Hashtbl Int List Order Set

@@ -1,0 +1,1 @@
+lib/spec/linearize.mli: Compass_event Compass_rmc Event Graph

@@ -1,0 +1,1 @@
+lib/spec/queue_spec.mli: Check Compass_event Graph

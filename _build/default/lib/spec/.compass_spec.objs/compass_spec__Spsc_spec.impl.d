@@ -1,0 +1,1 @@
+lib/spec/spsc_spec.ml: Check Compass_event Event Format Graph List Queue_spec

@@ -1,0 +1,1 @@
+lib/spec/spsc_spec.mli: Check Compass_event Graph

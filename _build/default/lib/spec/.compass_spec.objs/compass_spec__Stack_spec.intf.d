@@ -1,0 +1,1 @@
+lib/spec/stack_spec.mli: Check Compass_event Graph

@@ -1,0 +1,1 @@
+lib/spec/styles.ml: Check Format Linearize Queue_spec Stack_spec Ws_spec

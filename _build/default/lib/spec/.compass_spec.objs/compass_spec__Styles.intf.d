@@ -1,0 +1,1 @@
+lib/spec/styles.mli: Check Compass_event Format Graph Linearize

@@ -1,0 +1,1 @@
+lib/spec/ws_spec.mli: Check Compass_event Graph

@@ -1,0 +1,22 @@
+(* Violations: the currency of all spec checkers.
+
+   A checker examines an execution's event graph (or its commit-order
+   replay) and reports every condition it finds violated.  The empty list
+   means the execution satisfies the spec — the operational counterpart of
+   the paper's consistency predicates holding invariantly. *)
+
+type violation = { cond : string; detail : string }
+
+let v cond fmt = Format.kasprintf (fun detail -> { cond; detail }) fmt
+
+let pp_violation ppf { cond; detail } = Format.fprintf ppf "[%s] %s" cond detail
+
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "consistent"
+  | vs ->
+      Format.fprintf ppf "@[<v>%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_violation)
+        vs
+
+(* Check [p]; if it fails, produce the violation. *)
+let ensure acc cond p detail = if p then acc else v cond "%s" (detail ()) :: acc

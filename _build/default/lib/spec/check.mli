@@ -1,0 +1,15 @@
+(** Violations: the currency of all spec checkers.  The empty list means
+    the execution satisfies the spec — the operational counterpart of the
+    paper's consistency predicates holding invariantly. *)
+
+type violation = { cond : string; detail : string }
+
+val v : string -> ('a, Format.formatter, unit, violation) format4 -> 'a
+(** [v cond fmt ...] builds a violation of condition [cond] *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> violation list -> unit
+
+val ensure :
+  violation list -> string -> bool -> (unit -> string) -> violation list
+(** [ensure acc cond p detail] accumulates a violation when [p] fails *)

@@ -1,0 +1,14 @@
+(** The COMPASS specification framework, operationalised: consistency
+    conditions for queues ({!Queue_spec}), stacks ({!Stack_spec}) and
+    exchangers ({!Exchanger_spec}); linearisable histories ({!Linearize},
+    the LAThist style of Section 3.3); and the spec-style hierarchy
+    ({!Styles}) tying them together. *)
+
+module Check = Check
+module Queue_spec = Queue_spec
+module Stack_spec = Stack_spec
+module Exchanger_spec = Exchanger_spec
+module Ws_spec = Ws_spec
+module Spsc_spec = Spsc_spec
+module Linearize = Linearize
+module Styles = Styles

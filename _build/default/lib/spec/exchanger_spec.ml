@@ -1,0 +1,93 @@
+open Compass_rmc
+open Compass_event
+
+(* ExchangerConsistent — the paper's Section 4.2 (Figure 5).
+
+   Successful exchanges come in matched pairs with symmetric so edges and
+   swapped values; failed exchanges ([Exchange (v, Null)]) are unmatched.
+   Our operational machine realises the paper's helping discipline
+   literally: the helper commits the helpee's event and then its own in one
+   atomic step, so matched pairs share a commit step ([xchg-atomic-pair]) —
+   witnessing that no third commit can observe the intermediate state, the
+   property the elimination stack's LIFO argument depends on. *)
+
+let exchanges g = List.filter Event.is_exchange (Graph.events g)
+
+let is_fail (e : Event.data) =
+  match e.typ with Event.Exchange (_, Value.Null) -> true | _ -> false
+
+let check_sym g =
+  List.fold_left
+    (fun acc (a, b) ->
+      Check.ensure acc "xchg-sym"
+        (Graph.so_mem g (b, a))
+        (fun () -> Format.asprintf "so edge (e%d, e%d) lacks its mirror" a b))
+    [] (Graph.so g)
+
+let check_matches g =
+  List.fold_left
+    (fun acc (a_id, b_id) ->
+      let a = Graph.find g a_id and b = Graph.find g b_id in
+      match (a.Event.typ, b.Event.typ) with
+      | Event.Exchange (v1, v2), Event.Exchange (w1, w2) ->
+          let acc =
+            Check.ensure acc "xchg-matches"
+              (Value.equal v2 w1 && Value.equal w2 v1)
+              (fun () ->
+                Format.asprintf "pair (%a, %a) values do not swap" Event.pp a
+                  Event.pp b)
+          in
+          let acc =
+            Check.ensure acc "xchg-no-bot"
+              (not (Value.equal v1 Value.Null || Value.equal v2 Value.Null))
+              (fun () ->
+                Format.asprintf "pair (%a, %a) exchanges bottom" Event.pp a
+                  Event.pp b)
+          in
+          Check.ensure acc "xchg-no-self" (a_id <> b_id) (fun () ->
+              Format.asprintf "%a exchanges with itself" Event.pp a)
+      | _ ->
+          Check.v "xchg-matches" "so pair (e%d, e%d) on non-exchange events"
+            a_id b_id
+          :: acc)
+    [] (Graph.so g)
+
+let check_pairing g =
+  List.fold_left
+    (fun acc (e : Event.data) ->
+      let partners = Graph.so_out g e.id in
+      if is_fail e then
+        Check.ensure acc "xchg-fail-unpaired" (partners = []) (fun () ->
+            Format.asprintf "failed exchange %a has a partner" Event.pp e)
+      else
+        Check.ensure acc "xchg-success-paired"
+          (List.length partners = 1)
+          (fun () ->
+            Format.asprintf "successful exchange %a has %d partners" Event.pp e
+              (List.length partners)))
+    [] (exchanges g)
+
+(* Matched pairs are committed in one atomic step, and each event's logical
+   view contains both events of the pair (Figure 5: e1, e2 ∈ M'). *)
+let check_atomic_pair g =
+  List.fold_left
+    (fun acc (a_id, b_id) ->
+      if a_id > b_id then acc
+      else
+        let a = Graph.find g a_id and b = Graph.find g b_id in
+        let acc =
+          Check.ensure acc "xchg-atomic-pair"
+            (fst a.Event.cix = fst b.Event.cix)
+            (fun () ->
+              Format.asprintf "pair (%a, %a) committed in separate steps"
+                Event.pp a Event.pp b)
+        in
+        Check.ensure acc "xchg-mutual-lview"
+          (Lview.mem a_id b.Event.logview && Lview.mem b_id a.Event.logview)
+          (fun () ->
+            Format.asprintf "pair (%a, %a) logical views not mutual" Event.pp a
+              Event.pp b))
+    [] (Graph.so g)
+
+let consistent g =
+  check_sym g @ check_matches g @ check_pairing g @ check_atomic_pair g

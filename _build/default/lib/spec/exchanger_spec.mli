@@ -1,0 +1,21 @@
+open Compass_event
+
+(** ExchangerConsistent — the paper's Section 4.2 (Figure 5).
+
+    Successful exchanges come in matched pairs with symmetric so edges and
+    swapped values; failed exchanges ([Exchange (v, Null)]) are unmatched.
+    Matched pairs must share a commit step — the operational witness of
+    the helping discipline: the helper commits the helpee's event and its
+    own in one atomic instruction, so no third commit observes the
+    intermediate state (the property the elimination stack's LIFO argument
+    needs). *)
+
+val check_sym : Graph.t -> Check.violation list
+val check_matches : Graph.t -> Check.violation list
+val check_pairing : Graph.t -> Check.violation list
+
+val check_atomic_pair : Graph.t -> Check.violation list
+(** matched pairs share a commit step, and each event's logical view
+    contains both (Figure 5: [e1, e2 ∈ M']) *)
+
+val consistent : Graph.t -> Check.violation list

@@ -1,0 +1,136 @@
+open Compass_event
+
+(* LAThist (Section 3.3): linearisable histories.
+
+   The spec asserts the existence of a total order [to] over the object's
+   events that (1) respects lhb (but, unlike classical linearisability, is
+   not required to *imply* it), and (2) can be interpreted as a sequential
+   run of the data type ([interp(to, vs)] in Figure 4): pushes/pops behave
+   LIFO, empty operations happen only on a truly empty state.
+
+   We check it two ways:
+
+   - [commit_order_valid]: is the machine's commit order already such a
+     [to]?  For strongly-placed commit points (Treiber's head CASes —
+     exactly the paper's observation that [to] is derivable from lhb plus
+     the head's modification order) this fast path succeeds whenever no
+     stale empty-read occurred.
+
+   - [search]: a backtracking enumeration of linear extensions of lhb,
+     memoised on (used-event-set, abstract state); complete for the graph
+     sizes the model checker produces.  This is the general fallback —
+     e.g. the Herlihy-Wing queue needs genuine reordering (the SC proof
+     needed prophecy variables; offline search replaces prophecy). *)
+
+type kind = Queue | Stack | Deque
+
+(* Sequential interpretation: one step of [interp].  The abstract state
+   pairs values with the event id of the operation that inserted them, so
+   that the so matching is respected, not just value equality. *)
+let apply kind g (vs : (Compass_rmc.Value.t * int) list) (e : Event.data) =
+  let so_mate d_id =
+    match Graph.so_in g d_id with [ e_id ] -> Some e_id | _ -> None
+  in
+  match (kind, e.typ) with
+  | Queue, Event.Enq v | Stack, Event.Push v ->
+      Some (match kind with Queue -> vs @ [ (v, e.id) ] | _ -> (v, e.id) :: vs)
+  | Queue, Event.Deq v | Stack, Event.Pop v -> (
+      match vs with
+      | (w, ins_id) :: vs'
+        when Compass_rmc.Value.equal v w && so_mate e.id = Some ins_id ->
+          Some vs'
+      | _ -> None)
+  | Queue, Event.EmpDeq | Stack, Event.EmpPop ->
+      if vs = [] then Some [] else None
+  (* Deque (experiment E8): the owner works the back, thieves the front;
+     we keep the *back* at the list head so owner operations are O(1). *)
+  | Deque, Event.Push v -> Some ((v, e.id) :: vs)
+  | Deque, Event.Pop v -> (
+      match vs with
+      | (w, ins_id) :: vs'
+        when Compass_rmc.Value.equal v w && so_mate e.id = Some ins_id ->
+          Some vs'
+      | _ -> None)
+  | Deque, Event.Steal v -> (
+      match List.rev vs with
+      | (w, ins_id) :: front_rev
+        when Compass_rmc.Value.equal v w && so_mate e.id = Some ins_id ->
+          Some (List.rev front_rev)
+      | _ -> None)
+  | Deque, (Event.EmpPop | Event.EmpSteal) -> if vs = [] then Some [] else None
+  | _ -> None
+
+(* Fast path: replay the commit order. *)
+let commit_order_valid kind g =
+  let rec go vs = function
+    | [] -> true
+    | e :: rest -> ( match apply kind g vs e with Some vs' -> go vs' rest | None -> false)
+  in
+  go [] (Graph.events_by_cix g)
+
+type result =
+  | Linearizable of int list  (** a witnessing [to], earliest first *)
+  | Not_linearizable
+  | Gave_up  (** search budget exhausted *)
+
+(* Backtracking search for a linear extension of lhb that interp accepts. *)
+let search ?(max_nodes = 2_000_000) kind g =
+  let events = Graph.events_by_cix g in
+  let n = List.length events in
+  let by_id = Hashtbl.create (2 * n + 1) in
+  List.iter (fun (e : Event.data) -> Hashtbl.replace by_id e.id e) events;
+  (* lhb predecessors within this graph. *)
+  let preds = Hashtbl.create (2 * n + 1) in
+  List.iter
+    (fun (e : Event.data) ->
+      let ps =
+        Compass_rmc.Lview.fold
+          (fun d acc -> if d <> e.id && Graph.mem g d then d :: acc else acc)
+          e.logview []
+      in
+      Hashtbl.replace preds e.id ps)
+    events;
+  let budget = ref max_nodes in
+  let memo : (int list * (Compass_rmc.Value.t * int) list, unit) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let module Iset = Set.Make (Int) in
+  let exception Found of int list in
+  let rec go used vs acc =
+    if Iset.cardinal used = n then raise (Found (List.rev acc));
+    decr budget;
+    if !budget <= 0 then raise Exit;
+    let key = (Iset.elements used, vs) in
+    if not (Hashtbl.mem memo key) then begin
+      Hashtbl.replace memo key ();
+      List.iter
+        (fun (e : Event.data) ->
+          if
+            (not (Iset.mem e.id used))
+            && List.for_all (fun p -> Iset.mem p used) (Hashtbl.find preds e.id)
+          then
+            match apply kind g vs e with
+            | Some vs' -> go (Iset.add e.id used) vs' (e.id :: acc)
+            | None -> ())
+        events
+    end
+  in
+  try
+    go Iset.empty [] [];
+    Not_linearizable
+  with
+  | Found order -> Linearizable order
+  | Exit -> Gave_up
+
+(* Sanity: a claimed [to] really is a linear extension that interp accepts. *)
+let validate kind g order =
+  let rec go vs = function
+    | [] -> true
+    | id :: rest -> (
+        match apply kind g vs (Graph.find g id) with
+        | Some vs' -> go vs' rest
+        | None -> false)
+  in
+  let nodes = List.map (fun (e : Event.data) -> e.id) (Graph.events g) in
+  let rel = Order.of_pairs ~nodes (Graph.lhb_pairs g) in
+  Order.is_linear_extension rel order && go [] order

@@ -1,0 +1,42 @@
+open Compass_event
+
+(** LAThist (paper, Section 3.3): linearisable histories.
+
+    The spec asserts a total order [to] over the object's events that
+    respects lhb (but, unlike classical linearisability, need not imply
+    it) and can be interpreted as a sequential run ([interp(to, vs)],
+    Figure 4).  Two checks:
+
+    - {!commit_order_valid}: is the machine's commit order already such a
+      [to]?  For strongly-placed commit points (Treiber's head CASes —
+      the paper's "derivable from lhb plus the head's modification
+      order") this fast path succeeds whenever no stale empty-read
+      occurred;
+    - {!search}: a memoised backtracking enumeration of lhb's linear
+      extensions — the general fallback (e.g. the Herlihy-Wing queue needs
+      genuine reordering; offline search replaces the prophecy variables
+      the SC proof needed). *)
+
+type kind = Queue | Stack | Deque
+
+val apply :
+  kind ->
+  Graph.t ->
+  (Compass_rmc.Value.t * int) list ->
+  Event.data ->
+  (Compass_rmc.Value.t * int) list option
+(** one step of [interp]; the abstract state pairs values with inserting
+    event ids so that so-matching, not just value equality, is enforced *)
+
+val commit_order_valid : kind -> Graph.t -> bool
+
+type result =
+  | Linearizable of int list  (** a witnessing [to], earliest first *)
+  | Not_linearizable
+  | Gave_up  (** search budget exhausted *)
+
+val search : ?max_nodes:int -> kind -> Graph.t -> result
+
+val validate : kind -> Graph.t -> int list -> bool
+(** a claimed [to] really is a linear extension of lhb that interp
+    accepts *)

@@ -1,0 +1,229 @@
+open Compass_rmc
+open Compass_event
+
+(* QueueConsistent — the paper's consistency conditions for queues
+   (Figure 2, bottom right), checked on a concrete execution's graph.
+
+   All conditions are stated against the graph *at the commit point* of the
+   event under inspection; operationally that is the commit-index prefix,
+   so quantifiers over "already committed" events are bounded by [cix]. *)
+
+let enqs g = List.filter Event.is_enq (Graph.events g)
+let deqs g = List.filter Event.is_deq (Graph.events g)
+let empdeqs g = List.filter Event.is_empdeq (Graph.events g)
+
+let before (a : Event.data) (b : Event.data) = Event.cix_compare a.cix b.cix < 0
+
+(* QUEUE-MATCHES: a dequeue returns the value its matched enqueue inserted. *)
+let check_matches g =
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let e = Graph.find g e_id and d = Graph.find g d_id in
+      match (e.Event.typ, d.Event.typ) with
+      | Event.Enq v, Event.Deq w when Value.equal v w -> acc
+      | _ ->
+          Check.v "queue-matches" "so pair (%a, %a) mismatched" Event.pp e
+            Event.pp d
+          :: acc)
+    [] (Graph.so g)
+
+(* QUEUE-UNIQ: so matches enqueues to dequeues bijectively — an element is
+   dequeued at most once, and every successful dequeue dequeues exactly one
+   enqueue (footnote 5 of the paper). *)
+let check_uniq g =
+  let acc = ref [] in
+  List.iter
+    (fun (e : Event.data) ->
+      let outs = Graph.so_out g e.id in
+      if List.length outs > 1 then
+        acc :=
+          Check.v "queue-uniq" "enqueue %a dequeued %d times" Event.pp e
+            (List.length outs)
+          :: !acc)
+    (enqs g);
+  List.iter
+    (fun (d : Event.data) ->
+      let ins = Graph.so_in g d.id in
+      (match ins with
+      | [ e_id ] ->
+          if not (Event.is_enq (Graph.find g e_id)) then
+            acc := Check.v "queue-uniq" "dequeue %a matched to a non-enqueue" Event.pp d :: !acc
+      | [] -> acc := Check.v "queue-uniq" "dequeue %a matched to no enqueue" Event.pp d :: !acc
+      | _ ->
+          acc :=
+            Check.v "queue-uniq" "dequeue %a matched %d times" Event.pp d
+              (List.length ins)
+            :: !acc);
+      if Graph.so_out g d.id <> [] then
+        acc := Check.v "queue-uniq" "dequeue %a used as so source" Event.pp d :: !acc)
+    (deqs g);
+  List.iter
+    (fun (d : Event.data) ->
+      if Graph.so_in g d.id <> [] || Graph.so_out g d.id <> [] then
+        acc := Check.v "queue-uniq" "empty dequeue %a has so edges" Event.pp d :: !acc)
+    (empdeqs g);
+  !acc
+
+(* so ⊆ lhb, and so respects commit order: a dequeue commits after the
+   enqueue it takes from and has synchronised with it. *)
+let check_so_lhb g =
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let e = Graph.find g e_id and d = Graph.find g d_id in
+      let acc =
+        Check.ensure acc "queue-so-lhb"
+          (Graph.lhb g ~before:e_id ~after:d_id)
+          (fun () -> Format.asprintf "(%a, %a) in so but not lhb" Event.pp e Event.pp d)
+      in
+      Check.ensure acc "queue-so-cix" (before e d) (fun () ->
+          Format.asprintf "so pair (%a, %a) violates commit order" Event.pp e
+            Event.pp d))
+    [] (Graph.so g)
+
+(* QUEUE-FIFO (the paper's weak, RMC-compatible form): if enqueue e' happens
+   before enqueue e and some dequeue d takes e, then e' has already been
+   dequeued — by a d' committed before d, and d must not happen before
+   d'. *)
+let check_fifo g =
+  let so = Graph.so g in
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let d = Graph.find g d_id in
+      if not (Event.is_deq d) then acc
+      else
+        let e = Graph.find g e_id in
+        List.fold_left
+          (fun acc (e' : Event.data) ->
+            if e'.id <> e_id && Graph.lhb g ~before:e'.id ~after:e_id then
+              let dequeued_before =
+                List.exists
+                  (fun (f, t) ->
+                    f = e'.id
+                    &&
+                    let d' = Graph.find g t in
+                    before d' d && not (Graph.lhb g ~before:d_id ~after:t))
+                  so
+              in
+              Check.ensure acc "queue-fifo" dequeued_before (fun () ->
+                  Format.asprintf
+                    "%a happens-before %a, yet %a dequeues %a while %a is \
+                     undequeued"
+                    Event.pp e' Event.pp e Event.pp d Event.pp e Event.pp e')
+            else acc)
+          acc (enqs g))
+    [] so
+
+(* QUEUE-EMPDEQ: an empty dequeue d is justified only if every enqueue that
+   happens before d had already been dequeued when d committed. *)
+let check_empdeq g =
+  let so = Graph.so g in
+  List.fold_left
+    (fun acc (d : Event.data) ->
+      List.fold_left
+        (fun acc (e : Event.data) ->
+          if Graph.lhb g ~before:e.id ~after:d.id then
+            let consumed =
+              List.exists
+                (fun (f, t) -> f = e.id && before (Graph.find g t) d)
+                so
+            in
+            Check.ensure acc "queue-empdeq" consumed (fun () ->
+                Format.asprintf
+                  "empty dequeue %a although %a happens-before it and is \
+                   undequeued"
+                  Event.pp d Event.pp e)
+          else acc)
+        acc (enqs g))
+    [] (empdeqs g)
+
+(* lhb must be consistent with commit order: an event only observes events
+   committed in earlier steps — or in the *same* atomic step, which is how
+   helped pairs mutually observe each other (the paper's footnote 7: the
+   two matching exchange commits are not both hb-ordered, yet each call's
+   beginning happens before the other's end). *)
+let check_lhb_order g =
+  let acc = ref [] in
+  List.iter
+    (fun (e : Event.data) ->
+      Lview.iter
+        (fun d_id ->
+          if d_id <> e.id then
+            match Graph.find_opt g d_id with
+            | Some d ->
+                if fst d.Event.cix > fst e.Event.cix then
+                  acc :=
+                    Check.v "lhb-cix"
+                      "%a observes %a which commits later" Event.pp e Event.pp
+                      d
+                    :: !acc
+            | None -> ()
+            (* foreign-object event: fine *))
+        e.logview)
+    (Graph.events g);
+  !acc
+
+(* The full graph-based consistency (the paper's QueueConsistent). *)
+let consistent g =
+  check_matches g @ check_uniq g @ check_so_lhb g @ check_fifo g
+  @ check_empdeq g @ check_lhb_order g
+
+(* -- Abstract states (LATabs styles, Sections 2.3 and 3.1) ------------------
+
+   Replaying the commits in commit order while maintaining the abstract
+   queue [vs] checks that every commit point can be explained as an atomic
+   update of the abstract state — what the LATabs specs demand.  Strongly
+   synchronised implementations (Michael-Scott) pass; the relaxed
+   Herlihy-Wing queue does not (Section 3.2), which is precisely why the
+   paper introduces the abstract-state-free LAThb style. *)
+
+(* [require_empty] adds the SC-only condition that an empty dequeue commits
+   on a truly empty abstract state (SC-DEQ in Figure 2).  The RMC LATabs
+   specs deliberately drop it — a thread may see the queue as empty while a
+   not-yet-visible enqueue has committed (Section 2.3) — and our
+   experiments confirm that even the release-acquire Michael-Scott queue
+   admits such executions. *)
+let abstract_state ?(require_empty = false) g =
+  let events = Graph.events_by_cix g in
+  let rec go vs acc = function
+    | [] -> List.rev acc
+    | (e : Event.data) :: rest -> (
+        match e.typ with
+        | Event.Enq v -> go (vs @ [ (v, e.id) ]) acc rest
+        | Event.Deq v -> (
+            match vs with
+            | (w, e_id) :: vs' ->
+                let acc =
+                  if not (Value.equal v w) then
+                    Check.v "latabs-fifo"
+                      "dequeue %a at commit point returns %a but head is %a"
+                      Event.pp e Value.pp v Value.pp w
+                    :: acc
+                  else if not (List.mem (e_id, e.id) (Graph.so g)) then
+                    Check.v "latabs-match"
+                      "dequeue %a takes abstract head e%d but so says \
+                       otherwise"
+                      Event.pp e e_id
+                    :: acc
+                  else acc
+                in
+                go vs' acc rest
+            | [] ->
+                go vs
+                  (Check.v "latabs-nonempty"
+                     "dequeue %a commits on an empty abstract queue" Event.pp e
+                  :: acc)
+                  rest)
+        | Event.EmpDeq ->
+            let acc =
+              if require_empty && vs <> [] then
+                Check.v "latabs-empty"
+                  "empty dequeue %a commits while abstract queue holds %d \
+                   elements"
+                  Event.pp e (List.length vs)
+                :: acc
+              else acc
+            in
+            go vs acc rest
+        | _ -> go vs acc rest)
+  in
+  go [] [] events

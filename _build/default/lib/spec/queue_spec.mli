@@ -1,0 +1,44 @@
+open Compass_event
+
+(** QueueConsistent — the paper's consistency conditions for queues
+    (Figure 2, bottom right), checked on a concrete execution's graph.
+
+    Quantifiers over "already committed" events are bounded by commit
+    indices, so each condition is evaluated against the graph {e at the
+    commit point} of the event under inspection, as the specs demand. *)
+
+val check_matches : Graph.t -> Check.violation list
+(** QUEUE-MATCHES: a dequeue returns its matched enqueue's value *)
+
+val check_uniq : Graph.t -> Check.violation list
+(** an element is dequeued at most once; every successful dequeue matches
+    exactly one enqueue (the paper's footnote 5) *)
+
+val check_so_lhb : Graph.t -> Check.violation list
+(** [so ⊆ lhb], and so respects commit order *)
+
+val check_fifo : Graph.t -> Check.violation list
+(** QUEUE-FIFO in the paper's weak, RMC-compatible form: if [e' -lhb-> e]
+    and [d] dequeues [e], then [e'] was already dequeued by some [d'] with
+    [(d, d') ∉ lhb] *)
+
+val check_empdeq : Graph.t -> Check.violation list
+(** QUEUE-EMPDEQ: an empty dequeue is justified only if every enqueue that
+    happens before it had already been dequeued — the condition that
+    verifies the MP client (Figure 1) *)
+
+val check_lhb_order : Graph.t -> Check.violation list
+(** events only observe events of earlier steps (same-step mutual
+    observation is allowed: helped pairs, the paper's footnote 7) *)
+
+val consistent : Graph.t -> Check.violation list
+(** all of the above: the paper's QueueConsistent *)
+
+val abstract_state : ?require_empty:bool -> Graph.t -> Check.violation list
+(** Commit-point abstract-state replay (the LATabs styles, Sections 2.3
+    and 3.1): every commit must be an atomic update of the abstract queue.
+    Michael-Scott passes; the relaxed Herlihy-Wing queue fails — the
+    paper's motivation for the abstract-state-free LAThb style
+    (Section 3.2).  [require_empty] adds the SC-only condition that empty
+    dequeues find a truly empty state (SC-DEQ in Figure 2); the RMC specs
+    deliberately drop it. *)

@@ -1,0 +1,117 @@
+open Compass_event
+
+(* The derived SPSC specs of Section 3.2.
+
+   "We use the LAThb specs for queues to derive the *stronger*
+   LAThb-style specs for SPSC queues, simply by building a concurrent
+   SPSC client protocol.  In this derivation, thanks to logical
+   atomicity, at every commit point of a successful dequeue we can easily
+   match it up with the right enqueue and thus prove FIFO."
+
+   Under the SPSC protocol — one enqueuing thread, one dequeuing thread —
+   the partial orders collapse: enqueues are totally ordered by the
+   producer's program order, dequeues by the consumer's, and the weak
+   QUEUE-FIFO condition strengthens to *strict* FIFO: the k-th successful
+   dequeue takes the k-th enqueue.  This module checks that derived spec
+   on an execution's graph:
+
+   - SPSC-DISCIPLINE: all enqueues share one thread, all dequeues
+     (including empty ones) another;
+   - SPSC-FIFO: matching in so is exactly position-by-position;
+   - SPSC-EMPDEQ: an empty dequeue is justified only if every enqueue the
+     consumer had observed was already consumed — with a single consumer
+     this strengthens to: the number of successful dequeues before it
+     covers every observed enqueue.
+
+   Together with QueueConsistent (which the base checkers provide), a
+   violation here means the *derivation* is wrong, not just the queue. *)
+
+let check_discipline g =
+  let acc = ref [] in
+  let enq_tids =
+    List.filter Event.is_enq (Graph.events g)
+    |> List.map (fun (e : Event.data) -> e.Event.tid)
+    |> List.sort_uniq compare
+  in
+  let deq_tids =
+    List.filter (fun e -> Event.is_deq e || Event.is_empdeq e) (Graph.events g)
+    |> List.map (fun (e : Event.data) -> e.Event.tid)
+    |> List.sort_uniq compare
+  in
+  if List.length enq_tids > 1 then
+    acc :=
+      Check.v "spsc-discipline" "%d producer threads" (List.length enq_tids)
+      :: !acc;
+  if List.length deq_tids > 1 then
+    acc :=
+      Check.v "spsc-discipline" "%d consumer threads" (List.length deq_tids)
+      :: !acc;
+  (match (enq_tids, deq_tids) with
+  | [ p ], [ c ] when p = c ->
+      acc := Check.v "spsc-discipline" "producer = consumer" :: !acc
+  | _ -> ());
+  !acc
+
+(* Strict FIFO: the k-th successful dequeue (in the consumer's program
+   order = commit order, single consumer) matches the k-th enqueue (in the
+   producer's program order = commit order). *)
+let check_strict_fifo g =
+  let enqs =
+    Graph.events_by_cix g |> List.filter Event.is_enq
+    |> List.map (fun (e : Event.data) -> e.Event.id)
+  in
+  let deqs =
+    Graph.events_by_cix g |> List.filter Event.is_deq
+    |> List.map (fun (d : Event.data) -> d.Event.id)
+  in
+  let rec go k es ds acc =
+    match (es, ds) with
+    | _, [] -> acc
+    | [], d :: _ ->
+        Check.v "spsc-fifo" "dequeue e%d has no matching enqueue (position %d)"
+          d k
+        :: acc
+    | e :: es', d :: ds' ->
+        let acc =
+          if Graph.so_mem g (e, d) then acc
+          else
+            Check.v "spsc-fifo"
+              "position %d: dequeue e%d does not take enqueue e%d" k d e
+            :: acc
+        in
+        go (k + 1) es' ds' acc
+  in
+  go 0 enqs deqs []
+
+(* Single-consumer empty dequeues: at an empty dequeue, every enqueue in
+   its logical view must be covered by the successful dequeues committed
+   before it — and since the consumer is the only dequeuer and dequeues
+   strictly FIFO, "covered" is a plain count. *)
+let check_empdeq g =
+  let deqs_before (d : Event.data) =
+    Graph.events_by_cix g
+    |> List.filter (fun (x : Event.data) ->
+           Event.is_deq x && Event.cix_compare x.Event.cix d.Event.cix < 0)
+    |> List.length
+  in
+  List.fold_left
+    (fun acc (d : Event.data) ->
+      let observed_enqs =
+        List.filter
+          (fun (e : Event.data) -> Graph.lhb g ~before:e.Event.id ~after:d.Event.id)
+          (List.filter Event.is_enq (Graph.events g))
+        |> List.length
+      in
+      let consumed = deqs_before d in
+      Check.ensure acc "spsc-empdeq"
+        (consumed >= observed_enqs)
+        (fun () ->
+          Format.asprintf
+            "empty dequeue %a: %d enqueues observed but only %d consumed"
+            Event.pp d observed_enqs consumed))
+    []
+    (List.filter Event.is_empdeq (Graph.events g))
+
+let consistent g =
+  Queue_spec.consistent g @ check_discipline g @ check_strict_fifo g
+  @ check_empdeq g

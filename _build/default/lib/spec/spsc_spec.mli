@@ -1,0 +1,19 @@
+open Compass_event
+
+(** The derived SPSC specs of Section 3.2: under a single-producer
+    single-consumer protocol the weak QUEUE-FIFO strengthens to strict
+    position-by-position FIFO, and the empty-dequeue condition to a plain
+    count.  A violation here (on an SPSC execution that passes
+    QueueConsistent) would refute the paper's derivation, not just the
+    implementation. *)
+
+val check_discipline : Graph.t -> Check.violation list
+(** one producer thread, one distinct consumer thread *)
+
+val check_strict_fifo : Graph.t -> Check.violation list
+(** the k-th successful dequeue takes the k-th enqueue *)
+
+val check_empdeq : Graph.t -> Check.violation list
+
+val consistent : Graph.t -> Check.violation list
+(** QueueConsistent plus the derived SPSC conditions *)

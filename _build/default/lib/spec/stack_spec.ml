@@ -1,0 +1,193 @@
+open Compass_rmc
+open Compass_event
+
+(* StackConsistent — the LIFO analogue of QueueConsistent (the paper gives
+   the queue instance in Figure 2 and notes in Section 4.1 that "the key
+   difference is the change from FIFO to LIFO in consistency"). *)
+
+let pushes g = List.filter Event.is_push (Graph.events g)
+let pops g = List.filter Event.is_pop (Graph.events g)
+let emppops g = List.filter Event.is_emppop (Graph.events g)
+let before (a : Event.data) (b : Event.data) = Event.cix_compare a.cix b.cix < 0
+
+let check_matches g =
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let e = Graph.find g e_id and d = Graph.find g d_id in
+      match (e.Event.typ, d.Event.typ) with
+      | Event.Push v, Event.Pop w when Value.equal v w -> acc
+      | _ ->
+          Check.v "stack-matches" "so pair (%a, %a) mismatched" Event.pp e
+            Event.pp d
+          :: acc)
+    [] (Graph.so g)
+
+let check_uniq g =
+  let acc = ref [] in
+  List.iter
+    (fun (e : Event.data) ->
+      let outs = Graph.so_out g e.id in
+      if List.length outs > 1 then
+        acc :=
+          Check.v "stack-uniq" "push %a popped %d times" Event.pp e
+            (List.length outs)
+          :: !acc)
+    (pushes g);
+  List.iter
+    (fun (d : Event.data) ->
+      match Graph.so_in g d.id with
+      | [ e_id ] when Event.is_push (Graph.find g e_id) -> ()
+      | ins ->
+          acc :=
+            Check.v "stack-uniq" "pop %a matched %d times (need exactly 1 push)"
+              Event.pp d (List.length ins)
+            :: !acc)
+    (pops g);
+  List.iter
+    (fun (d : Event.data) ->
+      if Graph.so_in g d.id <> [] || Graph.so_out g d.id <> [] then
+        acc := Check.v "stack-uniq" "empty pop %a has so edges" Event.pp d :: !acc)
+    (emppops g);
+  !acc
+
+let check_so_lhb g =
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let e = Graph.find g e_id and d = Graph.find g d_id in
+      let acc =
+        Check.ensure acc "stack-so-lhb"
+          (Graph.lhb g ~before:e_id ~after:d_id)
+          (fun () ->
+            Format.asprintf "(%a, %a) in so but not lhb" Event.pp e Event.pp d)
+      in
+      Check.ensure acc "stack-so-cix" (before e d) (fun () ->
+          Format.asprintf "so pair (%a, %a) violates commit order" Event.pp e
+            Event.pp d))
+    [] (Graph.so g)
+
+(* STACK-LIFO: if pop d takes push e, then any push e' with
+   e -lhb-> e' -lhb-> d (pushed after e, visible to d) must already be
+   popped when d commits, by a pop d' that d does not happen before. *)
+let check_lifo g =
+  let so = Graph.so g in
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let d = Graph.find g d_id in
+      if not (Event.is_pop d) then acc
+      else
+        let e = Graph.find g e_id in
+        List.fold_left
+          (fun acc (e' : Event.data) ->
+            if
+              e'.id <> e_id
+              && Graph.lhb g ~before:e_id ~after:e'.id
+              && Graph.lhb g ~before:e'.id ~after:d_id
+            then
+              let popped_before =
+                List.exists
+                  (fun (f, t) ->
+                    f = e'.id
+                    &&
+                    let d' = Graph.find g t in
+                    before d' d && not (Graph.lhb g ~before:d_id ~after:t))
+                  so
+              in
+              Check.ensure acc "stack-lifo" popped_before (fun () ->
+                  Format.asprintf
+                    "%a pushed after %a and visible to %a, yet unpopped when \
+                     %a pops %a"
+                    Event.pp e' Event.pp e Event.pp d Event.pp d Event.pp e)
+            else acc)
+          acc (pushes g))
+    [] so
+
+(* STACK-EMPPOP: an empty pop is justified only if every push that happens
+   before it had already been popped. *)
+let check_emppop g =
+  let so = Graph.so g in
+  List.fold_left
+    (fun acc (d : Event.data) ->
+      List.fold_left
+        (fun acc (e : Event.data) ->
+          if Graph.lhb g ~before:e.id ~after:d.id then
+            let consumed =
+              List.exists (fun (f, t) -> f = e.id && before (Graph.find g t) d) so
+            in
+            Check.ensure acc "stack-emppop" consumed (fun () ->
+                Format.asprintf
+                  "empty pop %a although %a happens-before it and is unpopped"
+                  Event.pp d Event.pp e)
+          else acc)
+        acc (pushes g))
+    [] (emppops g)
+
+(* Same-step observation is allowed: see Queue_spec.check_lhb_order. *)
+let check_lhb_order g =
+  let acc = ref [] in
+  List.iter
+    (fun (e : Event.data) ->
+      Lview.iter
+        (fun d_id ->
+          if d_id <> e.id then
+            match Graph.find_opt g d_id with
+            | Some d ->
+                if fst d.Event.cix > fst e.Event.cix then
+                  acc :=
+                    Check.v "lhb-cix" "%a observes %a which commits later"
+                      Event.pp e Event.pp d
+                    :: !acc
+            | None -> ())
+        e.logview)
+    (Graph.events g);
+  !acc
+
+let consistent g =
+  check_matches g @ check_uniq g @ check_so_lhb g @ check_lifo g
+  @ check_emppop g @ check_lhb_order g
+
+(* Commit-order abstract-state replay (the LATabs analogue for stacks).
+   [require_empty] adds the SC-only truly-empty condition; see
+   Queue_spec.abstract_state. *)
+let abstract_state ?(require_empty = false) g =
+  let events = Graph.events_by_cix g in
+  let rec go vs acc = function
+    | [] -> List.rev acc
+    | (e : Event.data) :: rest -> (
+        match e.typ with
+        | Event.Push v -> go ((v, e.id) :: vs) acc rest
+        | Event.Pop v -> (
+            match vs with
+            | (w, e_id) :: vs' ->
+                let acc =
+                  if not (Value.equal v w) then
+                    Check.v "latabs-lifo"
+                      "pop %a at commit point returns %a but top is %a"
+                      Event.pp e Value.pp v Value.pp w
+                    :: acc
+                  else if not (List.mem (e_id, e.id) (Graph.so g)) then
+                    Check.v "latabs-match"
+                      "pop %a takes abstract top e%d but so says otherwise"
+                      Event.pp e e_id
+                    :: acc
+                  else acc
+                in
+                go vs' acc rest
+            | [] ->
+                go vs
+                  (Check.v "latabs-nonempty"
+                     "pop %a commits on an empty abstract stack" Event.pp e
+                  :: acc)
+                  rest)
+        | Event.EmpPop ->
+            let acc =
+              if require_empty && vs <> [] then
+                Check.v "latabs-empty"
+                  "empty pop %a commits while abstract stack holds %d elements"
+                  Event.pp e (List.length vs)
+                :: acc
+              else acc
+            in
+            go vs acc rest
+        | _ -> go vs acc rest)
+  in
+  go [] [] events

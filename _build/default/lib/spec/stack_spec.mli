@@ -1,0 +1,21 @@
+open Compass_event
+
+(** StackConsistent — the LIFO analogue of {!Queue_spec} (the paper notes
+    in Section 4.1 that "the key difference is the change from FIFO to
+    LIFO in consistency"). *)
+
+val check_matches : Graph.t -> Check.violation list
+val check_uniq : Graph.t -> Check.violation list
+val check_so_lhb : Graph.t -> Check.violation list
+
+val check_lifo : Graph.t -> Check.violation list
+(** STACK-LIFO (weak form): if pop [d] takes [e], any push [e'] with
+    [e -lhb-> e' -lhb-> d] must already be popped when [d] commits *)
+
+val check_emppop : Graph.t -> Check.violation list
+val check_lhb_order : Graph.t -> Check.violation list
+
+val consistent : Graph.t -> Check.violation list
+
+val abstract_state : ?require_empty:bool -> Graph.t -> Check.violation list
+(** commit-order abstract-state replay; see {!Queue_spec.abstract_state} *)

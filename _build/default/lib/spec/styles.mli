@@ -1,0 +1,44 @@
+open Compass_event
+
+(** The spec-style hierarchy (paper, Sections 2.3-3.3), as checkable
+    predicates on one execution's graph:
+
+    - [So_abs]: commit-point abstract state only (Cosmo's demand);
+    - [Hb]: graph consistency only (lhb/so conditions) — the LAThb style;
+    - [Hb_abs]: both — LAThb-abs;
+    - [Hist]: both plus a linearisable history — LAThist;
+    - [Sc_abs]: the SC spec of Figure 2 including the truly-empty
+      condition — satisfied by no relaxed implementation (Section 2.3's
+      "an RMC spec cannot be quite as strong as the SC spec"), only by
+      the coarse-grained lock baselines.
+
+    An implementation "satisfies" a style when every explored execution
+    passes — the checking counterpart of the paper's per-style
+    verification results (experiment E2's matrix). *)
+
+type style = So_abs | Hb_abs | Hb | Hist | Sc_abs
+
+val style_name : style -> string
+val all_styles : style list
+
+type kind = Linearize.kind = Queue | Stack | Deque
+
+val graph_consistent : kind -> Graph.t -> Check.violation list
+val abs_consistent : ?require_empty:bool -> kind -> Graph.t -> Check.violation list
+
+val check : ?max_nodes:int -> style -> kind -> Graph.t -> Check.violation list
+(** check one style on one execution's graph; [max_nodes] bounds the
+    LAThist search *)
+
+(** {1 Aggregation across executions} *)
+
+type tally = {
+  mutable execs : int;
+  mutable failed : int;
+  mutable example : Check.violation option;
+}
+
+val fresh_tally : unit -> tally
+val tally_one : tally -> Check.violation list -> unit
+val satisfied : tally -> bool
+val pp_tally : Format.formatter -> tally -> unit

@@ -1,0 +1,263 @@
+open Compass_rmc
+open Compass_event
+
+(* WsDequeConsistent — consistency conditions for single-owner
+   work-stealing deques, in the same Yacovet/Compass style as
+   QueueConsistent and StackConsistent.  Work-stealing queues are the
+   paper's named future work (Section 6, citing Chase-Lev and Le et al.);
+   experiment E8 applies the framework to them.
+
+   Events: the owner's [Push v] / [Pop v] / [EmpPop] and the thieves'
+   [Steal v] / [EmpSteal].  Conditions:
+
+   - WS-MATCHES / WS-UNIQ:  so matches each push to at most one taker
+     (owner pop or steal), values agree, every successful taker takes
+     exactly one push;
+   - WS-OWNER:   pushes, pops and empty-pops all come from one thread (the
+     owner) — deque discipline;
+   - WS-STEAL-ORDER:  steals take pushes in push order: the top index only
+     grows, so among stolen elements the steal commit order agrees with
+     the (owner-sequential, hence total) push order;
+   - WS-OWNER-LIFO:  the owner pops the *newest* untaken push it can see:
+     if pop d takes e and e -lhb-> e' -lhb-> d for a push e', then e' was
+     already taken when d committed;
+   - WS-EMPTY:   an empty pop/steal is justified only if every push that
+     happens before it was already taken (the EMPDEQ analogue). *)
+
+let pushes g = List.filter Event.is_push (Graph.events g)
+let takers g = List.filter (fun e -> Event.is_pop e || Event.is_steal e) (Graph.events g)
+
+let empties g =
+  List.filter (fun e -> Event.is_emppop e || Event.is_empsteal e) (Graph.events g)
+
+let before (a : Event.data) (b : Event.data) = Event.cix_compare a.cix b.cix < 0
+
+let taker_value (e : Event.data) =
+  match e.Event.typ with
+  | Event.Pop v | Event.Steal v -> Some v
+  | _ -> None
+
+let check_matches g =
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let e = Graph.find g e_id and d = Graph.find g d_id in
+      match (e.Event.typ, taker_value d) with
+      | Event.Push v, Some w when Value.equal v w -> acc
+      | _ ->
+          Check.v "ws-matches" "so pair (%a, %a) mismatched" Event.pp e
+            Event.pp d
+          :: acc)
+    [] (Graph.so g)
+
+let check_uniq g =
+  let acc = ref [] in
+  List.iter
+    (fun (e : Event.data) ->
+      let outs = Graph.so_out g e.id in
+      if List.length outs > 1 then
+        acc :=
+          Check.v "ws-uniq" "push %a taken %d times" Event.pp e
+            (List.length outs)
+          :: !acc)
+    (pushes g);
+  List.iter
+    (fun (d : Event.data) ->
+      match Graph.so_in g d.id with
+      | [ e_id ] when Event.is_push (Graph.find g e_id) -> ()
+      | ins ->
+          acc :=
+            Check.v "ws-uniq" "taker %a matched %d times (need exactly 1 push)"
+              Event.pp d (List.length ins)
+            :: !acc)
+    (takers g);
+  List.iter
+    (fun (d : Event.data) ->
+      if Graph.so_in g d.id <> [] || Graph.so_out g d.id <> [] then
+        acc := Check.v "ws-uniq" "empty op %a has so edges" Event.pp d :: !acc)
+    (empties g);
+  !acc
+
+let check_so_lhb g =
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let e = Graph.find g e_id and d = Graph.find g d_id in
+      let acc =
+        Check.ensure acc "ws-so-lhb"
+          (Graph.lhb g ~before:e_id ~after:d_id)
+          (fun () ->
+            Format.asprintf "(%a, %a) in so but not lhb" Event.pp e Event.pp d)
+      in
+      Check.ensure acc "ws-so-cix" (before e d) (fun () ->
+          Format.asprintf "so pair (%a, %a) violates commit order" Event.pp e
+            Event.pp d))
+    [] (Graph.so g)
+
+let check_owner g =
+  let owner_events =
+    List.filter
+      (fun (e : Event.data) ->
+        Event.is_push e || Event.is_pop e || Event.is_emppop e)
+      (Graph.events g)
+  in
+  match owner_events with
+  | [] -> []
+  | first :: _ ->
+      List.filter_map
+        (fun (e : Event.data) ->
+          if e.Event.tid <> first.Event.tid then
+            Some
+              (Check.v "ws-owner" "%a is an owner operation on thread %d (owner is %d)"
+                 Event.pp e e.Event.tid first.Event.tid)
+          else None)
+        owner_events
+
+(* Steals take pushes in push order. *)
+let check_steal_order g =
+  let steal_pairs =
+    List.filter_map
+      (fun (e_id, d_id) ->
+        let d = Graph.find g d_id in
+        if Event.is_steal d then Some (Graph.find g e_id, d) else None)
+      (Graph.so g)
+  in
+  List.fold_left
+    (fun acc (e1, s1) ->
+      List.fold_left
+        (fun acc (e2, s2) ->
+          if before s1 s2 && not (before e1 e2) && e1.Event.id <> e2.Event.id
+          then
+            Check.v "ws-steal-order"
+              "steal %a (of %a) before steal %a (of %a) against push order"
+              Event.pp s1 Event.pp e1 Event.pp s2 Event.pp e2
+            :: acc
+          else acc)
+        acc steal_pairs)
+    [] steal_pairs
+
+(* The owner pops the newest untaken push visible to it. *)
+let check_owner_lifo g =
+  let so = Graph.so g in
+  List.fold_left
+    (fun acc (e_id, d_id) ->
+      let d = Graph.find g d_id in
+      if not (Event.is_pop d) then acc
+      else
+        let e = Graph.find g e_id in
+        List.fold_left
+          (fun acc (e' : Event.data) ->
+            if
+              e'.id <> e_id
+              && Graph.lhb g ~before:e_id ~after:e'.id
+              && Graph.lhb g ~before:e'.id ~after:d_id
+            then
+              let taken_before =
+                List.exists
+                  (fun (f, t) -> f = e'.id && before (Graph.find g t) d)
+                  so
+              in
+              Check.ensure acc "ws-owner-lifo" taken_before (fun () ->
+                  Format.asprintf
+                    "%a pushed after %a and visible to pop %a, yet untaken"
+                    Event.pp e' Event.pp e Event.pp d)
+            else acc)
+          acc (pushes g))
+    [] so
+
+(* WS-EMPTY is deliberately weaker than the queue's EMPDEQ: the justifying
+   take need NOT have committed before the empty operation.  The owner's
+   bottom decrement *reserves* the element before its pop commits, so a
+   thief that synchronises mid-pop (through the SC fences) correctly
+   observes emptiness while the push is, at that instant, still untaken —
+   the pop commits moments later, and LAThist reorders the empty steal
+   after it.  Requiring commit-order-prior justification (as for queues)
+   is refuted by the model checker; this is a concrete instance of the
+   per-library tailoring of consistency conditions that Yacovet/Compass
+   is designed for.  A push that happens before the empty op and is NEVER
+   taken remains a violation. *)
+let check_empty g =
+  let so = Graph.so g in
+  List.fold_left
+    (fun acc (d : Event.data) ->
+      List.fold_left
+        (fun acc (e : Event.data) ->
+          if Graph.lhb g ~before:e.id ~after:d.id then
+            let taken = List.exists (fun (f, _) -> f = e.id) so in
+            Check.ensure acc "ws-empty" taken (fun () ->
+                Format.asprintf
+                  "empty op %a although push %a happens-before it and is \
+                   never taken"
+                  Event.pp d Event.pp e)
+          else acc)
+        acc (pushes g))
+    [] (empties g)
+
+let check_lhb_order g =
+  let acc = ref [] in
+  List.iter
+    (fun (e : Event.data) ->
+      Lview.iter
+        (fun d_id ->
+          if d_id <> e.id then
+            match Graph.find_opt g d_id with
+            | Some d ->
+                if fst d.Event.cix > fst e.Event.cix then
+                  acc :=
+                    Check.v "lhb-cix" "%a observes %a which commits later"
+                      Event.pp e Event.pp d
+                    :: !acc
+            | None -> ())
+        e.logview)
+    (Graph.events g)
+  |> fun () -> !acc
+
+let consistent g =
+  check_matches g @ check_uniq g @ check_so_lhb g @ check_owner g
+  @ check_steal_order g @ check_owner_lifo g @ check_empty g
+  @ check_lhb_order g
+
+(* Commit-order abstract-state replay (LATabs analogue): the deque as a
+   sequence, owner at the back, thieves at the front. *)
+let abstract_state ?(require_empty = false) g =
+  let events = Graph.events_by_cix g in
+  let mate d_id = match Graph.so_in g d_id with [ e ] -> Some e | _ -> None in
+
+  let rec go vs acc = function
+    | [] -> List.rev acc
+    | (e : Event.data) :: rest -> (
+        match e.typ with
+        | Event.Push v -> go (vs @ [ (v, e.id) ]) acc rest
+        | Event.Pop v -> (
+            match List.rev vs with
+            | (w, ins) :: front_rev
+              when Value.equal v w && mate e.id = Some ins ->
+                go (List.rev front_rev) acc rest
+            | _ ->
+                go vs
+                  (Check.v "latabs-ws-pop"
+                     "pop %a does not take the abstract back" Event.pp e
+                  :: acc)
+                  rest)
+        | Event.Steal v -> (
+            match vs with
+            | (w, ins) :: vs' when Value.equal v w && mate e.id = Some ins ->
+                go vs' acc rest
+            | _ ->
+                go vs
+                  (Check.v "latabs-ws-steal"
+                     "steal %a does not take the abstract front" Event.pp e
+                  :: acc)
+                  rest)
+        | Event.EmpPop | Event.EmpSteal ->
+            let acc =
+              if require_empty && vs <> [] then
+                Check.v "latabs-empty"
+                  "empty op %a commits while the abstract deque holds %d \
+                   elements"
+                  Event.pp e (List.length vs)
+                :: acc
+              else acc
+            in
+            go vs acc rest
+        | _ -> go vs acc rest)
+  in
+  go [] [] events

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Compass_event Compass_rmc Event Graph List Loc Lview Printf QCheck QCheck_alcotest String Value View

@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Compass_clients Compass_dstruct Compass_machine Explore Hwqueue List Litmus Machine Mp Mp_stack Msqueue Pipeline Resource_exchange Spsc_client Strong_fifo Treiber

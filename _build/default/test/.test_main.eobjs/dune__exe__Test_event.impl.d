@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Compass_event Event Graph Helpers List Registry String

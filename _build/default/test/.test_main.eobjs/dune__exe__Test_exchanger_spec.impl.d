@@ -1,0 +1,1 @@
+test/test_exchanger_spec.ml: Alcotest Check Compass_event Compass_rmc Compass_spec Event Exchanger_spec Graph Helpers List Lview Value View

@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Check Compass_event Compass_spec Event Helpers Linearize List Option Stack_spec String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Commit Compass_event Compass_machine Compass_rmc Event Format Graph Helpers Machine Mode Oracle Prog String Trace Value

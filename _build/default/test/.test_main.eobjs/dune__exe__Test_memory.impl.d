@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Compass_rmc Helpers History List Loc Lview Memory Mode Msg Timestamp Tview Value View

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Compass_event Helpers List Order QCheck

@@ -1,0 +1,1 @@
+test/test_queue_spec.ml: Alcotest Check Compass_event Compass_spec Event Helpers List Queue_spec Styles

@@ -1,0 +1,1 @@
+test/test_spsc_spec.ml: Alcotest Check Compass_event Compass_rmc Compass_spec Event Graph Helpers List Spsc_spec

@@ -1,0 +1,1 @@
+test/test_stack_spec.ml: Alcotest Check Compass_event Compass_rmc Compass_spec Event Graph Helpers List Lview Stack_spec View

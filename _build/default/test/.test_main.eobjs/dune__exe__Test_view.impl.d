@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Compass_rmc Helpers List Lview Mode Msg QCheck Timestamp Tview View

@@ -1,0 +1,1 @@
+test/test_ws_spec.ml: Alcotest Check Compass_event Compass_rmc Compass_spec Event Graph Helpers Linearize List Lview Styles View Ws_spec

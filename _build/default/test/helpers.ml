@@ -1,0 +1,79 @@
+open Compass_rmc
+open Compass_event
+
+(* Shared test utilities: Alcotest testables, QCheck generators, and
+   hand-built event graphs for the spec checkers. *)
+
+let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+let view : View.t Alcotest.testable = Alcotest.testable View.pp View.equal
+
+let lview : Lview.t Alcotest.testable =
+  Alcotest.testable Lview.pp Lview.equal
+
+let vi n = Value.Int n
+let loc ~base ~off = Loc.make ~base ~off
+
+(* -- QCheck generators ------------------------------------------------------ *)
+
+let gen_loc =
+  QCheck.Gen.(
+    map2 (fun b o -> Loc.make ~base:b ~off:o) (int_bound 7) (int_bound 3))
+
+let gen_view : View.t QCheck.Gen.t =
+  QCheck.Gen.(
+    map
+      (fun entries ->
+        List.fold_left (fun v (l, t) -> View.extend v l t) View.bot entries)
+      (list_size (int_bound 12) (pair gen_loc (int_bound 30))))
+
+let arb_view = QCheck.make ~print:View.to_string gen_view
+
+let gen_lview : Lview.t QCheck.Gen.t =
+  QCheck.Gen.(map Lview.of_list (list_size (int_bound 10) (int_bound 40)))
+
+let arb_lview = QCheck.make ~print:Lview.to_string gen_lview
+
+(* Random DAGs for Order tests: edges only from smaller to larger ids. *)
+let gen_dag =
+  QCheck.Gen.(
+    let* n = int_range 1 10 in
+    let* edges =
+      list_size (int_bound 20)
+        (let* a = int_bound (n - 1) in
+         let* b = int_bound (n - 1) in
+         return (min a b, max a b))
+    in
+    return (List.init n (fun i -> i), List.filter (fun (a, b) -> a <> b) edges))
+
+let arb_dag =
+  QCheck.make
+    ~print:(fun (ns, es) ->
+      Printf.sprintf "nodes=%d edges=[%s]" (List.length ns)
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) es)))
+    gen_dag
+
+(* -- hand-built graphs ------------------------------------------------------ *)
+
+(* Build a graph from a compact description: events as
+   (id, typ, logview-extras, step) where each event's logview contains
+   itself plus the listed ids; so edges given separately. *)
+let mk_graph ?(name = "g") events so =
+  let g = Graph.create ~obj:0 ~name in
+  List.iter
+    (fun (id, typ, lhb_preds, step) ->
+      Graph.commit g
+        {
+          Event.id;
+          obj = 0;
+          typ;
+          tid = 0;
+          view = View.bot;
+          logview = Lview.of_list (id :: lhb_preds);
+          cix = (step, 0);
+        })
+    events;
+  List.iter (fun (a, b) -> Graph.add_so g ~from:a ~into:b) so;
+  g
+
+let qtest = QCheck_alcotest.to_alcotest

@@ -1,0 +1,217 @@
+open Compass_rmc
+open Compass_machine
+open Compass_dstruct
+open Prog.Syntax
+open Helpers
+
+(* Sequential conformance: random operation sequences executed solo on
+   each implementation must agree with a functional reference model.
+   This is the property-based bottom layer under the concurrent tests —
+   if an implementation is wrong even sequentially, everything above is
+   noise. *)
+
+(* Reference models. *)
+module Ref_queue = struct
+  type t = int list  (* front first *)
+
+  let empty : t = []
+  let enq q v = q @ [ v ]
+  let deq = function [] -> (None, []) | v :: q -> (Some v, q)
+end
+
+module Ref_stack = struct
+  type t = int list
+
+  let empty : t = []
+  let push s v = v :: s
+  let pop = function [] -> (None, []) | v :: s -> (Some v, s)
+end
+
+type qop = Enq of int | Deq
+
+let gen_qops =
+  QCheck.Gen.(
+    list_size (int_range 1 14)
+      (oneof [ map (fun n -> Enq (n mod 50)) nat; return Deq ]))
+
+let arb_qops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (function Enq n -> Printf.sprintf "E%d" n | Deq -> "D") ops))
+    gen_qops
+
+(* Run a queue op sequence solo; collect dequeue results. *)
+let run_queue (kind : [ `Ms | `Msf | `Hw | `Lock ]) ops =
+  let m = Machine.create () in
+  let enq, deq =
+    match kind with
+    | `Ms ->
+        let t = Msqueue.create m ~name:"q" in
+        ((fun v -> Msqueue.enq t v), fun () -> Msqueue.deq t)
+    | `Msf ->
+        let t = Msqueue_fences.create m ~name:"q" in
+        ((fun v -> Msqueue_fences.enq t v), fun () -> Msqueue_fences.deq t)
+    | `Hw ->
+        let t = Hwqueue.create ~capacity:20 m ~name:"q" in
+        ((fun v -> Hwqueue.enq t v), fun () -> Hwqueue.deq t)
+    | `Lock ->
+        let t = Lockqueue.create ~capacity:20 m ~name:"q" in
+        ((fun v -> Lockqueue.enq t v), fun () -> Lockqueue.deq t)
+  in
+  let results = ref [] in
+  let prog =
+    Prog.returning_unit
+      (Prog.iter
+         (fun op ->
+           match op with
+           | Enq n -> enq (vi n)
+           | Deq ->
+               let* v = deq () in
+               results := v :: !results;
+               Prog.return ())
+         ops)
+  in
+  ignore (Machine.solo m prog);
+  List.rev !results
+
+let reference_queue ops =
+  let _, results =
+    List.fold_left
+      (fun (q, rs) op ->
+        match op with
+        | Enq n -> (Ref_queue.enq q n, rs)
+        | Deq ->
+            let v, q' = Ref_queue.deq q in
+            (q', v :: rs))
+      (Ref_queue.empty, []) ops
+  in
+  List.rev results
+
+let queue_conforms kind ops =
+  let got = run_queue kind ops in
+  let want =
+    List.map
+      (function Some n -> Value.Int n | None -> Value.Null)
+      (reference_queue ops)
+  in
+  List.length got = List.length want && List.for_all2 Value.equal got want
+
+let prop_queue kind name =
+  QCheck.Test.make ~name ~count:150 arb_qops (fun ops -> queue_conforms kind ops)
+
+(* Stacks. *)
+type sop = Push of int | Pop
+
+let gen_sops =
+  QCheck.Gen.(
+    list_size (int_range 1 14)
+      (oneof [ map (fun n -> Push (n mod 50)) nat; return Pop ]))
+
+let arb_sops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (function Push n -> Printf.sprintf "P%d" n | Pop -> "O") ops))
+    gen_sops
+
+let run_stack (kind : [ `Treiber | `Es | `Lock ]) ops =
+  let m = Machine.create () in
+  let push, pop =
+    match kind with
+    | `Treiber ->
+        let t = Treiber.create m ~name:"s" in
+        ((fun v -> Treiber.push t v), fun () -> Treiber.pop t)
+    | `Es ->
+        let t = Elimination.create m ~name:"s" in
+        ((fun v -> Elimination.push t v), fun () -> Elimination.pop t)
+    | `Lock ->
+        let t = Lockstack.create ~capacity:20 m ~name:"s" in
+        ((fun v -> Lockstack.push t v), fun () -> Lockstack.pop t)
+  in
+  let results = ref [] in
+  let prog =
+    Prog.returning_unit
+      (Prog.iter
+         (fun op ->
+           match op with
+           | Push n -> push (vi n)
+           | Pop ->
+               let* v = pop () in
+               results := v :: !results;
+               Prog.return ())
+         ops)
+  in
+  ignore (Machine.solo m prog);
+  List.rev !results
+
+let reference_stack ops =
+  let _, results =
+    List.fold_left
+      (fun (s, rs) op ->
+        match op with
+        | Push n -> (Ref_stack.push s n, rs)
+        | Pop ->
+            let v, s' = Ref_stack.pop s in
+            (s', v :: rs))
+      (Ref_stack.empty, []) ops
+  in
+  List.rev results
+
+let stack_conforms kind ops =
+  let got = run_stack kind ops in
+  let want =
+    List.map
+      (function Some n -> Value.Int n | None -> Value.Null)
+      (reference_stack ops)
+  in
+  List.length got = List.length want && List.for_all2 Value.equal got want
+
+let prop_stack kind name =
+  QCheck.Test.make ~name ~count:150 arb_sops (fun ops -> stack_conforms kind ops)
+
+(* Deque: owner-only solo sequences behave as a stack (owner pops LIFO). *)
+let run_deque ops =
+  let m = Machine.create () in
+  let t = Chaselev.create ~capacity:20 m ~name:"dq" in
+  let results = ref [] in
+  let prog =
+    Prog.returning_unit
+      (Prog.iter
+         (fun op ->
+           match op with
+           | Push n -> Chaselev.push t (vi n)
+           | Pop ->
+               let* v = Chaselev.pop t in
+               results := v :: !results;
+               Prog.return ())
+         ops)
+  in
+  ignore (Machine.solo m prog);
+  List.rev !results
+
+let prop_deque_owner_lifo =
+  QCheck.Test.make ~name:"chaselev owner-solo behaves as a stack" ~count:150
+    arb_sops (fun ops ->
+      (* Capacity guard: skip sequences pushing too much. *)
+      let pushes = List.length (List.filter (function Push _ -> true | _ -> false) ops) in
+      QCheck.assume (pushes <= 18);
+      let got = run_deque ops in
+      let want =
+        List.map
+          (function Some n -> Value.Int n | None -> Value.Null)
+          (reference_stack ops)
+      in
+      List.length got = List.length want && List.for_all2 Value.equal got want)
+
+let suite =
+  [
+    qtest (prop_queue `Ms "msqueue conforms to the reference queue");
+    qtest (prop_queue `Msf "msqueue-fences conforms to the reference queue");
+    qtest (prop_queue `Hw "hwqueue conforms to the reference queue");
+    qtest (prop_queue `Lock "lockqueue conforms to the reference queue");
+    qtest (prop_stack `Treiber "treiber conforms to the reference stack");
+    qtest (prop_stack `Es "elimination conforms to the reference stack");
+    qtest (prop_stack `Lock "lockstack conforms to the reference stack");
+    qtest prop_deque_owner_lifo;
+  ]

@@ -1,0 +1,101 @@
+open Compass_event
+open Helpers
+
+(* Event graphs, registry, snapshots, and DOT export. *)
+
+let test_registry_ids () =
+  let r = Registry.create () in
+  let g1 = Registry.new_graph r ~name:"a" in
+  let g2 = Registry.new_graph r ~name:"b" in
+  Alcotest.(check bool) "distinct objects" true (Graph.obj g1 <> Graph.obj g2);
+  let e1 = Registry.reserve r and e2 = Registry.reserve r in
+  Alcotest.(check bool) "distinct ids" true (e1 <> e2);
+  Alcotest.(check string) "lookup" "a" (Graph.name (Registry.graph r (Graph.obj g1)));
+  Alcotest.(check int) "graphs listed" 2 (List.length (Registry.graphs r))
+
+let ev id typ preds step = (id, typ, preds, step)
+
+let test_graph_basics () =
+  let g =
+    mk_graph
+      [ ev 0 (Event.Enq (vi 1)) [] 1; ev 1 (Event.Deq (vi 1)) [ 0 ] 2 ]
+      [ (0, 1) ]
+  in
+  Alcotest.(check int) "size" 2 (Graph.size g);
+  Alcotest.(check bool) "mem" true (Graph.mem g 0);
+  Alcotest.(check bool) "lhb via logview" true (Graph.lhb g ~before:0 ~after:1);
+  Alcotest.(check bool) "lhb irreflexive" false (Graph.lhb g ~before:1 ~after:1);
+  Alcotest.(check bool) "lhb not symmetric" false (Graph.lhb g ~before:1 ~after:0);
+  Alcotest.(check (list (pair int int))) "so" [ (0, 1) ] (Graph.so g);
+  Alcotest.(check (list int)) "so_out" [ 1 ] (Graph.so_out g 0);
+  Alcotest.(check (list int)) "so_in" [ 0 ] (Graph.so_in g 1)
+
+let test_events_by_cix () =
+  let g =
+    mk_graph
+      [ ev 5 Event.EmpDeq [] 9; ev 3 (Event.Enq (vi 1)) [] 2; ev 4 (Event.Enq (vi 2)) [] 5 ]
+      []
+  in
+  let ids = List.map (fun (e : Event.data) -> e.Event.id) (Graph.events_by_cix g) in
+  Alcotest.(check (list int)) "commit order" [ 3; 4; 5 ] ids
+
+let test_included () =
+  let small = mk_graph [ ev 0 (Event.Enq (vi 1)) [] 1 ] [] in
+  let big =
+    mk_graph
+      [ ev 0 (Event.Enq (vi 1)) [] 1; ev 1 (Event.Deq (vi 1)) [ 0 ] 2 ]
+      [ (0, 1) ]
+  in
+  Alcotest.(check bool) "snapshot included" true (Graph.included small big);
+  Alcotest.(check bool) "not the converse" false (Graph.included big small)
+
+let test_lhb_pairs_and_foreign () =
+  (* Logical views may mention events of other objects; lhb restricts to
+     this graph. *)
+  let g = mk_graph [ ev 0 (Event.Enq (vi 1)) [ 99 ] 1 ] [] in
+  Alcotest.(check bool) "foreign id ignored" false (Graph.lhb g ~before:99 ~after:0);
+  Alcotest.(check (list (pair int int))) "lhb_pairs" [] (Graph.lhb_pairs g)
+
+let test_dot_export () =
+  let g =
+    mk_graph
+      [ ev 0 (Event.Push (vi 7)) [] 1; ev 1 (Event.Pop (vi 7)) [ 0 ] 2 ]
+      [ (0, 1) ]
+  in
+  let dot = Graph.to_dot g in
+  Alcotest.(check bool) "has digraph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has so edge" true (contains "e0 -> e1 [color=red]" dot);
+  Alcotest.(check bool) "has both nodes" true (contains "Push(7)" dot && contains "Pop(7)" dot)
+
+let test_typ_equal () =
+  Alcotest.(check bool) "enq eq" true (Event.typ_equal (Event.Enq (vi 1)) (Event.Enq (vi 1)));
+  Alcotest.(check bool) "enq neq" false (Event.typ_equal (Event.Enq (vi 1)) (Event.Enq (vi 2)));
+  Alcotest.(check bool) "xchg eq" true
+    (Event.typ_equal (Event.Exchange (vi 1, vi 2)) (Event.Exchange (vi 1, vi 2)));
+  Alcotest.(check bool) "kinds differ" false
+    (Event.typ_equal (Event.Enq (vi 1)) (Event.Push (vi 1)));
+  Alcotest.(check bool) "custom eq" true
+    (Event.typ_equal (Event.Custom ("x", [ vi 1 ])) (Event.Custom ("x", [ vi 1 ])))
+
+let test_cix_compare () =
+  Alcotest.(check bool) "step dominates" true (Event.cix_compare (1, 5) (2, 0) < 0);
+  Alcotest.(check bool) "sub breaks ties" true (Event.cix_compare (2, 0) (2, 1) < 0);
+  Alcotest.(check int) "equal" 0 (Event.cix_compare (3, 3) (3, 3))
+
+let suite =
+  [
+    Alcotest.test_case "registry ids and graphs" `Quick test_registry_ids;
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "events by commit index" `Quick test_events_by_cix;
+    Alcotest.test_case "graph inclusion (snapshots)" `Quick test_included;
+    Alcotest.test_case "foreign logview ids" `Quick test_lhb_pairs_and_foreign;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+    Alcotest.test_case "typ equality" `Quick test_typ_equal;
+    Alcotest.test_case "cix compare" `Quick test_cix_compare;
+  ]

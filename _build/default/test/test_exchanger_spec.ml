@@ -1,0 +1,181 @@
+open Compass_rmc
+open Compass_event
+open Compass_spec
+open Helpers
+
+(* ExchangerConsistent on hand-built graphs. *)
+
+let conds vs = List.map (fun (c : Check.violation) -> c.Check.cond) vs
+let has_cond c vs = List.mem c (conds vs)
+
+(* A well-formed matched pair: same commit step, mutual logical views,
+   symmetric so, swapped values. *)
+let good_pair () =
+  let g = Graph.create ~obj:0 ~name:"x" in
+  let commit id typ sub =
+    Graph.commit g
+      {
+        Event.id;
+        obj = 0;
+        typ;
+        tid = id;
+        view = View.bot;
+        logview = Lview.of_list [ 0; 1 ];
+        cix = (3, sub);
+      }
+  in
+  commit 0 (Event.Exchange (vi 1, vi 2)) 0;
+  commit 1 (Event.Exchange (vi 2, vi 1)) 1;
+  Graph.add_so g ~from:0 ~into:1;
+  Graph.add_so g ~from:1 ~into:0;
+  g
+
+let test_good () =
+  Alcotest.(check (list string)) "consistent" []
+    (conds (Exchanger_spec.consistent (good_pair ())))
+
+let test_failed_exchange_ok () =
+  let g =
+    mk_graph [ (0, Event.Exchange (vi 1, Value.Null), [], 1) ] []
+  in
+  Alcotest.(check (list string)) "failed exchange consistent" []
+    (conds (Exchanger_spec.consistent g))
+
+let test_asymmetric_so () =
+  let g = good_pair () in
+  (* Break symmetry by adding a third event with a one-way edge. *)
+  Graph.commit g
+    {
+      Event.id = 2;
+      obj = 0;
+      typ = Event.Exchange (vi 3, vi 4);
+      tid = 2;
+      view = View.bot;
+      logview = Lview.singleton 2;
+      cix = (9, 0);
+    };
+  Graph.add_so g ~from:2 ~into:0;
+  Alcotest.(check bool) "missing mirror" true
+    (has_cond "xchg-sym" (Exchanger_spec.consistent g))
+
+let test_values_must_swap () =
+  let g = Graph.create ~obj:0 ~name:"x" in
+  let commit id typ sub =
+    Graph.commit g
+      {
+        Event.id;
+        obj = 0;
+        typ;
+        tid = id;
+        view = View.bot;
+        logview = Lview.of_list [ 0; 1 ];
+        cix = (3, sub);
+      }
+  in
+  commit 0 (Event.Exchange (vi 1, vi 2)) 0;
+  commit 1 (Event.Exchange (vi 2, vi 9)) 1;
+  Graph.add_so g ~from:0 ~into:1;
+  Graph.add_so g ~from:1 ~into:0;
+  Alcotest.(check bool) "values do not swap" true
+    (has_cond "xchg-matches" (Exchanger_spec.consistent g))
+
+let test_success_needs_partner () =
+  let g = mk_graph [ (0, Event.Exchange (vi 1, vi 2), [], 1) ] [] in
+  Alcotest.(check bool) "unpaired success" true
+    (has_cond "xchg-success-paired" (Exchanger_spec.consistent g))
+
+let test_fail_must_be_unpaired () =
+  let g = Graph.create ~obj:0 ~name:"x" in
+  let commit id typ sub =
+    Graph.commit g
+      {
+        Event.id;
+        obj = 0;
+        typ;
+        tid = id;
+        view = View.bot;
+        logview = Lview.of_list [ 0; 1 ];
+        cix = (3, sub);
+      }
+  in
+  commit 0 (Event.Exchange (vi 1, Value.Null)) 0;
+  commit 1 (Event.Exchange (Value.Null, vi 1)) 1;
+  Graph.add_so g ~from:0 ~into:1;
+  Graph.add_so g ~from:1 ~into:0;
+  let vs = Exchanger_spec.consistent g in
+  Alcotest.(check bool) "bottom in pair" true
+    (has_cond "xchg-no-bot" vs || has_cond "xchg-fail-unpaired" vs)
+
+let test_atomic_pair_required () =
+  (* Same pair but committed in different steps. *)
+  let g = Graph.create ~obj:0 ~name:"x" in
+  let commit id typ step =
+    Graph.commit g
+      {
+        Event.id;
+        obj = 0;
+        typ;
+        tid = id;
+        view = View.bot;
+        logview = Lview.of_list [ 0; 1 ];
+        cix = (step, 0);
+      }
+  in
+  commit 0 (Event.Exchange (vi 1, vi 2)) 3;
+  commit 1 (Event.Exchange (vi 2, vi 1)) 7;
+  Graph.add_so g ~from:0 ~into:1;
+  Graph.add_so g ~from:1 ~into:0;
+  Alcotest.(check bool) "separate steps flagged" true
+    (has_cond "xchg-atomic-pair" (Exchanger_spec.consistent g))
+
+let test_mutual_lview_required () =
+  let g = Graph.create ~obj:0 ~name:"x" in
+  let commit id typ sub lv =
+    Graph.commit g
+      {
+        Event.id;
+        obj = 0;
+        typ;
+        tid = id;
+        view = View.bot;
+        logview = Lview.of_list lv;
+        cix = (3, sub);
+      }
+  in
+  commit 0 (Event.Exchange (vi 1, vi 2)) 0 [ 0 ];
+  commit 1 (Event.Exchange (vi 2, vi 1)) 1 [ 1 ];
+  Graph.add_so g ~from:0 ~into:1;
+  Graph.add_so g ~from:1 ~into:0;
+  Alcotest.(check bool) "non-mutual logical views" true
+    (has_cond "xchg-mutual-lview" (Exchanger_spec.consistent g))
+
+let test_self_exchange () =
+  let g = Graph.create ~obj:0 ~name:"x" in
+  Graph.commit g
+    {
+      Event.id = 0;
+      obj = 0;
+      typ = Event.Exchange (vi 1, vi 1);
+      tid = 0;
+      view = View.bot;
+      logview = Lview.singleton 0;
+      cix = (1, 0);
+    };
+  Graph.add_so g ~from:0 ~into:0;
+  Alcotest.(check bool) "self exchange" true
+    (has_cond "xchg-no-self" (Exchanger_spec.consistent g))
+
+let suite =
+  [
+    Alcotest.test_case "matched pair consistent" `Quick test_good;
+    Alcotest.test_case "failed exchange consistent" `Quick
+      test_failed_exchange_ok;
+    Alcotest.test_case "so symmetry required" `Quick test_asymmetric_so;
+    Alcotest.test_case "values must swap" `Quick test_values_must_swap;
+    Alcotest.test_case "success needs partner" `Quick test_success_needs_partner;
+    Alcotest.test_case "fail must be unpaired" `Quick test_fail_must_be_unpaired;
+    Alcotest.test_case "atomic pair required" `Quick test_atomic_pair_required;
+    Alcotest.test_case "mutual logical views required" `Quick
+      test_mutual_lview_required;
+    Alcotest.test_case "no self exchange" `Quick test_self_exchange;
+  ]

@@ -1,0 +1,159 @@
+open Compass_event
+open Compass_spec
+open Helpers
+
+(* LAThist: commit-order fast path and the reordering search. *)
+
+let enq id v preds step = (id, Event.Enq (vi v), preds, step)
+let deq id v preds step = (id, Event.Deq (vi v), preds, step)
+let push id v preds step = (id, Event.Push (vi v), preds, step)
+let pop id v preds step = (id, Event.Pop (vi v), preds, step)
+let emppop id preds step = (id, Event.EmpPop, preds, step)
+
+let test_commit_order_valid () =
+  let g =
+    mk_graph
+      [ push 0 1 [] 1; push 1 2 [ 0 ] 2; pop 2 2 [ 0; 1 ] 3; pop 3 1 [ 0; 1 ] 4 ]
+      [ (1, 2); (0, 3) ]
+  in
+  Alcotest.(check bool) "commit order is a valid to" true
+    (Linearize.commit_order_valid Linearize.Stack g)
+
+let test_commit_order_invalid_but_searchable () =
+  (* Herlihy-Wing shape: enqueue commits out of FIFO order relative to the
+     dequeues; commit order replay fails but a reordering exists.  Commit
+     order: Enq2, Enq1, Deq1, Deq2 — with NO lhb between the enqueues the
+     search can reorder them. *)
+  let g =
+    mk_graph
+      [
+        enq 1 2 [] 1;
+        enq 0 1 [] 2;
+        deq 2 1 [ 0 ] 3;
+        deq 3 2 [ 1; 2 ] 4;
+      ]
+      [ (0, 2); (1, 3) ]
+  in
+  Alcotest.(check bool) "commit order fails" false
+    (Linearize.commit_order_valid Linearize.Queue g);
+  (match Linearize.search Linearize.Queue g with
+  | Linearize.Linearizable order ->
+      Alcotest.(check bool) "witness validates" true
+        (Linearize.validate Linearize.Queue g order)
+  | _ -> Alcotest.fail "expected linearizable")
+
+let test_stale_empty_pop_reordered () =
+  (* An EmpPop committed while the stack is non-empty (stale read), but
+     with no lhb from the push: [to] may move it before the push. *)
+  let g =
+    mk_graph
+      [ push 0 1 [] 1; emppop 1 [] 2; pop 2 1 [ 0 ] 3 ]
+      [ (0, 2) ]
+  in
+  Alcotest.(check bool) "commit order fails (strict empty)" false
+    (Linearize.commit_order_valid Linearize.Stack g);
+  match Linearize.search Linearize.Stack g with
+  | Linearize.Linearizable order ->
+      (* The EmpPop must land at a position where the stack is empty: i.e.
+         not between the push and its pop. *)
+      let pos x = Option.get (List.find_index (( = ) x) order) in
+      Alcotest.(check bool) "emppop outside push..pop window" true
+        (pos 1 < pos 0 || pos 1 > pos 2);
+      Alcotest.(check bool) "validates" true
+        (Linearize.validate Linearize.Stack g order)
+  | _ -> Alcotest.fail "expected linearizable"
+
+let test_not_linearizable () =
+  (* An EmpPop that happens-after the push and before its pop in lhb — no
+     valid placement. *)
+  let g =
+    mk_graph
+      [ push 0 1 [] 1; emppop 1 [ 0 ] 2; pop 2 1 [ 0; 1 ] 3 ]
+      [ (0, 2) ]
+  in
+  (match Linearize.search Linearize.Stack g with
+  | Linearize.Not_linearizable -> ()
+  | Linearize.Linearizable o ->
+      Alcotest.failf "unexpected witness [%s]"
+        (String.concat ";" (List.map string_of_int o))
+  | Linearize.Gave_up -> Alcotest.fail "gave up");
+  (* And the graph checker agrees via stack-emppop. *)
+  Alcotest.(check bool) "graph checker catches it" true
+    (List.exists
+       (fun (c : Check.violation) -> c.Check.cond = "stack-emppop")
+       (Stack_spec.consistent g))
+
+let test_lifo_unlinearizable () =
+  (* Pop order contradicting LIFO with full lhb ordering. *)
+  let g =
+    mk_graph
+      [
+        push 0 1 [] 1;
+        push 1 2 [ 0 ] 2;
+        pop 2 1 [ 0; 1 ] 3;
+        pop 3 2 [ 0; 1; 2 ] 4;
+      ]
+      [ (0, 2); (1, 3) ]
+  in
+  match Linearize.search Linearize.Stack g with
+  | Linearize.Not_linearizable -> ()
+  | _ -> Alcotest.fail "expected not linearizable"
+
+let test_validate_rejects_bad_orders () =
+  let g =
+    mk_graph [ push 0 1 [] 1; pop 1 1 [ 0 ] 2 ] [ (0, 1) ]
+  in
+  Alcotest.(check bool) "good order" true
+    (Linearize.validate Linearize.Stack g [ 0; 1 ]);
+  Alcotest.(check bool) "wrong order" false
+    (Linearize.validate Linearize.Stack g [ 1; 0 ]);
+  Alcotest.(check bool) "missing event" false
+    (Linearize.validate Linearize.Stack g [ 0 ])
+
+let test_search_respects_lhb () =
+  (* Two pushes ordered by lhb must appear in that order in any witness. *)
+  let g =
+    mk_graph [ push 0 1 [] 1; push 1 2 [ 0 ] 2 ] []
+  in
+  match Linearize.search Linearize.Stack g with
+  | Linearize.Linearizable [ 0; 1 ] -> ()
+  | Linearize.Linearizable o ->
+      Alcotest.failf "order violates lhb: [%s]"
+        (String.concat ";" (List.map string_of_int o))
+  | _ -> Alcotest.fail "expected linearizable"
+
+let test_gave_up () =
+  (* A tiny budget forces Gave_up on a graph needing search. *)
+  let g =
+    mk_graph
+      [ enq 1 2 [] 1; enq 0 1 [] 2; deq 2 1 [ 0 ] 3; deq 3 2 [ 1 ] 4 ]
+      [ (0, 2); (1, 3) ]
+  in
+  match Linearize.search ~max_nodes:1 Linearize.Queue g with
+  | Linearize.Gave_up -> ()
+  | _ -> Alcotest.fail "expected give-up"
+
+let test_empty_graph () =
+  let g = mk_graph [] [] in
+  Alcotest.(check bool) "empty commit order valid" true
+    (Linearize.commit_order_valid Linearize.Queue g);
+  match Linearize.search Linearize.Queue g with
+  | Linearize.Linearizable [] -> ()
+  | _ -> Alcotest.fail "empty graph linearizes trivially"
+
+let suite =
+  [
+    Alcotest.test_case "commit order valid (Treiber shape)" `Quick
+      test_commit_order_valid;
+    Alcotest.test_case "HW shape needs reordering" `Quick
+      test_commit_order_invalid_but_searchable;
+    Alcotest.test_case "stale empty pop reordered" `Quick
+      test_stale_empty_pop_reordered;
+    Alcotest.test_case "unjustifiable empty pop" `Quick test_not_linearizable;
+    Alcotest.test_case "lifo contradiction" `Quick test_lifo_unlinearizable;
+    Alcotest.test_case "validate rejects bad orders" `Quick
+      test_validate_rejects_bad_orders;
+    Alcotest.test_case "search respects lhb" `Quick test_search_respects_lhb;
+    Alcotest.test_case "budget exhaustion" `Quick test_gave_up;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+  ]

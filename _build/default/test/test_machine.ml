@@ -1,0 +1,222 @@
+open Compass_rmc
+open Compass_machine
+open Prog.Syntax
+open Helpers
+
+(* The interleaving machine: solo execution, spawn/run/finale, oracle
+   logging, replay determinism, commits, and await semantics. *)
+
+let solo_prog () =
+  let m = Machine.create () in
+  let r =
+    Machine.solo m
+      (let* l = Prog.alloc ~name:"x" 1 in
+       let* () = Prog.store l (vi 7) Mode.Na in
+       let* v = Prog.load l Mode.Na in
+       Prog.return v)
+  in
+  Alcotest.(check value) "solo runs" (vi 7) r
+
+let test_spawn_run () =
+  let m = Machine.create () in
+  let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+  let t = Prog.map (Prog.faa x 1 Mode.Rlx) (fun old -> vi old) in
+  Machine.spawn m [ t; t; t ];
+  match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Finished vs ->
+      let sum =
+        Array.fold_left (fun acc v -> acc + Value.to_int_exn v) 0 vs
+      in
+      Alcotest.(check int) "FAA olds sum" 3 sum;
+      Machine.join_views m;
+      Alcotest.(check value) "final count" (vi 3)
+        (Machine.solo m (Prog.load x Mode.Na))
+  | o -> Alcotest.failf "unexpected outcome %a" Machine.pp_outcome o
+
+let test_finale_joins_views () =
+  let m = Machine.create () in
+  let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+  (* Two threads non-atomically write disjoint cells... here one cell
+     written by one thread; finale must read it race-free. *)
+  Machine.spawn m [ Prog.returning_unit (Prog.store x (vi 5) Mode.Na) ];
+  (match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Finished _ -> ()
+  | o -> Alcotest.failf "unexpected outcome %a" Machine.pp_outcome o);
+  Alcotest.(check value) "finale reads na" (vi 5)
+    (Machine.finale m (Prog.load x Mode.Na))
+
+let test_race_is_fault () =
+  (* Schedule: writer first, then reader (which has not synchronised). *)
+  let rec find_fault script n =
+    if n > 50 then Alcotest.fail "no race found"
+    else
+      let m = Machine.create () in
+      let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+      Machine.spawn m
+        [
+          Prog.returning_unit (Prog.store x (vi 1) Mode.Na); Prog.load x Mode.Na;
+        ];
+      match Machine.run m (Oracle.script script) with
+      | Machine.Fault _ -> ()
+      | _ -> find_fault (Array.append script [| 0 |]) (n + 1)
+  in
+  find_fault [||] 0
+
+let test_await_blocks () =
+  let m = Machine.create () in
+  let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+  Machine.spawn m
+    [ Prog.map (Prog.await x Mode.Acq (Value.equal (vi 1))) (fun v -> v) ];
+  match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Blocked _ -> ()
+  | o -> Alcotest.failf "expected blocked, got %a" Machine.pp_outcome o
+
+let test_await_wakes () =
+  let m = Machine.create () in
+  let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+  Machine.spawn m
+    [
+      Prog.map (Prog.await x Mode.Acq (Value.equal (vi 1))) (fun v -> v);
+      Prog.returning_unit (Prog.store x (vi 1) Mode.Rel);
+    ];
+  match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Finished vs -> Alcotest.(check value) "await value" (vi 1) vs.(0)
+  | o -> Alcotest.failf "unexpected %a" Machine.pp_outcome o
+
+let test_out_of_fuel_blocks () =
+  let m = Machine.create () in
+  Machine.spawn m
+    [
+      Prog.map
+        (Prog.with_fuel ~fuel:3 ~what:"test" (fun () ->
+             Prog.map Prog.yield (fun () -> None)))
+        (fun () -> Value.Unit);
+    ];
+  match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Blocked s ->
+      Alcotest.(check bool) "mentions fuel" true
+        (String.length s > 0 && String.sub s 0 3 = "out")
+  | o -> Alcotest.failf "unexpected %a" Machine.pp_outcome o
+
+let test_step_budget () =
+  let config = { Machine.default_config with max_steps = 5 } in
+  let m = Machine.create ~config () in
+  let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+  let rec spin () : Value.t Prog.t =
+    let* _ = Prog.load x Mode.Rlx in
+    spin ()
+  in
+  Machine.spawn m [ spin () ];
+  match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Bounded -> ()
+  | o -> Alcotest.failf "expected bounded, got %a" Machine.pp_outcome o
+
+let test_replay_determinism () =
+  (* Two runs with the same script produce identical outcomes + traces. *)
+  let mk () =
+    let config = { Machine.default_config with record_trace = true } in
+    let m = Machine.create ~config () in
+    let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+    let t = Prog.map (Prog.faa x 1 Mode.Rlx) (fun o -> vi o) in
+    Machine.spawn m [ t; t ];
+    m
+  in
+  let run script =
+    let m = mk () in
+    let outcome = Machine.run m (Oracle.script script) in
+    (Format.asprintf "%a" Machine.pp_outcome outcome,
+     Format.asprintf "%a" Trace.pp (Machine.trace m))
+  in
+  let s = [| 1; 0 |] in
+  Alcotest.(check (pair string string)) "deterministic replay" (run s) (run s)
+
+let test_oracle_logging () =
+  let o = Oracle.random ~seed:42 in
+  let c1 = Oracle.choose o ~arity:3 in
+  let c2 = Oracle.choose o ~arity:5 in
+  Alcotest.(check (list int)) "decisions" [ c1; c2 ] (Oracle.decisions o);
+  Alcotest.(check (list int)) "arities" [ 3; 5 ] (Oracle.arities o)
+
+let test_tid_op () =
+  let m = Machine.create () in
+  Machine.spawn m
+    [ Prog.map Prog.tid (fun t -> vi t); Prog.map Prog.tid (fun t -> vi t) ];
+  match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Finished vs ->
+      Alcotest.(check value) "tid 0" (vi 0) vs.(0);
+      Alcotest.(check value) "tid 1" (vi 1) vs.(1)
+  | o -> Alcotest.failf "unexpected %a" Machine.pp_outcome o
+
+(* Commits: an annotated store creates an event carrying the thread's
+   views; the message is patched so readers acquire the event. *)
+let test_commit_event_flow () =
+  let open Compass_event in
+  let m = Machine.create () in
+  let g = Machine.new_graph m ~name:"obj" in
+  let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+  let producer =
+    let* e = Prog.reserve in
+    Prog.returning_unit
+      (Prog.store x (vi 1) Mode.Rel
+         ~commit:(Commit.always ~obj:(Graph.obj g) (fun _ -> (e, Event.Custom ("W", [])))))
+  in
+  let consumer =
+    let* _ = Prog.await x Mode.Acq (Value.equal (vi 1)) in
+    let* e = Prog.reserve in
+    Prog.returning_unit
+      (Prog.store x (vi 2) Mode.Rel
+         ~commit:(Commit.always ~obj:(Graph.obj g) (fun _ -> (e, Event.Custom ("R", [])))))
+  in
+  Machine.spawn m [ producer; consumer ];
+  (match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Finished _ -> ()
+  | o -> Alcotest.failf "unexpected %a" Machine.pp_outcome o);
+  Alcotest.(check int) "two events" 2 (Graph.size g);
+  match Graph.events_by_cix g with
+  | [ w; r ] ->
+      Alcotest.(check bool) "consumer observed producer's event" true
+        (Graph.lhb g ~before:w.Event.id ~after:r.Event.id);
+      Alcotest.(check bool) "producer did not observe consumer" false
+        (Graph.lhb g ~before:r.Event.id ~after:w.Event.id)
+  | _ -> Alcotest.fail "expected two events"
+
+let test_rmw_release_sequence () =
+  (* An acquire read of the last RMW in a chain synchronises with the head
+     release write (C11 release sequences). *)
+  let m = Machine.create () in
+  let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+  let data = Machine.alloc m ~name:"d" ~init:(vi 0) 1 in
+  let t1 =
+    let* () = Prog.store data (vi 9) Mode.Na in
+    Prog.returning_unit (Prog.store x (vi 1) Mode.Rel)
+  in
+  let t2 =
+    let* _ = Prog.await x Mode.Rlx (Value.equal (vi 1)) in
+    Prog.map (Prog.faa x 1 Mode.Rlx) (fun _ -> Value.Unit)
+  in
+  let t3 =
+    let* _ = Prog.await x Mode.Acq (Value.equal (vi 2)) in
+    Prog.load data Mode.Na
+  in
+  Machine.spawn m [ t1; t2; t3 ];
+  match Machine.run m (Oracle.fresh_latest ()) with
+  | Machine.Finished vs ->
+      Alcotest.(check value) "release sequence transfers view" (vi 9) vs.(2)
+  | o -> Alcotest.failf "unexpected %a" Machine.pp_outcome o
+
+let suite =
+  [
+    Alcotest.test_case "solo execution" `Quick solo_prog;
+    Alcotest.test_case "spawn/run FAA" `Quick test_spawn_run;
+    Alcotest.test_case "finale joins views" `Quick test_finale_joins_views;
+    Alcotest.test_case "race becomes Fault" `Quick test_race_is_fault;
+    Alcotest.test_case "await blocks" `Quick test_await_blocks;
+    Alcotest.test_case "await wakes" `Quick test_await_wakes;
+    Alcotest.test_case "fuel exhaustion blocks" `Quick test_out_of_fuel_blocks;
+    Alcotest.test_case "step budget bounds" `Quick test_step_budget;
+    Alcotest.test_case "replay determinism" `Quick test_replay_determinism;
+    Alcotest.test_case "oracle logging" `Quick test_oracle_logging;
+    Alcotest.test_case "tid op" `Quick test_tid_op;
+    Alcotest.test_case "commit event flow" `Quick test_commit_event_flow;
+    Alcotest.test_case "rmw release sequence" `Quick test_rmw_release_sequence;
+  ]

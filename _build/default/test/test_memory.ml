@@ -1,0 +1,105 @@
+open Compass_rmc
+open Helpers
+
+(* Histories, timestamp policies, and the global store with race
+   detection. *)
+
+let test_history_basics () =
+  let l = loc ~base:9 ~off:0 in
+  let h = History.create ~loc:l ~init_value:(vi 0) in
+  Alcotest.(check int) "init ts" Timestamp.init (History.max_ts h);
+  History.add h (Msg.make ~loc:l ~ts:3 ~value:(vi 1) ~view:View.bot ~lview:Lview.empty ~wtid:0);
+  History.add h (Msg.make ~loc:l ~ts:7 ~value:(vi 2) ~view:View.bot ~lview:Lview.empty ~wtid:0);
+  Alcotest.(check int) "max ts" 7 (History.max_ts h);
+  Alcotest.(check int) "cardinal" 3 (History.cardinal h);
+  Alcotest.(check value) "latest value" (vi 2) !(History.latest h).Msg.value;
+  let readable = History.readable h ~from:3 in
+  Alcotest.(check int) "readable from 3" 2 (List.length readable);
+  Alcotest.(check value) "readable ascending" (vi 1)
+    !(List.hd readable).Msg.value
+
+let test_fresh_ts_append () =
+  let l = loc ~base:9 ~off:1 in
+  let h = History.create ~loc:l ~init_value:(vi 0) in
+  Alcotest.(check (list int)) "append" [ 1 ] (History.fresh_ts h ~policy:`Append ~above:0);
+  History.add h (Msg.make ~loc:l ~ts:1 ~value:(vi 1) ~view:View.bot ~lview:Lview.empty ~wtid:0);
+  Alcotest.(check (list int)) "append after" [ 2 ]
+    (History.fresh_ts h ~policy:`Append ~above:0)
+
+let test_fresh_ts_gap () =
+  let l = loc ~base:9 ~off:2 in
+  let h = History.create ~loc:l ~init_value:(vi 0) in
+  let stride = Timestamp.stride in
+  History.add h
+    (Msg.make ~loc:l ~ts:stride ~value:(vi 1) ~view:View.bot ~lview:Lview.empty ~wtid:0);
+  let choices = History.fresh_ts h ~policy:`Gap ~above:0 in
+  (* A midpoint between init and the stride write, plus past-the-end. *)
+  Alcotest.(check bool) "gap has midpoint" true (List.mem (stride / 2) choices);
+  Alcotest.(check bool) "gap has append" true
+    (List.mem (stride + stride) choices);
+  (* With [above] past the first write, only later slots qualify. *)
+  let choices = History.fresh_ts h ~policy:`Gap ~above:stride in
+  Alcotest.(check bool) "above prunes midpoints" true
+    (List.for_all (fun t -> t > stride) choices)
+
+let test_midpoint () =
+  Alcotest.(check (option int)) "adjacent has none" None (Timestamp.midpoint 3 4);
+  Alcotest.(check (option int)) "gap of two" (Some 4) (Timestamp.midpoint 3 5)
+
+let test_memory_alloc_read () =
+  let mem = Memory.create () in
+  let base = Memory.alloc mem ~name:"blk" ~size:3 ~init_value:Value.Null in
+  Alcotest.(check value) "init value" Value.Null
+    !(Memory.latest mem (Loc.shift base 2)).Msg.value;
+  Alcotest.(check int) "read choices from init" 1
+    (List.length (Memory.read_choices mem base ~from:Timestamp.init));
+  Alcotest.check_raises "unallocated"
+    (Memory.Error (Memory.Unallocated (Loc.shift base 3)))
+    (fun () -> ignore (Memory.latest mem (Loc.shift base 3)))
+
+let test_memory_race_detection () =
+  let mem = Memory.create () in
+  let base = Memory.alloc mem ~name:"blk" ~size:1 ~init_value:(vi 0) in
+  (* A thread that never observed the location races on na access. *)
+  Alcotest.check_raises "na read unobserved"
+    (Memory.Error (Memory.Race { loc = base; tid = 5; kind = "na-read" }))
+    (fun () -> ignore (Memory.na_read mem base ~tv:Tview.init ~tid:5));
+  (* After observing the init write, the na read succeeds. *)
+  let tv =
+    Tview.read Tview.init !(Memory.latest mem base) Mode.Acq
+  in
+  Alcotest.(check value) "na read after observation" (vi 0)
+    !(Memory.na_read mem base ~tv ~tid:5).Msg.value
+
+let test_memory_uninitialised () =
+  let mem = Memory.create () in
+  let base = Memory.alloc mem ~name:"blk" ~size:1 ~init_value:Value.Poison in
+  let tv = Tview.read Tview.init !(Memory.latest mem base) Mode.Acq in
+  Alcotest.check_raises "poison read"
+    (Memory.Error (Memory.Uninitialised { loc = base; tid = 1 }))
+    (fun () -> ignore (Memory.na_read mem base ~tv ~tid:1))
+
+let test_memory_stale_na_write_races () =
+  let mem = Memory.create () in
+  let base = Memory.alloc mem ~name:"blk" ~size:1 ~init_value:(vi 0) in
+  let tv = Tview.read Tview.init !(Memory.latest mem base) Mode.Acq in
+  (* Another write lands that [tv] has not observed. *)
+  Memory.add_msg mem
+    (Msg.make ~loc:base ~ts:4 ~value:(vi 9) ~view:View.bot ~lview:Lview.empty ~wtid:2);
+  Alcotest.check_raises "na write behind mo races"
+    (Memory.Error (Memory.Race { loc = base; tid = 1; kind = "na-write" }))
+    (fun () -> ignore (Memory.na_check mem base ~tv ~tid:1 ~kind:"na-write"))
+
+let suite =
+  [
+    Alcotest.test_case "history basics" `Quick test_history_basics;
+    Alcotest.test_case "fresh ts (append)" `Quick test_fresh_ts_append;
+    Alcotest.test_case "fresh ts (gap)" `Quick test_fresh_ts_gap;
+    Alcotest.test_case "timestamp midpoint" `Quick test_midpoint;
+    Alcotest.test_case "alloc and read choices" `Quick test_memory_alloc_read;
+    Alcotest.test_case "race detection (na vs unobserved)" `Quick
+      test_memory_race_detection;
+    Alcotest.test_case "uninitialised read" `Quick test_memory_uninitialised;
+    Alcotest.test_case "na write behind mo races" `Quick
+      test_memory_stale_na_write_races;
+  ]

@@ -1,0 +1,88 @@
+open Compass_event
+open Helpers
+
+(* Partial-order utilities. *)
+
+let test_closure () =
+  let r = Order.of_pairs ~nodes:[ 0; 1; 2; 3 ] [ (0, 1); (1, 2) ] in
+  let c = Order.closure r in
+  Alcotest.(check bool) "direct" true (c 0 1);
+  Alcotest.(check bool) "transitive" true (c 0 2);
+  Alcotest.(check bool) "not backwards" false (c 2 0);
+  Alcotest.(check bool) "isolated" false (c 3 0);
+  Alcotest.(check bool) "irreflexive" false (c 1 1)
+
+let test_reaches () =
+  let r = Order.of_pairs ~nodes:[ 0; 1; 2 ] [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "reaches" true (Order.reaches r 0 2);
+  Alcotest.(check bool) "not reaches" false (Order.reaches r 2 0)
+
+let test_acyclic () =
+  let good = Order.of_pairs ~nodes:[ 0; 1; 2 ] [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "dag acyclic" true (Order.acyclic good);
+  let bad = Order.of_pairs ~nodes:[ 0; 1; 2 ] [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "cycle detected" false (Order.acyclic bad);
+  let self = Order.of_pairs ~nodes:[ 0 ] [ (0, 0) ] in
+  Alcotest.(check bool) "self loop" false (Order.acyclic self)
+
+let test_topo () =
+  let r = Order.of_pairs ~nodes:[ 2; 0; 1 ] [ (0, 1); (1, 2) ] in
+  (match Order.topo_sort r with
+  | Some o -> Alcotest.(check (list int)) "topo order" [ 0; 1; 2 ] o
+  | None -> Alcotest.fail "expected a sort");
+  let cyc = Order.of_pairs ~nodes:[ 0; 1 ] [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "cyclic has none" true (Order.topo_sort cyc = None)
+
+let test_linear_extension () =
+  let r = Order.of_pairs ~nodes:[ 0; 1; 2 ] [ (0, 2) ] in
+  Alcotest.(check bool) "valid" true (Order.is_linear_extension r [ 1; 0; 2 ]);
+  Alcotest.(check bool) "violates edge" false (Order.is_linear_extension r [ 2; 0; 1 ]);
+  Alcotest.(check bool) "missing node" false (Order.is_linear_extension r [ 0; 2 ]);
+  Alcotest.(check bool) "wrong node set" false (Order.is_linear_extension r [ 0; 2; 5 ])
+
+let test_restrict () =
+  let ps = Order.restrict_pairs [ (0, 1); (1, 2); (2, 3) ] (fun x -> x < 2) in
+  Alcotest.(check (list (pair int int))) "restricted" [ (0, 1) ] ps
+
+(* QCheck: topo_sort of a DAG is a linear extension; closure contains the
+   base relation and is transitive. *)
+let prop_topo_is_extension =
+  QCheck.Test.make ~name:"topo sort is a linear extension" ~count:300 arb_dag
+    (fun (nodes, edges) ->
+      let r = Order.of_pairs ~nodes edges in
+      match Order.topo_sort r with
+      | Some o -> Order.is_linear_extension r o
+      | None -> false (* our generator only builds DAGs *))
+
+let prop_closure_transitive =
+  QCheck.Test.make ~name:"closure is transitive and contains base" ~count:200
+    arb_dag (fun (nodes, edges) ->
+      let r = Order.of_pairs ~nodes edges in
+      let c = Order.closure r in
+      List.for_all (fun (a, b) -> a = b || c a b) edges
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b ->
+                 List.for_all
+                   (fun d -> if c a b && c b d then c a d || a = d else true)
+                   nodes)
+               nodes)
+           nodes)
+
+let prop_dag_acyclic =
+  QCheck.Test.make ~name:"generated dags are acyclic" ~count:200 arb_dag
+    (fun (nodes, edges) -> Order.acyclic (Order.of_pairs ~nodes edges))
+
+let suite =
+  [
+    Alcotest.test_case "closure" `Quick test_closure;
+    Alcotest.test_case "reaches" `Quick test_reaches;
+    Alcotest.test_case "acyclicity" `Quick test_acyclic;
+    Alcotest.test_case "topological sort" `Quick test_topo;
+    Alcotest.test_case "linear extensions" `Quick test_linear_extension;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    qtest prop_topo_is_extension;
+    qtest prop_closure_transitive;
+    qtest prop_dag_acyclic;
+  ]

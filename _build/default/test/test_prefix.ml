@@ -1,0 +1,156 @@
+open Compass_event
+open Compass_machine
+open Compass_spec
+open Compass_dstruct
+open Compass_clients
+
+(* Prefix-closedness: the paper's consistency conditions are *invariants*
+   — "maintained by all operations" — so they must hold not only on the
+   final graph but after every commit step.  We sample executions per
+   structure and check every step-boundary prefix.  (Cutting inside a
+   step would expose the helped-pair intermediate states that the paper
+   explicitly says are NOT consistent — Section 4.2 — so prefixes are
+   taken at whole steps.) *)
+
+let step_prefixes g =
+  let steps =
+    Graph.events g
+    |> List.map (fun (e : Event.data) -> fst e.Event.cix)
+    |> List.sort_uniq compare
+  in
+  List.map (fun s -> Graph.prefix g ~upto:(s, 0)) steps @ [ g ]
+
+let check_all_prefixes name checker g =
+  List.iteri
+    (fun i p ->
+      match checker p with
+      | [] -> ()
+      | (v : Check.violation) :: _ ->
+          Alcotest.failf "%s: prefix %d (of %d events) violates %s: %s" name i
+            (Graph.size p) v.Check.cond v.Check.detail)
+    (step_prefixes g)
+
+(* Sample finished executions of a scenario and apply a per-graph check. *)
+let sample_and_check ?(execs = 120) ~seed build checker name =
+  let found = ref 0 in
+  let s = ref seed in
+  while !found < execs && !s < seed + (execs * 40) do
+    let m = Machine.create () in
+    let g, threads = build m in
+    Machine.spawn m threads;
+    (match Machine.run m (Oracle.random ~seed:!s) with
+    | Machine.Finished _ ->
+        incr found;
+        check_all_prefixes name checker g
+    | _ -> ());
+    incr s
+  done;
+  Alcotest.(check bool) (name ^ " sampled enough") true (!found > execs / 2)
+
+let vi n = Compass_rmc.Value.Int n
+
+let queue_build (factory : Iface.queue_factory) m =
+  let q = factory.make_queue m ~name:"q" in
+  ( q.Iface.q_graph,
+    [
+      Prog.returning_unit (Prog.seq [ q.Iface.enq (vi 1); q.Iface.enq (vi 2) ]);
+      Prog.returning_unit (Prog.seq [ q.Iface.enq (vi 3) ]);
+      Prog.bind (q.Iface.deq ()) (fun _ -> q.Iface.deq ());
+      Prog.bind (q.Iface.deq ()) (fun _ -> Prog.return Compass_rmc.Value.Unit);
+    ] )
+
+let stack_build (factory : Iface.stack_factory) m =
+  let s = factory.make_stack m ~name:"s" in
+  ( s.Iface.s_graph,
+    [
+      Prog.returning_unit (Prog.seq [ s.Iface.push (vi 1); s.Iface.push (vi 2) ]);
+      Prog.bind (s.Iface.pop ()) (fun _ -> s.Iface.pop ());
+      Prog.bind (s.Iface.pop ()) (fun _ -> Prog.return Compass_rmc.Value.Unit);
+    ] )
+
+let test_msqueue () =
+  sample_and_check ~seed:100 (queue_build Msqueue.instantiate)
+    Queue_spec.consistent "msqueue prefixes"
+
+let test_hwqueue () =
+  sample_and_check ~seed:200 (queue_build Hwqueue.instantiate)
+    Queue_spec.consistent "hwqueue prefixes"
+
+let test_treiber () =
+  sample_and_check ~seed:300 (stack_build Treiber.instantiate)
+    Stack_spec.consistent "treiber prefixes"
+
+let test_elimination () =
+  sample_and_check ~seed:400 (stack_build Elimination.instantiate)
+    Stack_spec.consistent "elimination prefixes"
+
+let test_exchanger () =
+  sample_and_check ~seed:500 ~execs:80
+    (fun m ->
+      let x = Exchanger.create m ~name:"x" in
+      ( Exchanger.graph x,
+        [ Exchanger.exchange x (vi 1); Exchanger.exchange x (vi 2) ] ))
+    Exchanger_spec.consistent "exchanger prefixes"
+
+let test_chaselev () =
+  sample_and_check ~seed:600 ~execs:80
+    (fun m ->
+      let t = Chaselev.create m ~name:"dq" in
+      let owner =
+        Prog.bind
+          (Prog.seq [ Chaselev.push t (vi 1); Chaselev.push t (vi 2) ])
+          (fun () -> Chaselev.pop t)
+      in
+      (Chaselev.graph t, [ owner; Chaselev.steal t ]))
+    Ws_spec.consistent "chaselev prefixes"
+
+(* Snapshot property: every prefix is included in the full graph. *)
+let test_prefix_included () =
+  sample_and_check ~seed:700 ~execs:60 (queue_build Msqueue.instantiate)
+    (fun _ -> [])
+    "inclusion sampling";
+  let m = Machine.create () in
+  let g, threads = queue_build Msqueue.instantiate m in
+  Machine.spawn m threads;
+  (match Machine.run m (Oracle.random ~seed:9) with
+  | Machine.Finished _ -> ()
+  | o -> Alcotest.failf "unexpected %a" Machine.pp_outcome o);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "prefix included in full graph" true
+        (Graph.included p g))
+    (step_prefixes g)
+
+(* The MP client's invariant (deqPerm) holds at every prefix too. *)
+let test_mp_invariant_stepwise () =
+  let st = Mp.fresh_stats () in
+  let sc = Mp.make Msqueue.instantiate st in
+  let config = Machine.default_config in
+  for seed = 0 to 120 do
+    let m = Machine.create ~config () in
+    let judge = sc.Explore.build m in
+    let outcome = Machine.run m (Oracle.random ~seed) in
+    ignore (judge outcome);
+    match outcome with
+    | Machine.Finished _ ->
+        let g = Registry.graph (Machine.registry m) 0 in
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "deqPerm at prefix" true
+              (List.length (Graph.so p) <= 2))
+          (step_prefixes g)
+    | _ -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "msqueue prefix-closed" `Slow test_msqueue;
+    Alcotest.test_case "hwqueue prefix-closed" `Slow test_hwqueue;
+    Alcotest.test_case "treiber prefix-closed" `Slow test_treiber;
+    Alcotest.test_case "elimination prefix-closed" `Slow test_elimination;
+    Alcotest.test_case "exchanger prefix-closed" `Slow test_exchanger;
+    Alcotest.test_case "chaselev prefix-closed" `Slow test_chaselev;
+    Alcotest.test_case "prefixes are snapshots" `Quick test_prefix_included;
+    Alcotest.test_case "MP deqPerm holds stepwise" `Slow
+      test_mp_invariant_stepwise;
+  ]

@@ -1,0 +1,181 @@
+open Compass_machine
+open Compass_dstruct
+open Compass_clients
+
+(* Differential validation: every execution the view-based machine
+   produces must satisfy the RC11 axioms when rebuilt declaratively
+   (po/rf/mo/fr/sw/hb from the recorded accesses).  Any disagreement is a
+   bug in either the view machinery or the checker. *)
+
+let config = { Machine.default_config with record_accesses = true }
+
+(* Wrap a scenario: after its own judge passes, run the axiomatic check. *)
+let with_rc11 (sc : Explore.scenario) : Explore.scenario =
+  {
+    sc with
+    Explore.build =
+      (fun m ->
+        let judge = sc.Explore.build m in
+        fun outcome ->
+          match judge outcome with
+          | Explore.Pass -> (
+              match outcome with
+              | Machine.Finished _ -> (
+                  match Rc11.check (Machine.accesses m) with
+                  | [] -> Explore.Pass
+                  | v :: _ -> Explore.Violation v)
+              | _ -> Explore.Pass)
+          | other -> other);
+  }
+
+let check_ok name (r : Explore.report) =
+  Alcotest.(check (list string))
+    (name ^ " axiom violations")
+    []
+    (List.map (fun (f : Explore.failure) -> f.Explore.message) r.Explore.violations)
+
+let dfs ?(max_execs = 20_000) sc =
+  Explore.dfs ~max_execs ~config (with_rc11 sc)
+
+let rand ?(execs = 1_000) sc = Explore.random ~execs ~seed:5 ~config (with_rc11 sc)
+
+let test_litmus_axioms () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let r = dfs t.Litmus.scenario in
+      check_ok r.Explore.name r)
+    (Litmus.all ())
+
+let test_litmus_axioms_gap () =
+  let config = { config with Machine.policy = `Gap } in
+  List.iter
+    (fun (t : Litmus.t) ->
+      let r = Explore.dfs ~max_execs:20_000 ~config (with_rc11 t.Litmus.scenario) in
+      check_ok (r.Explore.name ^ "(gap)") r)
+    [ Litmus.sb (); Litmus.two_two_w (); Litmus.corr (); Litmus.coww () ]
+
+let test_msqueue_axioms () =
+  check_ok "msqueue"
+    (dfs (Harness.queue_workload Msqueue.instantiate ~enqers:2 ~deqers:1 ~ops:1 ()))
+
+let test_msqueue_fences_axioms () =
+  check_ok "msqueue-fences"
+    (dfs
+       (Harness.queue_workload Msqueue_fences.instantiate ~enqers:2 ~deqers:1
+          ~ops:1 ()))
+
+let test_hwqueue_axioms () =
+  check_ok "hwqueue"
+    (dfs (Harness.queue_workload Hwqueue.instantiate ~enqers:2 ~deqers:1 ~ops:1 ()))
+
+let test_treiber_axioms () =
+  check_ok "treiber"
+    (dfs (Harness.stack_workload Treiber.instantiate ~pushers:2 ~poppers:1 ~ops:1 ()))
+
+let test_exchanger_axioms () =
+  check_ok "exchanger" (dfs (Harness.exchanger_workload ~threads:2 ()))
+
+let test_elimination_axioms () =
+  check_ok "elimination"
+    (rand
+       (Harness.stack_workload Elimination.instantiate ~pushers:2 ~poppers:2
+          ~ops:1 ()))
+
+let test_lockqueue_axioms () =
+  check_ok "lockqueue"
+    (dfs ~max_execs:10_000
+       (Harness.queue_workload Lockqueue.instantiate ~enqers:2 ~deqers:1 ~ops:1 ()))
+
+let test_chaselev_axioms () =
+  check_ok "chaselev"
+    (rand ~execs:2_000
+       (Ws_client.make ~tasks:2 ~thieves:1 ~steals:1 (Ws_client.fresh_stats ())))
+
+let test_mp_client_axioms () =
+  check_ok "mp"
+    (dfs ~max_execs:10_000 (Mp.make Msqueue.instantiate (Mp.fresh_stats ())))
+
+(* Sanity: the checker is not vacuous — a fabricated bad execution is
+   rejected.  A read whose rf source is mo-hidden behind an hb-later
+   write violates coherence. *)
+let test_rc11_rejects_coherence_violation () =
+  let open Compass_rmc in
+  let l = Loc.make ~base:99 ~off:0 in
+  let mk aid tid kind mode read_ts write_ts =
+    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts }
+  in
+  let accesses =
+    [
+      (* T0: writes 1 then 2 (mo by timestamps), then reads the OLD write:
+         po ∪ rf ∪ fr cycle at the location. *)
+      mk 0 0 Access.Store Mode.Rlx None (Some 1);
+      mk 1 0 Access.Store Mode.Rlx None (Some 2);
+      mk 2 0 Access.Load Mode.Rlx (Some 1) None;
+    ]
+  in
+  Alcotest.(check bool) "coherence violation detected" true
+    (Rc11.check accesses <> [])
+
+let test_rc11_rejects_atomicity_violation () =
+  let open Compass_rmc in
+  let l = Loc.make ~base:98 ~off:0 in
+  let mk aid tid kind mode read_ts write_ts =
+    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts }
+  in
+  let accesses =
+    [
+      mk 0 0 Access.Store Mode.Rlx None (Some 1);
+      (* an intervening write between the update and its source *)
+      mk 1 1 Access.Store Mode.Rlx None (Some 2);
+      mk 2 2 Access.Update Mode.AcqRel (Some 1) (Some 3);
+    ]
+  in
+  Alcotest.(check bool) "atomicity violation detected" true
+    (List.exists
+       (fun s -> String.length s >= 14 && String.sub s 0 14 = "rc11-atomicity")
+       (Rc11.check accesses))
+
+let test_rc11_rejects_race () =
+  let open Compass_rmc in
+  let l = Loc.make ~base:97 ~off:0 in
+  let mk aid tid kind mode read_ts write_ts =
+    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts }
+  in
+  let accesses =
+    [
+      mk 0 0 Access.Store Mode.Na None (Some 1);
+      mk 1 1 Access.Load Mode.Na (Some 1) None;
+    ]
+  in
+  Alcotest.(check bool) "race detected" true
+    (List.exists
+       (fun s -> String.length s >= 9 && String.sub s 0 9 = "rc11-race")
+       (Rc11.check accesses))
+
+let suite =
+  [
+    Alcotest.test_case "litmus battery satisfies the axioms" `Slow
+      test_litmus_axioms;
+    Alcotest.test_case "litmus under gap timestamps" `Slow
+      test_litmus_axioms_gap;
+    Alcotest.test_case "msqueue satisfies the axioms" `Slow test_msqueue_axioms;
+    Alcotest.test_case "msqueue-fences satisfies the axioms" `Slow
+      test_msqueue_fences_axioms;
+    Alcotest.test_case "hwqueue satisfies the axioms" `Slow test_hwqueue_axioms;
+    Alcotest.test_case "treiber satisfies the axioms" `Slow test_treiber_axioms;
+    Alcotest.test_case "exchanger satisfies the axioms" `Slow
+      test_exchanger_axioms;
+    Alcotest.test_case "elimination satisfies the axioms" `Slow
+      test_elimination_axioms;
+    Alcotest.test_case "lockqueue satisfies the axioms" `Slow
+      test_lockqueue_axioms;
+    Alcotest.test_case "chaselev satisfies the axioms" `Slow
+      test_chaselev_axioms;
+    Alcotest.test_case "MP client satisfies the axioms" `Slow
+      test_mp_client_axioms;
+    Alcotest.test_case "checker rejects coherence violations" `Quick
+      test_rc11_rejects_coherence_violation;
+    Alcotest.test_case "checker rejects atomicity violations" `Quick
+      test_rc11_rejects_atomicity_violation;
+    Alcotest.test_case "checker rejects races" `Quick test_rc11_rejects_race;
+  ]

@@ -1,0 +1,97 @@
+open Compass_event
+open Compass_spec
+open Helpers
+
+(* The derived SPSC spec (Section 3.2) on hand-built graphs. *)
+
+let conds vs = List.map (fun (c : Check.violation) -> c.Check.cond) vs
+let has_cond c vs = List.mem c (conds vs)
+
+let mk events so =
+  let g = Graph.create ~obj:0 ~name:"spsc" in
+  List.iter
+    (fun (id, typ, tid, lhb_preds, step) ->
+      Graph.commit g
+        {
+          Event.id;
+          obj = 0;
+          typ;
+          tid;
+          view = Compass_rmc.View.bot;
+          logview = Compass_rmc.Lview.of_list (id :: lhb_preds);
+          cix = (step, 0);
+        })
+    events;
+  List.iter (fun (a, b) -> Graph.add_so g ~from:a ~into:b) so;
+  g
+
+let enq id v preds step = (id, Event.Enq (vi v), 0, preds, step)
+let deq id v preds step = (id, Event.Deq (vi v), 1, preds, step)
+let empdeq id preds step = (id, Event.EmpDeq, 1, preds, step)
+
+let test_good () =
+  let g =
+    mk
+      [ enq 0 1 [] 1; enq 1 2 [ 0 ] 2; deq 2 1 [ 0 ] 3; deq 3 2 [ 0; 1; 2 ] 4 ]
+      [ (0, 2); (1, 3) ]
+  in
+  Alcotest.(check (list string)) "derived spec holds" []
+    (conds (Spsc_spec.consistent g))
+
+let test_two_producers () =
+  let g =
+    mk
+      [ enq 0 1 [] 1; (1, Event.Enq (vi 2), 2, [], 2) ]
+      []
+  in
+  Alcotest.(check bool) "discipline broken" true
+    (has_cond "spsc-discipline" (Spsc_spec.consistent g))
+
+let test_same_thread_both_roles () =
+  let g = mk [ enq 0 1 [] 1; (1, Event.Deq (vi 1), 0, [ 0 ], 2) ] [ (0, 1) ] in
+  Alcotest.(check bool) "producer = consumer flagged" true
+    (has_cond "spsc-discipline" (Spsc_spec.consistent g))
+
+let test_out_of_order_consumption () =
+  (* The consumer takes the second enqueue first: allowed by the weak
+     QUEUE-FIFO (if unordered), but NOT by the derived strict spec. *)
+  let g =
+    mk
+      [ enq 0 1 [] 1; enq 1 2 [ 0 ] 2; deq 2 2 [ 1 ] 3; deq 3 1 [ 0; 2 ] 4 ]
+      [ (1, 2); (0, 3) ]
+  in
+  Alcotest.(check bool) "strict fifo broken" true
+    (has_cond "spsc-fifo" (Spsc_spec.consistent g))
+
+let test_empdeq_counting () =
+  (* The consumer observed 1 enqueue, consumed 0, yet reports empty. *)
+  let g = mk [ enq 0 1 [] 1; empdeq 1 [ 0 ] 2 ] [] in
+  Alcotest.(check bool) "counted empdeq" true
+    (has_cond "spsc-empdeq" (Spsc_spec.consistent g));
+  (* After consuming it, empty is fine. *)
+  let g =
+    mk
+      [ enq 0 1 [] 1; deq 1 1 [ 0 ] 2; empdeq 2 [ 0; 1 ] 3 ]
+      [ (0, 1) ]
+  in
+  Alcotest.(check (list string)) "consumed empdeq fine" []
+    (conds (Spsc_spec.consistent g))
+
+let test_unobserved_enqueue_ok () =
+  (* An enqueue the consumer has not observed does not forbid empty. *)
+  let g = mk [ enq 0 1 [] 1; empdeq 1 [] 2 ] [] in
+  Alcotest.(check (list string)) "unobserved enqueue allows empty" []
+    (conds (Spsc_spec.consistent g))
+
+let suite =
+  [
+    Alcotest.test_case "conforming SPSC graph" `Quick test_good;
+    Alcotest.test_case "two producers rejected" `Quick test_two_producers;
+    Alcotest.test_case "producer=consumer rejected" `Quick
+      test_same_thread_both_roles;
+    Alcotest.test_case "strict FIFO enforced" `Quick
+      test_out_of_order_consumption;
+    Alcotest.test_case "counted empty dequeues" `Quick test_empdeq_counting;
+    Alcotest.test_case "unobserved enqueue allows empty" `Quick
+      test_unobserved_enqueue_ok;
+  ]

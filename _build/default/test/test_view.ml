@@ -1,0 +1,152 @@
+open Compass_rmc
+open Helpers
+
+(* Views and logical views: lattice laws and thread-view transitions. *)
+
+let l0 = loc ~base:0 ~off:0
+let l1 = loc ~base:1 ~off:0
+
+let test_bot_leq () =
+  Alcotest.(check bool) "bot <= anything" true (View.leq View.bot (View.singleton l0 5));
+  Alcotest.(check bool) "unseen below init" true (View.unseen < Timestamp.init)
+
+let test_get_set () =
+  let v = View.set View.bot l0 3 in
+  Alcotest.(check int) "get set" 3 (View.get v l0);
+  Alcotest.(check int) "get absent" View.unseen (View.get v l1);
+  Alcotest.(check bool) "observed" true (View.observed v l0);
+  Alcotest.(check bool) "not observed" false (View.observed v l1)
+
+let test_extend_monotone () =
+  let v = View.set View.bot l0 5 in
+  let v' = View.extend v l0 3 in
+  Alcotest.(check int) "extend keeps max" 5 (View.get v' l0);
+  let v'' = View.extend v l0 9 in
+  Alcotest.(check int) "extend grows" 9 (View.get v'' l0)
+
+let test_join () =
+  let a = View.set (View.set View.bot l0 1) l1 7 in
+  let b = View.set View.bot l0 4 in
+  let j = View.join a b in
+  Alcotest.(check int) "join max l0" 4 (View.get j l0);
+  Alcotest.(check int) "join keeps l1" 7 (View.get j l1)
+
+(* QCheck lattice laws. *)
+let prop_join_comm =
+  QCheck.Test.make ~name:"view join commutative" ~count:200
+    (QCheck.pair arb_view arb_view) (fun (a, b) ->
+      View.equal (View.join a b) (View.join b a))
+
+let prop_join_assoc =
+  QCheck.Test.make ~name:"view join associative" ~count:200
+    (QCheck.triple arb_view arb_view arb_view) (fun (a, b, c) ->
+      View.equal (View.join a (View.join b c)) (View.join (View.join a b) c))
+
+let prop_join_idem =
+  QCheck.Test.make ~name:"view join idempotent" ~count:200 arb_view (fun a ->
+      View.equal (View.join a a) a)
+
+let prop_join_ub =
+  QCheck.Test.make ~name:"view join is an upper bound" ~count:200
+    (QCheck.pair arb_view arb_view) (fun (a, b) ->
+      let j = View.join a b in
+      View.leq a j && View.leq b j)
+
+let prop_leq_antisym =
+  QCheck.Test.make ~name:"view leq antisymmetric" ~count:200
+    (QCheck.pair arb_view arb_view) (fun (a, b) ->
+      if View.leq a b && View.leq b a then View.equal a b else true)
+
+let prop_lview_join_laws =
+  QCheck.Test.make ~name:"lview join laws" ~count:200
+    (QCheck.pair arb_lview arb_lview) (fun (a, b) ->
+      Lview.equal (Lview.join a b) (Lview.join b a)
+      && Lview.leq a (Lview.join a b))
+
+(* Thread-view transitions preserve well-formedness (rel <= cur <= acq). *)
+let msg ~l ~ts ~view ~lview =
+  Msg.make ~loc:l ~ts ~value:(vi 0) ~view ~lview ~wtid:0
+
+let prop_tview_wf =
+  let gen_ops =
+    QCheck.Gen.(
+      list_size (int_bound 15)
+        (oneof
+           [
+             map (fun v -> `Read (v, Mode.Acq)) gen_view;
+             map (fun v -> `Read (v, Mode.Rlx)) gen_view;
+             map (fun t -> `Write (t, Mode.Rel)) (int_range 1 30);
+             map (fun t -> `Write (t, Mode.Rlx)) (int_range 1 30);
+             return (`Fence Mode.F_acq);
+             return (`Fence Mode.F_rel);
+             return (`Fence Mode.F_acqrel);
+             map (fun e -> `Observe e) (int_bound 20);
+           ]))
+  in
+  QCheck.Test.make ~name:"tview transitions preserve wf" ~count:300
+    (QCheck.make gen_ops) (fun ops ->
+      let tv =
+        List.fold_left
+          (fun tv op ->
+            match op with
+            | `Read (view, mode) ->
+                Tview.read tv (msg ~l:l0 ~ts:(View.get view l0 + 1) ~view ~lview:Lview.empty) mode
+            | `Write (ts, mode) ->
+                let ts = View.get tv.Tview.cur l1 + ts in
+                let tv, _, _ = Tview.write tv ~l:l1 ~ts ~mode () in
+                tv
+            | `Fence f -> Tview.fence tv f
+            | `Observe e -> Tview.observe_event tv e)
+          Tview.init ops
+      in
+      Tview.wf tv)
+
+let test_tview_release_acquire () =
+  (* A release write's message view carries cur; a relaxed write's does
+     not (only the fence-frozen rel view). *)
+  let tv = Tview.read Tview.init (msg ~l:l0 ~ts:5 ~view:(View.singleton l0 5) ~lview:Lview.empty) Mode.Acq in
+  let _, vrel, _ = Tview.write tv ~l:l1 ~ts:1 ~mode:Mode.Rel () in
+  Alcotest.(check int) "rel write carries cur" 5 (View.get vrel l0);
+  let _, vrlx, _ = Tview.write tv ~l:l1 ~ts:1 ~mode:Mode.Rlx () in
+  Alcotest.(check int) "rlx write hides cur" View.unseen (View.get vrlx l0)
+
+let test_tview_fence_protocol () =
+  (* rel fence freezes cur for later relaxed writes; acq fence releases the
+     accumulated relaxed-read views into cur. *)
+  let m1 = msg ~l:l0 ~ts:3 ~view:(View.singleton l0 3) ~lview:(Lview.singleton 7) in
+  let tv = Tview.read Tview.init m1 Mode.Rlx in
+  Alcotest.(check bool) "rlx read does not acquire lview" false
+    (Lview.mem 7 tv.Tview.cur_l);
+  let tv = Tview.fence tv Mode.F_acq in
+  Alcotest.(check bool) "acq fence acquires lview" true (Lview.mem 7 tv.Tview.cur_l);
+  let tv = Tview.fence tv Mode.F_rel in
+  let _, _, lrlx = Tview.write tv ~l:l1 ~ts:1 ~mode:Mode.Rlx () in
+  Alcotest.(check bool) "rlx write after rel fence releases lview" true
+    (Lview.mem 7 lrlx)
+
+let test_tview_join () =
+  let tv1 = Tview.observe_event Tview.init 1 in
+  let tv2 = Tview.observe_event Tview.init 2 in
+  let j = Tview.join tv1 tv2 in
+  Alcotest.(check bool) "join has both events" true
+    (Lview.mem 1 j.Tview.cur_l && Lview.mem 2 j.Tview.cur_l)
+
+let suite =
+  [
+    Alcotest.test_case "bot/leq basics" `Quick test_bot_leq;
+    Alcotest.test_case "get/set/observed" `Quick test_get_set;
+    Alcotest.test_case "extend is monotone" `Quick test_extend_monotone;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "release vs relaxed message views" `Quick
+      test_tview_release_acquire;
+    Alcotest.test_case "fence protocol (logical views)" `Quick
+      test_tview_fence_protocol;
+    Alcotest.test_case "tview join" `Quick test_tview_join;
+    qtest prop_join_comm;
+    qtest prop_join_assoc;
+    qtest prop_join_idem;
+    qtest prop_join_ub;
+    qtest prop_leq_antisym;
+    qtest prop_lview_join_laws;
+    qtest prop_tview_wf;
+  ]
