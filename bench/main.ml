@@ -289,9 +289,88 @@ let scaling =
          ])
        sizes)
 
+(* -- explore-throughput mode (--explore [--quick]) -----------------------------
+
+   Machine-readable exploration throughput, written to BENCH_explore.json:
+   for each scenario, the sequential DFS versus the sharded parallel
+   driver ([Explore.pdfs]) at 1/2/4 domains, plus the sleep-set-reduced
+   run.  The report fields are exact whatever the parallelism; wall-clock
+   speedups depend on how many cores the host actually has (recorded as
+   "host.recommended_domains"). *)
+
+let bench_explore ~quick =
+  let max_execs = if quick then 2_000 else 20_000 in
+  let scenarios =
+    [
+      ("mp-queue", fun () -> Mp.make Msqueue.instantiate (Mp.fresh_stats ()));
+      ( "hw-queue",
+        fun () ->
+          Harness.queue_workload Hwqueue.instantiate ~enqers:2 ~deqers:1 ~ops:1
+            () );
+      ( "treiber",
+        fun () ->
+          Harness.stack_workload Treiber.instantiate ~pushers:2 ~poppers:1
+            ~ops:1 () );
+    ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rate (r : Explore.report) t =
+    if t > 0. then float_of_int r.Explore.executions /. t else 0.
+  in
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.bprintf buf fmt in
+  bpf "{\n  \"max_execs\": %d,\n  \"quick\": %b,\n" max_execs quick;
+  bpf "  \"host\": { \"recommended_domains\": %d, \"ocaml\": %S },\n"
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version;
+  bpf "  \"scenarios\": [";
+  List.iteri
+    (fun i (name, mk) ->
+      if i > 0 then bpf ",";
+      let seq, seq_t = time (fun () -> Explore.dfs ~max_execs (mk ())) in
+      bpf "\n    { \"name\": %S,\n" name;
+      bpf
+        "      \"sequential\": { \"executions\": %d, \"complete\": %b, \
+         \"seconds\": %.4f, \"execs_per_sec\": %.1f },\n"
+        seq.Explore.executions seq.Explore.complete seq_t (rate seq seq_t);
+      bpf "      \"pdfs\": [";
+      List.iteri
+        (fun j jobs ->
+          if j > 0 then bpf ",";
+          let r, t = time (fun () -> Explore.pdfs ~jobs ~max_execs (mk ())) in
+          bpf
+            "\n        { \"jobs\": %d, \"executions\": %d, \"complete\": %b, \
+             \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
+             \"speedup_vs_sequential\": %.2f }"
+            jobs r.Explore.executions r.Explore.complete t (rate r t)
+            (if t > 0. then seq_t /. t else 0.))
+        [ 1; 2; 4 ];
+      bpf "\n      ],\n";
+      let red, red_t =
+        time (fun () -> Explore.dfs ~reduce:true ~max_execs (mk ()))
+      in
+      bpf
+        "      \"reduced\": { \"executions\": %d, \"pruned\": %d, \
+         \"complete\": %b, \"seconds\": %.4f, \"execs_vs_full\": %.3f }\n"
+        red.Explore.executions red.Explore.pruned red.Explore.complete red_t
+        (float_of_int red.Explore.executions
+        /. float_of_int (max 1 seq.Explore.executions));
+      bpf "    }")
+    scenarios;
+  bpf "\n  ]\n}\n";
+  let oc = open_out "BENCH_explore.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Format.printf "wrote BENCH_explore.json@."
+
 (* -- driver ------------------------------------------------------------------- *)
 
-let () =
+let bench_bechamel () =
   let tests =
     Test.make_grouped ~name:"compass"
       [
@@ -324,3 +403,9 @@ let () =
            (match Analyze.OLS.r_square ols with
            | Some r -> Printf.sprintf "%.3f" r
            | None -> "-"))
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--explore" argv then
+    bench_explore ~quick:(List.mem "--quick" argv)
+  else bench_bechamel ()

@@ -9,6 +9,10 @@
      compass axioms
      compass replay [--script N,N,...]
      compass report [--quick]
+
+   Every exploring subcommand also takes [--jobs N] (shard the DFS
+   across N domains) and [--reduce] (sleep-set partial-order
+   reduction).
 *)
 
 open Cmdliner
@@ -32,6 +36,20 @@ let random_mode =
 let seed =
   let doc = "Seed for random exploration." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let jobs =
+  let doc =
+    "Shard the exhaustive DFS across $(docv) domains (parallel \
+     exploration; 1 = the sequential driver)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let reduce =
+  let doc =
+    "Sleep-set partial-order reduction: skip interleavings that only \
+     reorder independent steps (same verdicts, fewer executions)."
+  in
+  Arg.(value & flag & info [ "reduce" ] ~doc)
 
 let queue_arg =
   let impls =
@@ -57,9 +75,10 @@ let style_arg =
   in
   Arg.(value & opt impls Styles.Hb & info [ "style"; "s" ] ~docv:"STYLE" ~doc)
 
-let run_mode ~random ~execs ~seed sc =
+let run_mode ~random ~execs ~seed ~jobs ~reduce sc =
   if random then Explore.random ~execs ~seed sc
-  else Explore.dfs ~max_execs:execs sc
+  else if jobs > 1 then Explore.pdfs ~jobs ~max_execs:execs ~reduce sc
+  else Explore.dfs ~max_execs:execs ~reduce sc
 
 let finish report =
   Format.printf "%a@." Explore.pp_report report;
@@ -72,7 +91,7 @@ let litmus_cmd =
     let doc = "Use the Gap timestamp policy (enables mo-middle insertion, e.g. 2+2W)." in
     Arg.(value & flag & info [ "gap" ] ~doc)
   in
-  let run gap execs =
+  let run gap execs jobs reduce =
     let config =
       { Machine.default_config with policy = (if gap then `Gap else `Append) }
     in
@@ -82,7 +101,9 @@ let litmus_cmd =
     let code = ref 0 in
     List.iter
       (fun (t : Litmus.t) ->
-        let ok, report, obs = Litmus.verdict ~max_execs:execs ~config t in
+        let ok, report, obs =
+          Litmus.verdict ~max_execs:execs ~config ~jobs ~reduce t
+        in
         if not ok then code := 1;
         Format.printf "%-12s %-42s expect %-10s observed %-8d execs %-8d %s@."
           report.Explore.name t.Litmus.descr
@@ -95,7 +116,7 @@ let litmus_cmd =
     !code
   in
   let doc = "Run the litmus-test battery against the ORC11 substrate." in
-  Cmd.v (Cmd.info "litmus" ~doc) Term.(const run $ gap $ execs)
+  Cmd.v (Cmd.info "litmus" ~doc) Term.(const run $ gap $ execs $ jobs $ reduce)
 
 (* -- client -------------------------------------------------------------------- *)
 
@@ -124,17 +145,17 @@ let client_cmd =
           None
       & info [] ~docv:"CLIENT" ~doc)
   in
-  let run which factory random execs seed =
+  let run which factory random execs seed jobs reduce =
     match which with
     | `Mp ->
         let st = Mp.fresh_stats () in
-        let r = run_mode ~random ~execs ~seed (Mp.make factory st) in
+        let r = run_mode ~random ~execs ~seed ~jobs ~reduce (Mp.make factory st) in
         let code = finish r in
         Format.printf "%a@." Mp.pp_stats st;
         if st.Mp.right_empty > 0 then 1 else code
     | `Mp_weak ->
         let st = Mp.fresh_stats () in
-        let r = run_mode ~random ~execs ~seed (Mp.make_weak factory st) in
+        let r = run_mode ~random ~execs ~seed ~jobs ~reduce (Mp.make_weak factory st) in
         let code = finish r in
         Format.printf "%a@." Mp.pp_stats st;
         Format.printf
@@ -144,20 +165,20 @@ let client_cmd =
     | `Spsc ->
         let st = Spsc_client.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed (Spsc_client.make ~n:3 factory st)
+          run_mode ~random ~execs ~seed ~jobs ~reduce (Spsc_client.make ~n:3 factory st)
         in
         finish r
     | `Pipeline ->
         let st = Pipeline.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed
+          run_mode ~random ~execs ~seed ~jobs ~reduce
             (Pipeline.make ~n:2 factory Hwqueue.instantiate st)
         in
         finish r
     | `Resource ->
         let st = Resource_exchange.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed (Resource_exchange.make ~threads:2 st)
+          run_mode ~random ~execs ~seed ~jobs ~reduce (Resource_exchange.make ~threads:2 st)
         in
         let code = finish r in
         Format.printf "swaps %d, failed exchanges %d@."
@@ -166,7 +187,7 @@ let client_cmd =
     | `Es ->
         let st = Es_compose.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed
+          run_mode ~random ~execs ~seed ~jobs ~reduce
             (Es_compose.make ~pushers:2 ~poppers:2 ~ops:1 st)
         in
         let code = finish r in
@@ -176,7 +197,7 @@ let client_cmd =
     | `Mp_stack ->
         let st = Mp_stack.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed (Mp_stack.make Treiber.instantiate st)
+          run_mode ~random ~execs ~seed ~jobs ~reduce (Mp_stack.make Treiber.instantiate st)
         in
         let code = finish r in
         Format.printf "right pop: got %d, empty %d@." st.Mp_stack.right_got
@@ -184,11 +205,11 @@ let client_cmd =
         code
     | `Strong_fifo ->
         let st = Strong_fifo.fresh_stats () in
-        let r = run_mode ~random ~execs ~seed (Strong_fifo.make factory st) in
+        let r = run_mode ~random ~execs ~seed ~jobs ~reduce (Strong_fifo.make factory st) in
         let code = finish r in
         let broke = ref 0 in
         let rc =
-          run_mode ~random ~execs:(execs / 2) ~seed
+          run_mode ~random ~execs:(execs / 2) ~seed ~jobs ~reduce
             (Strong_fifo.make_control factory broke)
         in
         Format.printf
@@ -199,7 +220,7 @@ let client_cmd =
     | `Ws ->
         let st = Ws_client.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed
+          run_mode ~random ~execs ~seed ~jobs ~reduce
             (Ws_client.make ~tasks:2 ~thieves:1 ~steals:1 st)
         in
         let code = finish r in
@@ -219,7 +240,8 @@ let client_cmd =
   in
   let doc = "Model-check one of the paper's client verifications." in
   Cmd.v (Cmd.info "client" ~doc)
-    Term.(const run $ which $ queue_arg $ random_mode $ execs $ seed)
+    Term.(
+      const run $ which $ queue_arg $ random_mode $ execs $ seed $ jobs $ reduce)
 
 (* -- check --------------------------------------------------------------------- *)
 
@@ -246,26 +268,31 @@ let check_cmd =
     Arg.(value & opt int 1 & info [ "ops"; "o" ] ~docv:"N"
            ~doc:"Operations per thread.")
   in
-  let run which style threads ops random execs seed =
+  let run which style threads ops random execs seed jobs reduce =
     let sc =
       match which with
       | `Q f -> Harness.queue_workload ~style f ~enqers:threads ~deqers:threads ~ops ()
       | `S f -> Harness.stack_workload ~style f ~pushers:threads ~poppers:threads ~ops ()
     in
-    finish (run_mode ~random ~execs ~seed sc)
+    finish (run_mode ~random ~execs ~seed ~jobs ~reduce sc)
   in
   let doc =
     "Explore a workload on an implementation and check a spec style on \
      every execution."
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ which $ style_arg $ threads $ ops $ random_mode $ execs $ seed)
+    Term.(
+      const run $ which $ style_arg $ threads $ ops $ random_mode $ execs $ seed
+      $ jobs $ reduce)
 
 (* -- matrix --------------------------------------------------------------------- *)
 
 let matrix_cmd =
-  let run execs =
-    let cells = Experiments.matrix ~dfs_execs:execs ~rand_execs:(execs / 10) () in
+  let run execs jobs reduce =
+    let cells =
+      Experiments.matrix ~dfs_execs:execs ~rand_execs:(execs / 10) ~jobs ~reduce
+        ()
+    in
     Format.printf "%a" Experiments.pp_matrix cells;
     0
   in
@@ -273,7 +300,7 @@ let matrix_cmd =
     "Run the spec-style satisfaction matrix (experiment E2): every \
      implementation against every spec style."
   in
-  Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ execs)
+  Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ execs $ jobs $ reduce)
 
 (* -- dot ------------------------------------------------------------------------ *)
 
@@ -353,7 +380,7 @@ let dot_cmd =
 (* -- axioms ------------------------------------------------------------------------ *)
 
 let axioms_cmd =
-  let run execs =
+  let run execs jobs reduce =
     (* Differential validation: every execution of the litmus battery and
        a workload per structure must satisfy the RC11 axioms when rebuilt
        declaratively from the recorded accesses. *)
@@ -378,7 +405,11 @@ let axioms_cmd =
     in
     let code = ref 0 in
     let run_sc sc =
-      let r = Explore.dfs ~max_execs:execs ~config (with_rc11 sc) in
+      let r =
+        if jobs > 1 then
+          Explore.pdfs ~jobs ~max_execs:execs ~reduce ~config (with_rc11 sc)
+        else Explore.dfs ~max_execs:execs ~reduce ~config (with_rc11 sc)
+      in
       if not (Explore.ok r) then code := 1;
       Format.printf "%-38s %7d executions  %s@." r.Explore.name
         r.Explore.executions
@@ -395,7 +426,7 @@ let axioms_cmd =
     "Differentially validate the operational semantics against the RC11 \
      axioms (po/rf/mo/fr/sw/hb rebuilt from recorded accesses)."
   in
-  Cmd.v (Cmd.info "axioms" ~doc) Term.(const run $ execs)
+  Cmd.v (Cmd.info "axioms" ~doc) Term.(const run $ execs $ jobs $ reduce)
 
 (* -- replay ------------------------------------------------------------------------ *)
 
@@ -438,9 +469,9 @@ let report_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced budgets (~10x faster).")
   in
-  let run quick =
+  let run quick jobs reduce =
     let t0 = Unix.gettimeofday () in
-    let lines = Experiments.all ~quick () in
+    let lines = Experiments.all ~quick ~jobs ~reduce () in
     List.iter (fun l -> Format.printf "%a@.@." Experiments.pp_line l) lines;
     Format.printf "E7 reference points from the paper (Section 1.2 / 6):@.";
     List.iter
@@ -452,7 +483,7 @@ let report_cmd =
     if ok = List.length lines then 0 else 1
   in
   let doc = "Run the full experiment battery (E1-E8) and print paper-vs-measured." in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ quick)
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ quick $ jobs $ reduce)
 
 (* -- main ------------------------------------------------------------------------- *)
 

@@ -29,15 +29,23 @@ let matrix_queue_factories =
   queue_factories @ [ Msqueue_fences.instantiate; Lockqueue.instantiate ]
 let matrix_stack_factories = stack_factories @ [ Lockstack.instantiate ]
 
+(* The exhaustive leg shared by every experiment: the sequential DFS, or
+   the sharded parallel driver when [jobs > 1].  [reduce] switches on
+   sleep-set reduction; verdicts are preserved, but client-side counters
+   then only cover the representative interleavings explored. *)
+let edfs ~jobs ~reduce ~max_execs sc =
+  if jobs > 1 then Explore.pdfs ~jobs ~max_execs ~reduce sc
+  else Explore.dfs ~max_execs ~reduce sc
+
 (* -- E1: MP client (Figures 1 and 3) ------------------------------------------ *)
 
-let e1 ?(max_execs = 150_000) () =
+let e1 ?(max_execs = 150_000) ?(jobs = 1) ?(reduce = false) () =
   List.concat_map
     (fun (factory : Iface.queue_factory) ->
       let st = Mp.fresh_stats () in
-      let r = Explore.dfs ~max_execs (Mp.make factory st) in
+      let r = edfs ~jobs ~reduce ~max_execs (Mp.make factory st) in
       let stw = Mp.fresh_stats () in
-      let rw = Explore.dfs ~max_execs (Mp.make_weak factory stw) in
+      let rw = edfs ~jobs ~reduce ~max_execs (Mp.make_weak factory stw) in
       [
         {
           id = "E1";
@@ -83,7 +91,8 @@ type matrix_cell = {
   tally : Styles.tally;
 }
 
-let matrix ?(dfs_execs = 25_000) ?(rand_execs = 2_000) () =
+let matrix ?(dfs_execs = 25_000) ?(rand_execs = 2_000) ?(jobs = 1)
+    ?(reduce = false) () =
   let run_queue (factory : Iface.queue_factory) style =
     let tally = Styles.fresh_tally () in
     let sc =
@@ -109,7 +118,7 @@ let matrix ?(dfs_execs = 25_000) ?(rand_execs = 2_000) () =
               Styles.tally_one tally (Styles.check style Styles.Queue q.Iface.q_graph);
               Explore.Pass ))
     in
-    ignore (Explore.dfs ~max_execs:dfs_execs sc);
+    ignore (edfs ~jobs ~reduce ~max_execs:dfs_execs sc);
     ignore (Explore.random ~execs:rand_execs ~seed:23 sc);
     { impl = factory.q_name; style; tally }
   in
@@ -138,7 +147,7 @@ let matrix ?(dfs_execs = 25_000) ?(rand_execs = 2_000) () =
               Styles.tally_one tally (Styles.check style Styles.Stack s.Iface.s_graph);
               Explore.Pass ))
     in
-    ignore (Explore.dfs ~max_execs:dfs_execs sc);
+    ignore (edfs ~jobs ~reduce ~max_execs:dfs_execs sc);
     ignore (Explore.random ~execs:rand_execs ~seed:23 sc);
     { impl = factory.s_name; style; tally }
   in
@@ -179,8 +188,8 @@ let pp_matrix ppf cells =
    execution passed; note SC-abs must fail for every relaxed
    implementation (Section 2.3), and LATabs styles must fail for the HW
    queue (Section 3.2). *)
-let e2 ?dfs_execs ?rand_execs () =
-  let cells = matrix ?dfs_execs ?rand_execs () in
+let e2 ?dfs_execs ?rand_execs ?jobs ?reduce () =
+  let cells = matrix ?dfs_execs ?rand_execs ?jobs ?reduce () in
   let sat impl style =
     match List.find_opt (fun c -> c.impl = impl && c.style = style) cells with
     | Some c -> Styles.satisfied c.tally
@@ -241,14 +250,16 @@ let e2 ?dfs_execs ?rand_execs () =
 
 (* -- E2b: strong FIFO recovery under external synchronisation (§3.1) ----------- *)
 
-let e2b ?(max_execs = 60_000) () =
+let e2b ?(max_execs = 60_000) ?(jobs = 1) ?(reduce = false) () =
   let results =
     List.map
       (fun (factory : Iface.queue_factory) ->
         let st = Strong_fifo.fresh_stats () in
-        let r = Explore.dfs ~max_execs (Strong_fifo.make factory st) in
+        let r = edfs ~jobs ~reduce ~max_execs (Strong_fifo.make factory st) in
         let broke = ref 0 in
-        let rc = Explore.dfs ~max_execs (Strong_fifo.make_control factory broke) in
+        let rc =
+          edfs ~jobs ~reduce ~max_execs (Strong_fifo.make_control factory broke)
+        in
         (factory.q_name, r, rc, !broke))
       queue_factories
   in
@@ -276,7 +287,7 @@ let e2b ?(max_execs = 60_000) () =
 
 (* -- E3: HW queue vs commit-point abstract states ------------------------------ *)
 
-let e3 ?(max_execs = 60_000) () =
+let e3 ?(max_execs = 60_000) ?(jobs = 1) ?(reduce = false) () =
   let tally_abs = Styles.fresh_tally () and tally_hist = Styles.fresh_tally () in
   let sc =
     Harness.scenario ~name:"hw-abs" (fun m ->
@@ -296,7 +307,7 @@ let e3 ?(max_execs = 60_000) () =
               (Styles.check Styles.Hist Styles.Queue (Hwqueue.graph t));
             Explore.Pass ))
   in
-  ignore (Explore.dfs ~max_execs sc);
+  ignore (edfs ~jobs ~reduce ~max_execs sc);
   {
     id = "E3";
     name = "Herlihy-Wing: abstract states fail, linearisation exists";
@@ -316,12 +327,13 @@ let e3 ?(max_execs = 60_000) () =
 
 (* -- E4: SPSC ------------------------------------------------------------------ *)
 
-let e4 ?(dfs_execs = 30_000) ?(rand_execs = 3_000) () =
+let e4 ?(dfs_execs = 30_000) ?(rand_execs = 3_000) ?(jobs = 1)
+    ?(reduce = false) () =
   List.map
     (fun (factory : Iface.queue_factory) ->
       let st = Spsc_client.fresh_stats () in
       let r1 =
-        Explore.dfs ~max_execs:dfs_execs
+        edfs ~jobs ~reduce ~max_execs:dfs_execs
           (Spsc_client.make ~n:2 ~retries:3 factory st)
       in
       let r2 =
@@ -343,7 +355,7 @@ let e4 ?(dfs_execs = 30_000) ?(rand_execs = 3_000) () =
 
 (* -- E5: Treiber LAThist ------------------------------------------------------- *)
 
-let e5 ?(max_execs = 40_000) () =
+let e5 ?(max_execs = 40_000) ?(jobs = 1) ?(reduce = false) () =
   let total = ref 0 and direct = ref 0 and searched = ref 0 in
   let sc =
     Harness.scenario ~name:"treiber-hist" (fun m ->
@@ -371,7 +383,7 @@ let e5 ?(max_execs = 40_000) () =
             if Stack_spec.consistent g = [] then Explore.Pass
             else Explore.Violation "inconsistent" ))
   in
-  ignore (Explore.dfs ~max_execs sc);
+  ignore (edfs ~jobs ~reduce ~max_execs sc);
   {
     id = "E5";
     name = "Treiber stack: linearisable history (Figure 4)";
@@ -388,10 +400,12 @@ let e5 ?(max_execs = 40_000) () =
 
 (* -- E6: exchanger + elimination stack (Section 4) ------------------------------ *)
 
-let e6 ?(dfs_execs = 40_000) ?(rand_execs = 4_000) () =
+let e6 ?(dfs_execs = 40_000) ?(rand_execs = 4_000) ?(jobs = 1)
+    ?(reduce = false) () =
   let stx = Resource_exchange.fresh_stats () in
   let rx =
-    Explore.dfs ~max_execs:dfs_execs (Resource_exchange.make ~threads:2 stx)
+    edfs ~jobs ~reduce ~max_execs:dfs_execs
+      (Resource_exchange.make ~threads:2 stx)
   in
   (* DFS explores uncontended schedules first, so small budgets may see no
      matches; a random leg makes swaps occur reliably. *)
@@ -438,10 +452,11 @@ let e6 ?(dfs_execs = 40_000) ?(rand_execs = 4_000) () =
 
 (* -- E8: Chase-Lev work-stealing deque (the paper's Section 6 future work) ------ *)
 
-let e8 ?(dfs_execs = 120_000) ?(rand_execs = 120_000) () =
+let e8 ?(dfs_execs = 120_000) ?(rand_execs = 120_000) ?(jobs = 1)
+    ?(reduce = false) () =
   let st = Ws_client.fresh_stats () in
   let r1 =
-    Explore.dfs ~max_execs:dfs_execs
+    edfs ~jobs ~reduce ~max_execs:dfs_execs
       (Ws_client.make ~tasks:2 ~thieves:1 ~steals:1 st)
   in
   let r2 =
@@ -504,14 +519,18 @@ let e7_paper_numbers =
 
 (* -- the whole battery ----------------------------------------------------------- *)
 
-let all ?(quick = false) () =
+let all ?(quick = false) ?(jobs = 1) ?(reduce = false) () =
   let scale n = if quick then n / 10 else n in
-  e1 ~max_execs:(scale 150_000) ()
-  @ (let _, line = e2 ~dfs_execs:(scale 25_000) ~rand_execs:(scale 2_000) () in
+  e1 ~max_execs:(scale 150_000) ~jobs ~reduce ()
+  @ (let _, line =
+       e2 ~dfs_execs:(scale 25_000) ~rand_execs:(scale 2_000) ~jobs ~reduce ()
+     in
      [ line ])
-  @ [ e2b ~max_execs:(scale 60_000) () ]
-  @ [ e3 ~max_execs:(scale 60_000) () ]
-  @ e4 ~dfs_execs:(scale 30_000) ~rand_execs:(scale 3_000) ()
-  @ [ e5 ~max_execs:(scale 40_000) () ]
-  @ e6 ~dfs_execs:(scale 40_000) ~rand_execs:(scale 4_000) ()
-  @ e8 ~dfs_execs:(scale 120_000) ~rand_execs:(max (scale 120_000) 60_000) ()
+  @ [ e2b ~max_execs:(scale 60_000) ~jobs ~reduce () ]
+  @ [ e3 ~max_execs:(scale 60_000) ~jobs ~reduce () ]
+  @ e4 ~dfs_execs:(scale 30_000) ~rand_execs:(scale 3_000) ~jobs ~reduce ()
+  @ [ e5 ~max_execs:(scale 40_000) ~jobs ~reduce () ]
+  @ e6 ~dfs_execs:(scale 40_000) ~rand_execs:(scale 4_000) ~jobs ~reduce ()
+  @ e8 ~dfs_execs:(scale 120_000)
+      ~rand_execs:(max (scale 120_000) 60_000)
+      ~jobs ~reduce ()

@@ -15,8 +15,14 @@ type line = {
 
 val pp_line : Format.formatter -> line -> unit
 
-val e1 : ?max_execs:int -> unit -> line list
-(** MP client (Figures 1 and 3) + the weak-flag ablation, per queue *)
+val e1 : ?max_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line list
+(** MP client (Figures 1 and 3) + the weak-flag ablation, per queue.
+
+    Every experiment's exhaustive leg accepts [jobs] (shard the DFS
+    across that many domains, {!Explore.pdfs}) and [reduce] (sleep-set
+    reduction).  Verdicts are preserved either way; with [reduce] the
+    per-execution client counters quoted in [measured] only cover the
+    representative interleavings actually explored. *)
 
 type matrix_cell = {
   impl : string;
@@ -24,26 +30,45 @@ type matrix_cell = {
   tally : Styles.tally;
 }
 
-val matrix : ?dfs_execs:int -> ?rand_execs:int -> unit -> matrix_cell list
+val matrix :
+  ?dfs_execs:int ->
+  ?rand_execs:int ->
+  ?jobs:int ->
+  ?reduce:bool ->
+  unit ->
+  matrix_cell list
 (** the raw spec-style satisfaction matrix (E2), including the lock-based
     SC baselines *)
 
 val pp_matrix : Format.formatter -> matrix_cell list -> unit
 
-val e2 : ?dfs_execs:int -> ?rand_execs:int -> unit -> matrix_cell list * line
+val e2 :
+  ?dfs_execs:int ->
+  ?rand_execs:int ->
+  ?jobs:int ->
+  ?reduce:bool ->
+  unit ->
+  matrix_cell list * line
 
-val e2b : ?max_execs:int -> unit -> line
+val e2b : ?max_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line
 (** strong FIFO recovery under a client lock (Section 3.1), with the bare
     negative control *)
 
-val e3 : ?max_execs:int -> unit -> line
-val e4 : ?dfs_execs:int -> ?rand_execs:int -> unit -> line list
-val e5 : ?max_execs:int -> unit -> line
-val e6 : ?dfs_execs:int -> ?rand_execs:int -> unit -> line list
-val e8 : ?dfs_execs:int -> ?rand_execs:int -> unit -> line list
+val e3 : ?max_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line
+
+val e4 :
+  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line list
+
+val e5 : ?max_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line
+
+val e6 :
+  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line list
+
+val e8 :
+  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line list
 
 val e7_paper_numbers : (string * string) list
 (** the paper's proof-effort reference points (Section 1.2 / 6) *)
 
-val all : ?quick:bool -> unit -> line list
+val all : ?quick:bool -> ?jobs:int -> ?reduce:bool -> unit -> line list
 (** the whole battery; [quick] divides budgets by ~10 *)

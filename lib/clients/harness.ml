@@ -24,7 +24,10 @@ let scenario ~name build =
           | Machine.Finished vs -> judge vs
           | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
           | Machine.Blocked s -> Explore.Discard s
-          | Machine.Bounded -> Explore.Discard "bounded");
+          | Machine.Bounded -> Explore.Discard "bounded"
+          (* The explorer intercepts pruned runs before the judge;
+             defensive only. *)
+          | Machine.Pruned -> Explore.Discard "pruned");
   }
 
 let first_violation = function

@@ -29,6 +29,7 @@ let finished2 f = function
   | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
   | Machine.Blocked s -> Explore.Discard s
   | Machine.Bounded -> Explore.Discard "bounded"
+  | Machine.Pruned -> Explore.Discard "pruned"
 
 let finished4 f = function
   | Machine.Finished [| r1; r2; r3; r4 |] -> f r1 r2 r3 r4
@@ -36,6 +37,7 @@ let finished4 f = function
   | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
   | Machine.Blocked s -> Explore.Discard s
   | Machine.Bounded -> Explore.Discard "bounded"
+  | Machine.Pruned -> Explore.Discard "pruned"
 
 (* Store Buffering: both threads may read 0 under relaxed (and even under
    SC-less rel/acq) accesses — the hallmark weak behaviour. *)
@@ -198,7 +200,8 @@ let coww ?(policy = `Append) () =
                 Explore.Pass
             | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
             | Machine.Blocked s -> Explore.Discard s
-            | Machine.Bounded -> Explore.Discard "bounded");
+            | Machine.Bounded -> Explore.Discard "bounded"
+            | Machine.Pruned -> Explore.Discard "pruned");
     }
   in
   { scenario; observed; expect = `Forbidden; descr = "CoWW: mo against po" }
@@ -302,7 +305,8 @@ let two_two_w () =
                 Explore.Pass
             | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
             | Machine.Blocked s -> Explore.Discard s
-            | Machine.Bounded -> Explore.Discard "bounded");
+            | Machine.Bounded -> Explore.Discard "bounded"
+            | Machine.Pruned -> Explore.Discard "pruned");
     }
   in
   { scenario; observed; expect = `Observable; descr = "2+2W: final x = y = 1" }
@@ -335,7 +339,8 @@ let wrc () =
             | Machine.Finished _ -> Explore.Violation "arity"
             | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
             | Machine.Blocked s -> Explore.Discard s
-            | Machine.Bounded -> Explore.Discard "bounded");
+            | Machine.Bounded -> Explore.Discard "bounded"
+            | Machine.Pruned -> Explore.Discard "pruned");
     }
   in
   { scenario; observed; expect = `Forbidden; descr = "WRC: stale x = 0 at t3" }
@@ -360,7 +365,8 @@ let faa_atomic ?(threads = 3) () =
                 Explore.Pass
             | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
             | Machine.Blocked s -> Explore.Discard s
-            | Machine.Bounded -> Explore.Discard "bounded");
+            | Machine.Bounded -> Explore.Discard "bounded"
+            | Machine.Pruned -> Explore.Discard "pruned");
     }
   in
   { scenario; observed; expect = `Forbidden; descr = "FAA: lost increment" }
@@ -381,9 +387,17 @@ let all () =
     faa_atomic ();
   ]
 
-(* Run one litmus test exhaustively; [Ok] if the expectation holds. *)
-let verdict ?(max_execs = 100_000) ?config t =
-  let report = Explore.dfs ~max_execs ?config t.scenario in
+(* Run one litmus test exhaustively; [Ok] if the expectation holds.
+   [jobs > 1] shards the DFS across domains; [reduce] prunes commuted
+   interleavings (the observation count then covers the representatives
+   actually explored — the verdict is unaffected, because the
+   distinguished outcome is invariant under commuting independent
+   steps). *)
+let verdict ?(max_execs = 100_000) ?config ?(jobs = 1) ?(reduce = false) t =
+  let report =
+    if jobs > 1 then Explore.pdfs ~jobs ~max_execs ~reduce ?config t.scenario
+    else Explore.dfs ~max_execs ~reduce ?config t.scenario
+  in
   let obs = !(t.observed) in
   let ok =
     Explore.ok report

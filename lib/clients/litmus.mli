@@ -56,6 +56,15 @@ val all : unit -> t list
     machine config) *)
 
 val verdict :
-  ?max_execs:int -> ?config:Machine.config -> t -> bool * Explore.report * int
+  ?max_execs:int ->
+  ?config:Machine.config ->
+  ?jobs:int ->
+  ?reduce:bool ->
+  t ->
+  bool * Explore.report * int
 (** run exhaustively; [true] iff the expectation holds (and no
-    violations); also returns the report and the observation count *)
+    violations); also returns the report and the observation count.
+    [jobs > 1] shards the DFS across domains ({!Explore.pdfs});
+    [reduce] turns on sleep-set reduction — the verdict is preserved,
+    but the observation count then only covers the representative
+    interleavings actually explored. *)

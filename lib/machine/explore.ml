@@ -4,9 +4,13 @@
    choices).  The DFS driver enumerates the decision tree exhaustively:
    after each run it inspects the logged (arity, choice) pairs, finds the
    deepest position with an untried alternative, and restarts with the
-   bumped prefix.  The random driver samples seeded executions.  Where the
-   paper *proves* a property of all executions, we *enumerate* them (up to
-   the configured bounds) and check it on each. *)
+   bumped prefix.  Enumeration order is lexicographic on decision vectors,
+   which is what makes the tree *shardable*: the subtrees below distinct
+   decision prefixes are disjoint, so [pdfs] can carve the tree at a fixed
+   split depth and hand the resulting shards to OCaml 5 domains.  The
+   random driver samples seeded executions.  Where the paper *proves* a
+   property of all executions, we *enumerate* them (up to the configured
+   bounds) and check it on each. *)
 
 type verdict =
   | Pass
@@ -33,16 +37,19 @@ type report = {
   discarded : int;
   bounded : int;
   blocked : int;
+  pruned : int;  (** subtrees skipped by sleep-set reduction *)
   violations : failure list;  (** first few, oldest first *)
   complete : bool;  (** DFS exhausted the tree within the budget *)
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>%s: %d executions (%s)@ passed %d, discarded %d (blocked %d, bounded %d), violations %d%a@]"
+    "@[<v>%s: %d executions (%s)@ passed %d, discarded %d (blocked %d, bounded %d)%s, violations %d%a@]"
     r.name r.executions
     (if r.complete then "exhaustive" else "budget-limited")
-    r.passed r.discarded r.blocked r.bounded (List.length r.violations)
+    r.passed r.discarded r.blocked r.bounded
+    (if r.pruned > 0 then Printf.sprintf ", pruned %d subtrees" r.pruned else "")
+    (List.length r.violations)
     (fun ppf vs ->
       List.iteri
         (fun i (f : failure) ->
@@ -66,17 +73,32 @@ let replay ~config scenario script =
   let m, _, outcome, verdict = run_one ~config scenario script in
   (m, outcome, verdict)
 
+(* Reports keep only the first few counterexamples: enough to show, cheap
+   to carry. *)
+let max_violations = 16
+
 type stats = {
   mutable execs : int;
   mutable passed : int;
   mutable discarded : int;
   mutable bounded : int;
   mutable blocked : int;
+  mutable pruned : int;
+  mutable viol_count : int;  (** kept violations (avoids O(n) list length) *)
   mutable violations : failure list;  (** newest first *)
 }
 
 let fresh_stats () =
-  { execs = 0; passed = 0; discarded = 0; bounded = 0; blocked = 0; violations = [] }
+  {
+    execs = 0;
+    passed = 0;
+    discarded = 0;
+    bounded = 0;
+    blocked = 0;
+    pruned = 0;
+    viol_count = 0;
+    violations = [];
+  }
 
 let account st (outcome : Machine.outcome) verdict script =
   st.execs <- st.execs + 1;
@@ -88,8 +110,10 @@ let account st (outcome : Machine.outcome) verdict script =
   | Pass -> st.passed <- st.passed + 1
   | Discard _ -> st.discarded <- st.discarded + 1
   | Violation message ->
-      if List.length st.violations < 16 then
+      if st.viol_count < max_violations then begin
+        st.viol_count <- st.viol_count + 1;
         st.violations <- { message; script } :: st.violations
+      end
 
 let to_report ~name ~complete st =
   {
@@ -99,35 +123,183 @@ let to_report ~name ~complete st =
     discarded = st.discarded;
     bounded = st.bounded;
     blocked = st.blocked;
+    pruned = st.pruned;
     violations = List.rev st.violations;
     complete;
   }
 
+(* -- the DFS engine ----------------------------------------------------------
+
+   One run + bump.  [run_tree] executes [script], accounts the result into
+   [st] (unless the run was pruned, or [count] is off — the parallel
+   frontier pass re-runs its executions inside the shard workers), and
+   returns the logged decision/arity vectors for bumping. *)
+
+let run_tree ~config ~reduce ~count scenario st script =
+  let m = Machine.create ~config () in
+  let judge = scenario.build m in
+  let oracle = Oracle.script script in
+  let outcome = Machine.run ~reduce m oracle in
+  let ds = Array.of_list (Oracle.decisions oracle) in
+  (if count then
+     match outcome with
+     | Machine.Pruned -> st.pruned <- st.pruned + 1
+     | _ -> account st outcome (judge outcome) ds);
+  let ars = Array.of_list (Oracle.arities oracle) in
+  (outcome, ds, ars)
+
+(* Deepest position [i] with [lo <= i < min hi (length ds)] holding an
+   untried alternative; the bumped script locks everything above it.  [lo]
+   pins a shard's decision prefix; [hi] caps the frontier pass at the
+   split depth. *)
+let bump ~lo ~hi ds ars =
+  let len = Array.length ds in
+  let rec find i =
+    if i < lo then None
+    else if ds.(i) + 1 < ars.(i) then Some i
+    else find (i - 1)
+  in
+  match find (min hi len - 1) with
+  | None -> None
+  | Some i -> Some (Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |])
+
 (* Exhaustive DFS over the decision tree, up to [max_execs] executions. *)
-let dfs ?(max_execs = 100_000) ?(config = Machine.default_config) scenario =
+let dfs ?(max_execs = 100_000) ?(reduce = false) ?(config = Machine.default_config)
+    scenario =
   let st = fresh_stats () in
-  let script = ref [||] in
-  let exhausted = ref false in
-  (try
-     while (not !exhausted) && st.execs < max_execs do
-       let _, oracle, outcome, verdict = run_one ~config scenario !script in
-       let ds = Array.of_list (Oracle.decisions oracle) in
-       account st outcome verdict ds;
-       let ars = Array.of_list (Oracle.arities oracle) in
-       (* Deepest decision with an untried alternative. *)
-       let rec find i =
-         if i < 0 then None
-         else if ds.(i) + 1 < ars.(i) then Some i
-         else find (i - 1)
-       in
-       match find (Array.length ds - 1) with
-       | None -> exhausted := true
-       | Some i ->
-           script := Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |]
-     done
-   with e ->
-     raise e);
-  to_report ~name:scenario.name ~complete:!exhausted st
+  let rec go script =
+    if st.execs >= max_execs then false
+    else begin
+      let _, ds, ars = run_tree ~config ~reduce ~count:true scenario st script in
+      match bump ~lo:0 ~hi:max_int ds ars with
+      | None -> true
+      | Some script -> go script
+    end
+  in
+  let complete = go [||] in
+  to_report ~name:scenario.name ~complete st
+
+(* -- parallel sharded DFS -----------------------------------------------------
+
+   Phase 1 (sequential): enumerate the decision tree bumping only the
+   first [split_depth] positions.  Every run contributes one shard — its
+   decision prefix of length <= split_depth — and distinct shards root
+   disjoint subtrees whose union is the whole tree.  Runs in this phase
+   are not accounted (and judges are not consulted): the shard's worker
+   re-runs its first execution, so each execution is counted exactly once
+   and the merged report matches sequential [dfs] field for field.
+
+   Phase 2 (parallel): [jobs] domains pull shards from a shared queue (an
+   atomic index) and DFS each shard with its prefix locked, accumulating
+   into per-domain stats merged at join.  Executions are machine-local by
+   construction — the domain-safety audit for this is what makes
+   [Machine.create] per run truly isolated — so workers share nothing but
+   the shard queue and the execution budget. *)
+
+let default_split_depth = 4
+
+(* Cap on the frontier pass: each shard costs one unaccounted run, so never
+   enumerate more shards than the budget could explore anyway. *)
+let max_shards = 65_536
+
+let merge_stats into from =
+  into.execs <- into.execs + from.execs;
+  into.passed <- into.passed + from.passed;
+  into.discarded <- into.discarded + from.discarded;
+  into.bounded <- into.bounded + from.bounded;
+  into.blocked <- into.blocked + from.blocked;
+  into.pruned <- into.pruned + from.pruned;
+  into.viol_count <- into.viol_count + from.viol_count;
+  into.violations <- from.violations @ into.violations
+
+(* Deterministic violation order across worker schedules: sort the merged
+   failures by decision script (DFS order is lexicographic on scripts). *)
+let compare_failure (a : failure) (b : failure) =
+  let la = Array.length a.script and lb = Array.length b.script in
+  let rec go i =
+    if i >= la || i >= lb then Int.compare la lb
+    else
+      match Int.compare a.script.(i) b.script.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
+    ?(reduce = false) ?(config = Machine.default_config) scenario =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
+  in
+  if split_depth < 1 then invalid_arg "Explore.pdfs: split_depth < 1";
+  (* Phase 1: shard frontier. *)
+  let scratch = fresh_stats () in
+  let shards = ref [] and n_shards = ref 0 and frontier_complete = ref true in
+  let rec enumerate script =
+    let _, ds, ars = run_tree ~config ~reduce ~count:false scenario scratch script in
+    let prefix = Array.sub ds 0 (min split_depth (Array.length ds)) in
+    shards := prefix :: !shards;
+    incr n_shards;
+    if !n_shards >= min max_shards max_execs then frontier_complete := false
+    else
+      match bump ~lo:0 ~hi:split_depth ds ars with
+      | None -> ()
+      | Some script -> enumerate script
+  in
+  enumerate [||];
+  let shards = Array.of_list (List.rev !shards) in
+  (* Phase 2: fan out.  Workers share the shard cursor and the global
+     execution budget; everything else is domain-local. *)
+  let cursor = Atomic.make 0 in
+  let spent = Atomic.make 0 in
+  let budget_hit = Atomic.make false in
+  let worker () =
+    let st = fresh_stats () in
+    let rec shard_loop () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < Array.length shards && not (Atomic.get budget_hit) then begin
+        let prefix = shards.(i) in
+        let lock = Array.length prefix in
+        let rec go script =
+          if Atomic.fetch_and_add spent 1 >= max_execs then
+            Atomic.set budget_hit true
+          else begin
+            let outcome, ds, ars =
+              run_tree ~config ~reduce ~count:true scenario st script
+            in
+            (* Pruned runs are not executions: refund the budget slot so the
+               parallel budget counts what sequential [dfs] counts. *)
+            if outcome = Machine.Pruned then
+              ignore (Atomic.fetch_and_add spent (-1));
+            match bump ~lo:lock ~hi:max_int ds ars with
+            | None -> ()
+            | Some script -> go script
+          end
+        in
+        go prefix;
+        shard_loop ()
+      end
+    in
+    shard_loop ();
+    st
+  in
+  let stats =
+    if jobs = 1 then [ worker () ]
+    else begin
+      let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+      Array.to_list (Array.map Domain.join domains)
+    end
+  in
+  let st = fresh_stats () in
+  List.iter (merge_stats st) stats;
+  (* [to_report] reverses the (newest-first) list, so store the kept
+     failures — the lexicographically smallest scripts — in reverse. *)
+  st.violations <-
+    List.sort compare_failure st.violations
+    |> List.filteri (fun i _ -> i < max_violations)
+    |> List.rev;
+  to_report ~name:scenario.name
+    ~complete:(!frontier_complete && not (Atomic.get budget_hit))
+    st
 
 (* Random sampling: [execs] seeded executions. *)
 let random ?(execs = 1_000) ?(seed = 0) ?(config = Machine.default_config)
@@ -145,7 +317,10 @@ let random ?(execs = 1_000) ?(seed = 0) ?(config = Machine.default_config)
 
 type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
 
-let run ?(config = Machine.default_config) ~mode scenario =
+let run ?(config = Machine.default_config) ?(jobs = 1) ?(reduce = false) ~mode
+    scenario =
   match mode with
-  | Dfs { max_execs } -> dfs ~max_execs ~config scenario
+  | Dfs { max_execs } ->
+      if jobs > 1 then pdfs ~jobs ~max_execs ~reduce ~config scenario
+      else dfs ~max_execs ~reduce ~config scenario
   | Random { execs; seed } -> random ~execs ~seed ~config scenario

@@ -3,10 +3,13 @@
     Executions replay from decision scripts.  The DFS driver enumerates
     the decision tree exhaustively: after each run it takes the logged
     (arity, choice) pairs, finds the deepest position with an untried
-    alternative, and restarts with the bumped prefix.  The random driver
-    samples seeded executions.  Where the paper {e proves} a property of
-    all executions, we {e enumerate} them (up to the configured bounds)
-    and check it on each. *)
+    alternative, and restarts with the bumped prefix.  The parallel
+    driver {!pdfs} carves that tree into disjoint decision-prefix shards
+    and fans them out across OCaml 5 domains; [~reduce] switches on
+    sleep-set partial-order reduction in the scheduler (see
+    {!Machine.run}).  The random driver samples seeded executions.  Where
+    the paper {e proves} a property of all executions, we {e enumerate}
+    them (up to the configured bounds) and check it on each. *)
 
 type verdict =
   | Pass
@@ -19,7 +22,11 @@ type scenario = {
   build : Machine.t -> (Machine.outcome -> verdict);
       (** runs once per execution on a fresh machine: allocate, spawn
           threads, return the judge.  Shared statistics live in closures
-          created before the scenario. *)
+          created before the scenario.  Under {!pdfs} the closure runs on
+          several domains concurrently: the machine is domain-local, and
+          the report fields are merged from domain-local tallies, but any
+          counters the scenario itself mutates are updated racily —
+          treat them as approximate when [jobs > 1]. *)
 }
 
 type failure = { message : string; script : int array }
@@ -31,6 +38,8 @@ type report = {
   discarded : int;
   bounded : int;
   blocked : int;
+  pruned : int;
+      (** subtrees skipped by sleep-set reduction (0 unless [~reduce]) *)
   violations : failure list;  (** first few, oldest first *)
   complete : bool;  (** DFS exhausted the tree within the budget *)
 }
@@ -54,9 +63,39 @@ val replay :
   Machine.t * Machine.outcome * verdict
 (** re-run one script with tracing on, for counterexample display *)
 
-val dfs : ?max_execs:int -> ?config:Machine.config -> scenario -> report
+val dfs :
+  ?max_execs:int -> ?reduce:bool -> ?config:Machine.config -> scenario -> report
+(** exhaustive sequential DFS.  [reduce] turns on sleep-set reduction:
+    redundant interleavings of independent steps are pruned (counted in
+    {!report.pruned}), never losing a violation up to graph isomorphism. *)
+
+val pdfs :
+  ?jobs:int ->
+  ?split_depth:int ->
+  ?max_execs:int ->
+  ?reduce:bool ->
+  ?config:Machine.config ->
+  scenario ->
+  report
+(** parallel sharded DFS: enumerate the decision tree to [split_depth]
+    (default 4), producing disjoint decision-prefix shards, then explore
+    the shards on [jobs] domains (default
+    [Domain.recommended_domain_count ()]) with per-domain statistics
+    merged into one report.  With the same budget and tree,
+    [pdfs ~jobs] and {!dfs} agree on every report field; kept violations
+    are the lexicographically first scripts, so they agree on those too
+    whenever at most 16 violations exist. *)
+
 val random : ?execs:int -> ?seed:int -> ?config:Machine.config -> scenario -> report
 
 type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
 
-val run : ?config:Machine.config -> mode:mode -> scenario -> report
+val run :
+  ?config:Machine.config ->
+  ?jobs:int ->
+  ?reduce:bool ->
+  mode:mode ->
+  scenario ->
+  report
+(** dispatch on [mode]; [jobs > 1] routes [Dfs] to {!pdfs}, and [reduce]
+    applies to either DFS driver (random sampling ignores both) *)

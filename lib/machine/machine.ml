@@ -44,6 +44,10 @@ type outcome =
   | Fault of string  (** data race, uninitialised read, or program error *)
   | Blocked of string  (** deadlock on [await], or a spin loop out of fuel *)
   | Bounded  (** step budget exhausted *)
+  | Pruned
+      (** sleep-set reduction: the scheduled thread was asleep, so every
+          execution below this point is a commuted copy of one already
+          explored *)
 
 let pp_outcome ppf = function
   | Finished vs ->
@@ -55,6 +59,7 @@ let pp_outcome ppf = function
   | Fault s -> Format.fprintf ppf "fault: %s" s
   | Blocked s -> Format.fprintf ppf "blocked: %s" s
   | Bounded -> Format.pp_print_string ppf "bounded"
+  | Pruned -> Format.pp_print_string ppf "pruned"
 
 type t = {
   config : config;
@@ -446,13 +451,63 @@ let spawn m progs =
 
 let thread_view m tid = m.threads.(tid).tv
 
+(* -- independence, for sleep-set reduction ----------------------------------
+
+   The footprint of a thread's next operation, abstracted to what matters
+   for commutation with another thread's step: the location it reads or
+   writes, or [FLocal] (no shared effect: yields, thread ids, non-SC
+   fences, which only move the thread's own view) or [FGlobal]
+   (conservatively dependent on everything: allocation renumbers blocks,
+   SC fences join the machine-global SC view).
+
+   Two steps are independent when running them in either order yields the
+   same machine state up to event-id renaming: accesses to different
+   locations commute, and two reads of the same location commute because
+   reads never change a history.  Commit annotations riding on the
+   operations add events to per-object graphs; swapping two independent
+   steps permutes reservation order and commit indices, which yields an
+   isomorphic graph — and every checked predicate (consistency conditions,
+   spec styles) is invariant under that isomorphism. *)
+type footprint = FRead of Loc.t | FWrite of Loc.t | FLocal | FGlobal
+
+let footprint (th : thread) =
+  match th.prog with
+  | Prog.Op (op, _) -> (
+      match op with
+      | Prog.Load (l, _, _) | Prog.Await (l, _, _, _) -> FRead l
+      | Prog.Store (l, _, _, _) | Prog.Rmw (l, _, _, _) -> FWrite l
+      | Prog.Fence Mode.F_sc -> FGlobal
+      | Prog.Fence _ -> FLocal
+      | Prog.Alloc _ -> FGlobal
+      | Prog.Yield | Prog.Tid -> FLocal)
+  | Prog.Ret _ | Prog.Reserve _ -> FLocal
+
+let independent a b =
+  match (a, b) with
+  | FGlobal, _ | _, FGlobal -> false
+  | FLocal, _ | _, FLocal -> true
+  | FRead _, FRead _ -> true
+  | (FRead la | FWrite la), (FRead lb | FWrite lb) -> not (Loc.equal la lb)
+
 (* Interleave the spawned threads until they all finish (or fault / block /
-   exhaust the budget). *)
-let run m oracle =
+   exhaust the budget).
+
+   With [reduce] on, the scheduler maintains a sleep set (Godefroid-style)
+   along the replayed path: after the DFS has explored scheduling thread
+   [t] at a node, [t] goes to sleep in the later sibling branches of that
+   node and stays asleep while the steps actually taken are independent of
+   [t]'s pending step.  Scheduling a sleeping thread would only commute
+   independent steps of an already-explored subtree, so the run stops with
+   [Pruned] — the decision is still logged, which is what lets the DFS
+   bump past the redundant subtree.  Which threads have been explored at
+   the current node is exactly the set of scheduling alternatives below
+   the chosen one, so the sleep set can be reconstructed during replay
+   with no tree state. *)
+let run ?(reduce = false) m oracle =
   let n = Array.length m.threads in
   if n = 0 then invalid_arg "Machine.run: no threads (call spawn)";
   let deadline = m.step + m.config.max_steps in
-  let rec loop () =
+  let rec loop sleep =
     Array.iter (fun th -> settle m th) m.threads;
     let runnable =
       Array.to_list m.threads
@@ -464,14 +519,31 @@ let run m oracle =
     else if runnable = [] then Blocked "deadlock: all unfinished threads await"
     else if m.step >= deadline then Bounded
     else begin
-      let th =
-        List.nth runnable (choose oracle ~arity:(List.length runnable))
-      in
-      step_thread m th oracle;
-      loop ()
+      let j = choose oracle ~arity:(List.length runnable) in
+      let th = List.nth runnable j in
+      if reduce && List.mem_assq th.tid sleep then Pruned
+      else begin
+        let sleep =
+          if not reduce then sleep
+          else begin
+            (* Earlier siblings fall asleep; survivors are the sleepers
+               whose pending step is independent of the one now taken. *)
+            let fp = footprint th in
+            let explored =
+              List.filteri (fun i _ -> i < j) runnable
+              |> List.map (fun (u : thread) -> (u.tid, footprint u))
+            in
+            List.filter
+              (fun (_, fu) -> independent fu fp)
+              (sleep @ explored)
+          end
+        in
+        step_thread m th oracle;
+        loop sleep
+      end
     end
   in
-  try loop () with
+  try loop [] with
   | Memory.Error e -> Fault (Format.asprintf "%a" Memory.pp_error e)
   | Prog.Out_of_fuel what -> Blocked ("out of fuel: " ^ what)
   | Invalid_argument s | Failure s -> Fault ("program error: " ^ s)

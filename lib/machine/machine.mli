@@ -38,6 +38,11 @@ type outcome =
   | Fault of string  (** data race, uninitialised read, or program error *)
   | Blocked of string  (** deadlock on [await], or a spin loop out of fuel *)
   | Bounded  (** step budget exhausted *)
+  | Pruned
+      (** sleep-set reduction stopped the run: the scheduled thread was
+          asleep, so the subtree is a commuted copy of one already
+          explored.  Only produced by {!run}[ ~reduce:true]; never counted
+          as an execution by the explorer. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -68,9 +73,15 @@ val spawn : t -> Value.t Prog.t list -> unit
 
 val thread_view : t -> int -> Tview.t
 
-val run : t -> Oracle.t -> outcome
+val run : ?reduce:bool -> t -> Oracle.t -> outcome
 (** interleave the spawned threads to completion (or fault / block /
-    budget) *)
+    budget).  With [reduce] (default off) the scheduler maintains a sleep
+    set along the replayed path and stops with {!Pruned} as soon as the
+    decision script schedules a sleeping thread — i.e. as soon as the run
+    would only commute independent steps of an already-explored subtree.
+    Two pending steps are independent when they touch different locations
+    or are both reads (and neither is an allocation or SC fence); see
+    DESIGN.md, "Parallel exploration & reduction". *)
 
 val join_views : t -> unit
 (** join all thread views into the setup view (parent joins children) *)

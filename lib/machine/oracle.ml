@@ -27,8 +27,9 @@ let arities o = List.rev_map fst o.log
 
 (* Deterministic oracle: always the last alternative.  For loads the
    alternatives are in ascending timestamp order, so "last" reads the
-   mo-maximal message — the right default for solo (setup) execution. *)
-let latest = { pos = 0; log = []; pick = (fun ~pos:_ ~arity -> arity - 1) }
+   mo-maximal message — the right default for solo (setup) execution.
+   Always a fresh value: a shared oracle would be mutable state leaking
+   between executions (and between domains, under parallel exploration). *)
 let fresh_latest () = { pos = 0; log = []; pick = (fun ~pos:_ ~arity -> arity - 1) }
 
 (* Seeded pseudo-random oracle (deterministic per seed). *)

@@ -16,12 +16,12 @@ val decisions : t -> int list
 
 val arities : t -> int list
 
-val latest : t
-(** deterministic: always the last alternative (for loads: the mo-maximal
-    message) — the right default for solo/setup execution.  Shared
-    mutable state: prefer {!fresh_latest} per run. *)
-
 val fresh_latest : unit -> t
+(** deterministic: always the last alternative (for loads: the mo-maximal
+    message) — the right default for solo/setup execution.  A fresh value
+    per call: oracles are mutable and must never be shared between
+    executions (or domains). *)
+
 val random : seed:int -> t
 
 val script : int array -> t

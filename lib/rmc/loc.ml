@@ -22,13 +22,28 @@ let off l = l.off
 let shift l i = { l with off = l.off + i }
 
 (* Human-readable names for allocated blocks, for trace output only.  The
-   registry is global and append-only; it does not affect semantics. *)
+   registry is global and append-only; it does not affect semantics.  It is
+   the one piece of process-global mutable state the machine touches, so it
+   is guarded by a mutex: the parallel explorer ({!Explore.pdfs}) runs one
+   machine per execution on several domains at once, and unsynchronised
+   [Hashtbl] writes can corrupt the table during a resize. *)
 let names : (int, string) Hashtbl.t = Hashtbl.create 64
-let register_name ~base ~name = Hashtbl.replace names base name
+let names_mutex = Mutex.create ()
+
+let register_name ~base ~name =
+  Mutex.lock names_mutex;
+  Hashtbl.replace names base name;
+  Mutex.unlock names_mutex
+
+let find_name base =
+  Mutex.lock names_mutex;
+  let n = Hashtbl.find_opt names base in
+  Mutex.unlock names_mutex;
+  n
 
 let pp ppf l =
   let name =
-    match Hashtbl.find_opt names l.base with
+    match find_name l.base with
     | Some n -> n
     | None -> Printf.sprintf "b%d" l.base
   in

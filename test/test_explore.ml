@@ -1,0 +1,179 @@
+open Compass_rmc
+open Compass_machine
+open Compass_dstruct
+open Compass_clients
+open Prog.Syntax
+
+(* The exploration engine: parallel sharded DFS ([Explore.pdfs]) must
+   agree with the sequential driver field for field, sleep-set reduction
+   must explore strictly fewer executions without losing any violation or
+   litmus verdict, and per-execution machines must be isolated enough to
+   run on several domains at once. *)
+
+let vi n = Value.Int n
+
+let msgs (r : Explore.report) =
+  List.sort compare (List.map (fun (f : Explore.failure) -> f.Explore.message) r.Explore.violations)
+
+let report_eq ~name (a : Explore.report) (b : Explore.report) =
+  Alcotest.(check int) (name ^ ": executions") a.Explore.executions b.Explore.executions;
+  Alcotest.(check int) (name ^ ": passed") a.Explore.passed b.Explore.passed;
+  Alcotest.(check int) (name ^ ": discarded") a.Explore.discarded b.Explore.discarded;
+  Alcotest.(check int) (name ^ ": blocked") a.Explore.blocked b.Explore.blocked;
+  Alcotest.(check int) (name ^ ": bounded") a.Explore.bounded b.Explore.bounded;
+  Alcotest.(check int) (name ^ ": pruned") a.Explore.pruned b.Explore.pruned;
+  Alcotest.(check bool) (name ^ ": complete") a.Explore.complete b.Explore.complete;
+  Alcotest.(check (list string)) (name ^ ": violation multiset") (msgs a) (msgs b)
+
+(* An intentionally broken scenario: MP over raw cells with a relaxed
+   flag, where the stale read is reported as a violation.  The full DFS
+   finds it, and so must every reduced or parallel variant.  A third
+   thread hammers an unrelated location so there is genuine scheduling
+   nondeterminism for the sleep sets to prune. *)
+let seeded_mp_violation () =
+  {
+    Explore.name = "seeded-mp-rlx";
+    build =
+      (fun m ->
+        let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+        let y = Machine.alloc m ~name:"y" ~init:(vi 0) 1 in
+        let flag = Machine.alloc m ~name:"flag" ~init:(vi 0) 1 in
+        let t1 =
+          let* () = Prog.store x (vi 1) Mode.Rlx in
+          let* () = Prog.store flag (vi 1) Mode.Rlx in
+          Prog.return Value.Unit
+        in
+        let t2 =
+          let* _ = Prog.await flag Mode.Rlx (Value.equal (vi 1)) in
+          Prog.load x Mode.Rlx
+        in
+        let t3 =
+          let* () = Prog.store y (vi 1) Mode.Rlx in
+          let* () = Prog.store y (vi 2) Mode.Rlx in
+          Prog.return Value.Unit
+        in
+        Machine.spawn m [ t1; t2; t3 ];
+        function
+        | Machine.Finished [| _; r2; _ |] ->
+            if Value.equal r2 (vi 0) then Explore.Violation "stale read of x"
+            else Explore.Pass
+        | Machine.Finished _ -> Explore.Violation "arity"
+        | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
+        | Machine.Blocked s -> Explore.Discard s
+        | Machine.Bounded -> Explore.Discard "bounded"
+        | Machine.Pruned -> Explore.Discard "pruned");
+  }
+
+(* The equivalence scenarios the spec asks for — an MP queue client, a
+   litmus test, and Treiber stack workloads — plus a seeded violation.
+   The 2-pusher Treiber tree has ~300k executions, so that one runs with
+   reduction on both sides; the small Treiber covers the unreduced
+   path. *)
+let equivalence_cases () =
+  [
+    ("mp-queue", false, fun () -> Mp.make Msqueue.instantiate (Mp.fresh_stats ()));
+    ("litmus-sb", false, fun () -> (Litmus.sb ()).Litmus.scenario);
+    ( "treiber-small",
+      false,
+      fun () ->
+        Harness.stack_workload Treiber.instantiate ~pushers:1 ~poppers:1 ~ops:1 () );
+    ( "treiber-reduced",
+      true,
+      fun () ->
+        Harness.stack_workload Treiber.instantiate ~pushers:2 ~poppers:1 ~ops:1 () );
+    ("seeded-violation", false, fun () -> seeded_mp_violation ());
+  ]
+
+let test_pdfs_equivalence () =
+  List.iter
+    (fun (name, reduce, mk) ->
+      let seq = Explore.dfs ~reduce ~max_execs:200_000 (mk ()) in
+      Alcotest.(check bool) (name ^ ": sequential exhausts") true seq.Explore.complete;
+      List.iter
+        (fun (jobs, split_depth) ->
+          let par =
+            Explore.pdfs ~jobs ~split_depth ~reduce ~max_execs:200_000 (mk ())
+          in
+          report_eq
+            ~name:(Printf.sprintf "%s (jobs %d, split %d)" name jobs split_depth)
+            seq par)
+        [ (2, 3); (4, 4) ])
+    (equivalence_cases ())
+
+let test_reduce_equivalence () =
+  (* Reduced DFS: same verdict on every litmus test, strictly fewer
+     executions over the battery, and a nonzero pruned tally. *)
+  let full_total = ref 0 and red_total = ref 0 and pruned_total = ref 0 in
+  List.iter
+    (fun mk ->
+      let t_full = mk () and t_red = mk () in
+      let ok_full, r_full, obs_full = Litmus.verdict t_full in
+      let ok_red, r_red, _ = Litmus.verdict ~reduce:true t_red in
+      Alcotest.(check bool)
+        (r_full.Explore.name ^ ": verdict preserved under reduction")
+        ok_full ok_red;
+      (match t_full.Litmus.expect with
+      | `Observable ->
+          Alcotest.(check bool)
+            (r_full.Explore.name ^ ": observable outcome survives reduction")
+            true
+            (obs_full > 0)
+      | `Forbidden -> ());
+      full_total := !full_total + r_full.Explore.executions;
+      red_total := !red_total + r_red.Explore.executions;
+      pruned_total := !pruned_total + r_red.Explore.pruned)
+    [
+      Litmus.sb; Litmus.sb_sc_fences; (fun () -> Litmus.mp ());
+      Litmus.mp_fences; Litmus.corr; Litmus.cowr; Litmus.lb; Litmus.wrc;
+      (fun () -> Litmus.faa_atomic ());
+    ];
+  Alcotest.(check bool)
+    (Printf.sprintf "battery: reduced %d < full %d executions" !red_total !full_total)
+    true
+    (!red_total < !full_total);
+  Alcotest.(check bool) "battery: subtrees were pruned" true (!pruned_total > 0)
+
+let test_reduce_keeps_violations () =
+  let full = Explore.dfs (seeded_mp_violation ()) in
+  let red = Explore.dfs ~reduce:true (seeded_mp_violation ()) in
+  Alcotest.(check bool) "full DFS finds the seeded violation" false (Explore.ok full);
+  Alcotest.(check bool) "reduced DFS finds it too" false (Explore.ok red);
+  (* Reduction collapses equivalent violating interleavings to one
+     representative, so instance counts shrink — but every distinct
+     violation must survive. *)
+  let distinct r = List.sort_uniq compare (msgs r) in
+  Alcotest.(check (list string)) "distinct violations preserved" (distinct full)
+    (distinct red);
+  Alcotest.(check bool) "reduction explored fewer executions" true
+    (red.Explore.executions < full.Explore.executions)
+
+let test_pdfs_reduce () =
+  (* Reduction composes with sharding: replay reconstructs the sleep sets
+     from the root, so pruning is identical however the tree is carved. *)
+  let seq = Explore.dfs ~reduce:true (seeded_mp_violation ()) in
+  let par = Explore.pdfs ~jobs:4 ~split_depth:3 ~reduce:true (seeded_mp_violation ()) in
+  report_eq ~name:"reduced pdfs vs reduced dfs" seq par
+
+let test_domain_isolation () =
+  (* Hammer two domains with allocation-heavy exploration concurrently;
+     every per-execution machine must be isolated (the shared block-name
+     registry is the one global, and it is mutex-guarded). *)
+  let explore () = Explore.dfs ~max_execs:2_000 (Mp.make Msqueue.instantiate (Mp.fresh_stats ())) in
+  let reference = explore () in
+  let domains = Array.init 2 (fun _ -> Domain.spawn explore) in
+  Array.iter
+    (fun d -> report_eq ~name:"concurrent domain" reference (Domain.join d))
+    domains
+
+let suite =
+  [
+    Alcotest.test_case "pdfs == dfs (3 scenarios + seeded violation)" `Slow
+      test_pdfs_equivalence;
+    Alcotest.test_case "sleep sets preserve litmus verdicts" `Slow
+      test_reduce_equivalence;
+    Alcotest.test_case "sleep sets keep seeded violations" `Quick
+      test_reduce_keeps_violations;
+    Alcotest.test_case "reduced pdfs == reduced dfs" `Quick test_pdfs_reduce;
+    Alcotest.test_case "two domains explore concurrently" `Slow
+      test_domain_isolation;
+  ]

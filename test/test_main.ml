@@ -12,6 +12,7 @@ let () =
       ("view", Test_view.suite);
       ("memory", Test_memory.suite);
       ("machine", Test_machine.suite);
+      ("explore", Test_explore.suite);
       ("event", Test_event.suite);
       ("order", Test_order.suite);
       ("queue-spec", Test_queue_spec.suite);
