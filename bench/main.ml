@@ -289,16 +289,27 @@ let scaling =
          ])
        sizes)
 
-(* -- explore-throughput mode (--explore [--quick]) -----------------------------
+(* -- explore-throughput mode (--explore [--quick] [--check]) -------------------
 
    Machine-readable exploration throughput, written to BENCH_explore.json:
-   for each scenario, the sequential DFS versus the sharded parallel
-   driver ([Explore.pdfs]) at 1/2/4 domains, plus the sleep-set-reduced
-   run.  The report fields are exact whatever the parallelism; wall-clock
-   speedups depend on how many cores the host actually has (recorded as
-   "host.recommended_domains"). *)
+   for each scenario,
 
-let bench_explore ~quick =
+   - "sequential"          — replay-from-root DFS ([~incremental:false]),
+                             the differential-testing oracle;
+   - "incremental"         — the default checkpoint/restore engine;
+   - "incremental_reduced" — the same engine with sleep-set reduction;
+   - "pdfs"                — the sharded parallel driver at 1/2/4 domains
+                             (each worker owns a per-domain incremental
+                             engine).
+
+   The report fields are exact whatever the mode; wall-clock speedups
+   depend on the host.  Multi-domain pdfs rows are skipped (and marked as
+   such) when the host only recommends one domain — a 1-core box cannot
+   exhibit parallel speedup, only scheduling noise.  [--check] exits
+   nonzero if the incremental engine is slower than sequential replay on
+   any scenario: the CI perf-smoke gate. *)
+
+let bench_explore ~quick ~check =
   let max_execs = if quick then 2_000 else 20_000 in
   let scenarios =
     [
@@ -310,9 +321,10 @@ let bench_explore ~quick =
       ( "treiber",
         fun () ->
           Harness.stack_workload Treiber.instantiate ~pushers:2 ~poppers:1
-            ~ops:1 () );
+            ~ops:2 () );
     ]
   in
+  let domains = Domain.recommended_domain_count () in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -321,44 +333,63 @@ let bench_explore ~quick =
   let rate (r : Explore.report) t =
     if t > 0. then float_of_int r.Explore.executions /. t else 0.
   in
+  let slow = ref [] in
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.bprintf buf fmt in
   bpf "{\n  \"max_execs\": %d,\n  \"quick\": %b,\n" max_execs quick;
-  bpf "  \"host\": { \"recommended_domains\": %d, \"ocaml\": %S },\n"
-    (Domain.recommended_domain_count ())
+  bpf "  \"host\": { \"recommended_domains\": %d, \"ocaml\": %S },\n" domains
     Sys.ocaml_version;
   bpf "  \"scenarios\": [";
   List.iteri
     (fun i (name, mk) ->
       if i > 0 then bpf ",";
-      let seq, seq_t = time (fun () -> Explore.dfs ~max_execs (mk ())) in
+      let seq, seq_t =
+        time (fun () -> Explore.dfs ~max_execs ~incremental:false (mk ()))
+      in
+      let inc, inc_t = time (fun () -> Explore.dfs ~max_execs (mk ())) in
+      if rate inc inc_t < rate seq seq_t then slow := name :: !slow;
       bpf "\n    { \"name\": %S,\n" name;
       bpf
         "      \"sequential\": { \"executions\": %d, \"complete\": %b, \
          \"seconds\": %.4f, \"execs_per_sec\": %.1f },\n"
         seq.Explore.executions seq.Explore.complete seq_t (rate seq seq_t);
+      bpf
+        "      \"incremental\": { \"executions\": %d, \"complete\": %b, \
+         \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
+         \"speedup_vs_sequential\": %.2f },\n"
+        inc.Explore.executions inc.Explore.complete inc_t (rate inc inc_t)
+        (if inc_t > 0. then seq_t /. inc_t else 0.);
       bpf "      \"pdfs\": [";
       List.iteri
         (fun j jobs ->
           if j > 0 then bpf ",";
-          let r, t = time (fun () -> Explore.pdfs ~jobs ~max_execs (mk ())) in
-          bpf
-            "\n        { \"jobs\": %d, \"executions\": %d, \"complete\": %b, \
-             \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
-             \"speedup_vs_sequential\": %.2f }"
-            jobs r.Explore.executions r.Explore.complete t (rate r t)
-            (if t > 0. then seq_t /. t else 0.))
+          if jobs > 1 && domains < 2 then
+            bpf
+              "\n        { \"jobs\": %d, \"skipped\": \"host recommends %d \
+               domain(s)\" }"
+              jobs domains
+          else begin
+            let r, t = time (fun () -> Explore.pdfs ~jobs ~max_execs (mk ())) in
+            bpf
+              "\n        { \"jobs\": %d, \"executions\": %d, \"complete\": \
+               %b, \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
+               \"speedup_vs_sequential\": %.2f }"
+              jobs r.Explore.executions r.Explore.complete t (rate r t)
+              (if t > 0. then seq_t /. t else 0.)
+          end)
         [ 1; 2; 4 ];
       bpf "\n      ],\n";
       let red, red_t =
         time (fun () -> Explore.dfs ~reduce:true ~max_execs (mk ()))
       in
       bpf
-        "      \"reduced\": { \"executions\": %d, \"pruned\": %d, \
-         \"complete\": %b, \"seconds\": %.4f, \"execs_vs_full\": %.3f }\n"
+        "      \"incremental_reduced\": { \"executions\": %d, \"pruned\": %d, \
+         \"complete\": %b, \"seconds\": %.4f, \"execs_vs_full\": %.3f, \
+         \"speedup_vs_sequential\": %.2f }\n"
         red.Explore.executions red.Explore.pruned red.Explore.complete red_t
         (float_of_int red.Explore.executions
-        /. float_of_int (max 1 seq.Explore.executions));
+        /. float_of_int (max 1 seq.Explore.executions))
+        (if red_t > 0. then seq_t /. red_t else 0.);
       bpf "    }")
     scenarios;
   bpf "\n  ]\n}\n";
@@ -366,7 +397,15 @@ let bench_explore ~quick =
   output_string oc (Buffer.contents buf);
   close_out oc;
   print_string (Buffer.contents buf);
-  Format.printf "wrote BENCH_explore.json@."
+  Format.printf "wrote BENCH_explore.json@.";
+  if check then
+    match !slow with
+    | [] -> Format.printf "perf-smoke: incremental >= sequential everywhere@."
+    | l ->
+        Format.printf
+          "perf-smoke FAILED: incremental slower than sequential on: %s@."
+          (String.concat ", " (List.rev l));
+        exit 1
 
 (* -- driver ------------------------------------------------------------------- *)
 
@@ -408,4 +447,5 @@ let () =
   let argv = Array.to_list Sys.argv in
   if List.mem "--explore" argv then
     bench_explore ~quick:(List.mem "--quick" argv)
+      ~check:(List.mem "--check" argv)
   else bench_bechamel ()

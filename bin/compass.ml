@@ -11,8 +11,10 @@
      compass report [--quick]
 
    Every exploring subcommand also takes [--jobs N] (shard the DFS
-   across N domains) and [--reduce] (sleep-set partial-order
-   reduction).
+   across N domains), [--reduce] (sleep-set partial-order reduction),
+   [--incremental BOOL] (checkpoint/restore exploration, default on;
+   false = replay-from-root oracle) and [--stride N] (checkpoint
+   spacing).
 *)
 
 open Cmdliner
@@ -51,6 +53,22 @@ let reduce =
   in
   Arg.(value & flag & info [ "reduce" ] ~doc)
 
+let incremental =
+  let doc =
+    "Incremental checkpoint/restore exploration (default on): backtrack \
+     by restoring machine snapshots and re-execute only decision \
+     suffixes.  $(b,--incremental=false) replays every execution from \
+     the root — the differential-testing oracle, with identical reports."
+  in
+  Arg.(value & opt bool true & info [ "incremental" ] ~docv:"BOOL" ~doc)
+
+let stride =
+  let doc = "Checkpoint every $(docv) decisions in incremental mode." in
+  Arg.(
+    value
+    & opt int Compass_machine.Explore.default_stride
+    & info [ "stride" ] ~docv:"N" ~doc)
+
 let queue_arg =
   let impls =
     Arg.enum [ ("ms", Msqueue.instantiate); ("hw", Hwqueue.instantiate) ]
@@ -75,10 +93,11 @@ let style_arg =
   in
   Arg.(value & opt impls Styles.Hb & info [ "style"; "s" ] ~docv:"STYLE" ~doc)
 
-let run_mode ~random ~execs ~seed ~jobs ~reduce sc =
+let run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride sc =
   if random then Explore.random ~execs ~seed sc
-  else if jobs > 1 then Explore.pdfs ~jobs ~max_execs:execs ~reduce sc
-  else Explore.dfs ~max_execs:execs ~reduce sc
+  else if jobs > 1 then
+    Explore.pdfs ~jobs ~max_execs:execs ~reduce ~incremental ~stride sc
+  else Explore.dfs ~max_execs:execs ~reduce ~incremental ~stride sc
 
 let finish report =
   Format.printf "%a@." Explore.pp_report report;
@@ -91,7 +110,7 @@ let litmus_cmd =
     let doc = "Use the Gap timestamp policy (enables mo-middle insertion, e.g. 2+2W)." in
     Arg.(value & flag & info [ "gap" ] ~doc)
   in
-  let run gap execs jobs reduce =
+  let run gap execs jobs reduce incremental stride =
     let config =
       { Machine.default_config with policy = (if gap then `Gap else `Append) }
     in
@@ -102,7 +121,7 @@ let litmus_cmd =
     List.iter
       (fun (t : Litmus.t) ->
         let ok, report, obs =
-          Litmus.verdict ~max_execs:execs ~config ~jobs ~reduce t
+          Litmus.verdict ~max_execs:execs ~config ~jobs ~reduce ~incremental ~stride t
         in
         if not ok then code := 1;
         Format.printf "%-12s %-42s expect %-10s observed %-8d execs %-8d %s@."
@@ -116,7 +135,8 @@ let litmus_cmd =
     !code
   in
   let doc = "Run the litmus-test battery against the ORC11 substrate." in
-  Cmd.v (Cmd.info "litmus" ~doc) Term.(const run $ gap $ execs $ jobs $ reduce)
+  Cmd.v (Cmd.info "litmus" ~doc)
+    Term.(const run $ gap $ execs $ jobs $ reduce $ incremental $ stride)
 
 (* -- client -------------------------------------------------------------------- *)
 
@@ -145,17 +165,17 @@ let client_cmd =
           None
       & info [] ~docv:"CLIENT" ~doc)
   in
-  let run which factory random execs seed jobs reduce =
+  let run which factory random execs seed jobs reduce incremental stride =
     match which with
     | `Mp ->
         let st = Mp.fresh_stats () in
-        let r = run_mode ~random ~execs ~seed ~jobs ~reduce (Mp.make factory st) in
+        let r = run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride (Mp.make factory st) in
         let code = finish r in
         Format.printf "%a@." Mp.pp_stats st;
         if st.Mp.right_empty > 0 then 1 else code
     | `Mp_weak ->
         let st = Mp.fresh_stats () in
-        let r = run_mode ~random ~execs ~seed ~jobs ~reduce (Mp.make_weak factory st) in
+        let r = run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride (Mp.make_weak factory st) in
         let code = finish r in
         Format.printf "%a@." Mp.pp_stats st;
         Format.printf
@@ -165,20 +185,20 @@ let client_cmd =
     | `Spsc ->
         let st = Spsc_client.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed ~jobs ~reduce (Spsc_client.make ~n:3 factory st)
+          run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride (Spsc_client.make ~n:3 factory st)
         in
         finish r
     | `Pipeline ->
         let st = Pipeline.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed ~jobs ~reduce
+          run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride
             (Pipeline.make ~n:2 factory Hwqueue.instantiate st)
         in
         finish r
     | `Resource ->
         let st = Resource_exchange.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed ~jobs ~reduce (Resource_exchange.make ~threads:2 st)
+          run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride (Resource_exchange.make ~threads:2 st)
         in
         let code = finish r in
         Format.printf "swaps %d, failed exchanges %d@."
@@ -187,7 +207,7 @@ let client_cmd =
     | `Es ->
         let st = Es_compose.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed ~jobs ~reduce
+          run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride
             (Es_compose.make ~pushers:2 ~poppers:2 ~ops:1 st)
         in
         let code = finish r in
@@ -197,7 +217,7 @@ let client_cmd =
     | `Mp_stack ->
         let st = Mp_stack.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed ~jobs ~reduce (Mp_stack.make Treiber.instantiate st)
+          run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride (Mp_stack.make Treiber.instantiate st)
         in
         let code = finish r in
         Format.printf "right pop: got %d, empty %d@." st.Mp_stack.right_got
@@ -205,11 +225,11 @@ let client_cmd =
         code
     | `Strong_fifo ->
         let st = Strong_fifo.fresh_stats () in
-        let r = run_mode ~random ~execs ~seed ~jobs ~reduce (Strong_fifo.make factory st) in
+        let r = run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride (Strong_fifo.make factory st) in
         let code = finish r in
         let broke = ref 0 in
         let rc =
-          run_mode ~random ~execs:(execs / 2) ~seed ~jobs ~reduce
+          run_mode ~random ~execs:(execs / 2) ~seed ~jobs ~reduce ~incremental ~stride
             (Strong_fifo.make_control factory broke)
         in
         Format.printf
@@ -220,7 +240,7 @@ let client_cmd =
     | `Ws ->
         let st = Ws_client.fresh_stats () in
         let r =
-          run_mode ~random ~execs ~seed ~jobs ~reduce
+          run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride
             (Ws_client.make ~tasks:2 ~thieves:1 ~steals:1 st)
         in
         let code = finish r in
@@ -241,7 +261,8 @@ let client_cmd =
   let doc = "Model-check one of the paper's client verifications." in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
-      const run $ which $ queue_arg $ random_mode $ execs $ seed $ jobs $ reduce)
+      const run $ which $ queue_arg $ random_mode $ execs $ seed $ jobs $ reduce
+      $ incremental $ stride)
 
 (* -- check --------------------------------------------------------------------- *)
 
@@ -268,13 +289,13 @@ let check_cmd =
     Arg.(value & opt int 1 & info [ "ops"; "o" ] ~docv:"N"
            ~doc:"Operations per thread.")
   in
-  let run which style threads ops random execs seed jobs reduce =
+  let run which style threads ops random execs seed jobs reduce incremental stride =
     let sc =
       match which with
       | `Q f -> Harness.queue_workload ~style f ~enqers:threads ~deqers:threads ~ops ()
       | `S f -> Harness.stack_workload ~style f ~pushers:threads ~poppers:threads ~ops ()
     in
-    finish (run_mode ~random ~execs ~seed ~jobs ~reduce sc)
+    finish (run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride sc)
   in
   let doc =
     "Explore a workload on an implementation and check a spec style on \
@@ -283,7 +304,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ which $ style_arg $ threads $ ops $ random_mode $ execs $ seed
-      $ jobs $ reduce)
+      $ jobs $ reduce $ incremental $ stride)
 
 (* -- matrix --------------------------------------------------------------------- *)
 
@@ -380,7 +401,7 @@ let dot_cmd =
 (* -- axioms ------------------------------------------------------------------------ *)
 
 let axioms_cmd =
-  let run execs jobs reduce =
+  let run execs jobs reduce incremental stride =
     (* Differential validation: every execution of the litmus battery and
        a workload per structure must satisfy the RC11 axioms when rebuilt
        declaratively from the recorded accesses. *)
@@ -407,8 +428,11 @@ let axioms_cmd =
     let run_sc sc =
       let r =
         if jobs > 1 then
-          Explore.pdfs ~jobs ~max_execs:execs ~reduce ~config (with_rc11 sc)
-        else Explore.dfs ~max_execs:execs ~reduce ~config (with_rc11 sc)
+          Explore.pdfs ~jobs ~max_execs:execs ~reduce ~incremental ~stride
+            ~config (with_rc11 sc)
+        else
+          Explore.dfs ~max_execs:execs ~reduce ~incremental ~stride ~config
+            (with_rc11 sc)
       in
       if not (Explore.ok r) then code := 1;
       Format.printf "%-38s %7d executions  %s@." r.Explore.name
@@ -426,7 +450,8 @@ let axioms_cmd =
     "Differentially validate the operational semantics against the RC11 \
      axioms (po/rf/mo/fr/sw/hb rebuilt from recorded accesses)."
   in
-  Cmd.v (Cmd.info "axioms" ~doc) Term.(const run $ execs $ jobs $ reduce)
+  Cmd.v (Cmd.info "axioms" ~doc)
+    Term.(const run $ execs $ jobs $ reduce $ incremental $ stride)
 
 (* -- replay ------------------------------------------------------------------------ *)
 

@@ -393,10 +393,13 @@ let all () =
    actually explored — the verdict is unaffected, because the
    distinguished outcome is invariant under commuting independent
    steps). *)
-let verdict ?(max_execs = 100_000) ?config ?(jobs = 1) ?(reduce = false) t =
+let verdict ?(max_execs = 100_000) ?config ?(jobs = 1) ?(reduce = false)
+    ?(incremental = true) ?(stride = Explore.default_stride) t =
   let report =
-    if jobs > 1 then Explore.pdfs ~jobs ~max_execs ~reduce ?config t.scenario
-    else Explore.dfs ~max_execs ~reduce ?config t.scenario
+    if jobs > 1 then
+      Explore.pdfs ~jobs ~max_execs ~reduce ~incremental ~stride ?config
+        t.scenario
+    else Explore.dfs ~max_execs ~reduce ~incremental ~stride ?config t.scenario
   in
   let obs = !(t.observed) in
   let ok =

@@ -60,6 +60,8 @@ val verdict :
   ?config:Machine.config ->
   ?jobs:int ->
   ?reduce:bool ->
+  ?incremental:bool ->
+  ?stride:int ->
   t ->
   bool * Explore.report * int
 (** run exhaustively; [true] iff the expectation holds (and no

@@ -33,10 +33,8 @@ let exchange ?(extra = fun _ -> []) t v1 =
   let* e1 = Prog.reserve in
   let* my_tid = Prog.tid in
   let n = Array.length t.slots in
-  let attempt = ref 0 in
-  Prog.with_fuel ~fuel:t.fuel ~what:"exchange-array" (fun () ->
-      let i = (my_tid + !attempt) mod n in
-      incr attempt;
+  Prog.with_fuel_i ~fuel:t.fuel ~what:"exchange-array" (fun attempt ->
+      let i = (my_tid + attempt) mod n in
       Exchanger.exchange_attempt ~extra t.slots.(i) ~e1 ~my_tid v1)
 
 let instantiate ?slots m ~name : Iface.exchanger =

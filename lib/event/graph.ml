@@ -11,14 +11,46 @@ open Compass_rmc
 
 module Imap = Map.Make (Int)
 
+type snapshot = {
+  s_version : int;
+  s_events : Event.data Imap.t;
+  s_so : (int * int) list;
+}
+
 type t = {
   obj : int;
   name : string;
   mutable events : Event.data Imap.t;
   mutable so : (int * int) list;  (** newest first *)
+  mutable version : int;
+      (** identifies the graph's content: fresh after every mutation, set
+          back to the snapshot's version on restore — an unchanged version
+          means an unchanged graph, so snapshots can be reused *)
+  mutable vnext : int;
+  mutable snap_cache : snapshot option;
+  mutable events_cache : (int * Event.data list) option;
+      (** version-keyed cache of {!events} — the spec checkers walk the
+          event list several times per judged execution *)
+  mutable cix_cache : (int * Event.data list) option;
+      (** version-keyed cache of {!events_by_cix} *)
 }
 
-let create ~obj ~name = { obj; name; events = Imap.empty; so = [] }
+let create ~obj ~name =
+  {
+    obj;
+    name;
+    events = Imap.empty;
+    so = [];
+    version = 0;
+    vnext = 1;
+    snap_cache = None;
+    events_cache = None;
+    cix_cache = None;
+  }
+
+let touch g =
+  g.version <- g.vnext;
+  g.vnext <- g.vnext + 1
 let name g = g.name
 let obj g = g.obj
 let mem g id = Imap.mem id g.events
@@ -31,19 +63,61 @@ let find g id =
 
 let commit g (e : Event.data) =
   assert (not (mem g e.id));
+  touch g;
   g.events <- Imap.add e.id e g.events
 
 let add_so g ~from ~into =
   assert (mem g from && mem g into);
+  touch g;
   g.so <- (from, into) :: g.so
 
-let events g = Imap.bindings g.events |> List.map snd
+(* -- snapshot / restore ------------------------------------------------------
+
+   Both components are persistent, so a snapshot is two pointers, and
+   [restore] mutates the graph record in place — scenario closures that
+   captured the graph at build time keep a valid handle.  Snapshots are
+   version-cached: the checkpoint-per-step explorer snapshots far more
+   often than the graph changes, and an unchanged version returns the
+   same (physically equal) snapshot — which {!Registry} relies on to
+   reuse whole registry snapshots. *)
+
+let snapshot g =
+  match g.snap_cache with
+  | Some s when s.s_version = g.version -> s
+  | _ ->
+      let s = { s_version = g.version; s_events = g.events; s_so = g.so } in
+      g.snap_cache <- Some s;
+      s
+
+let restore g s =
+  g.events <- s.s_events;
+  g.so <- s.s_so;
+  g.version <- s.s_version;
+  g.snap_cache <- Some s
+
+(* Restores set the version back to the snapshot's (the content is then
+   identical to what that version named), so version-keyed caches stay
+   valid across restore without invalidation. *)
+let events g =
+  match g.events_cache with
+  | Some (v, l) when v = g.version -> l
+  | _ ->
+      let l = Imap.bindings g.events |> List.map snd in
+      g.events_cache <- Some (g.version, l);
+      l
 
 (* Events in commit order — the total order of commit instructions in the
    interleaved execution.  For strongly-synchronised structures this is
    already a valid linearisation (Section 3.3). *)
 let events_by_cix g =
-  events g |> List.sort (fun a b -> Event.cix_compare a.Event.cix b.Event.cix)
+  match g.cix_cache with
+  | Some (v, l) when v = g.version -> l
+  | _ ->
+      let l =
+        events g |> List.sort (fun a b -> Event.cix_compare a.Event.cix b.Event.cix)
+      in
+      g.cix_cache <- Some (g.version, l);
+      l
 
 let so g = g.so
 let so_mem g p = List.exists (fun q -> q = p) g.so

@@ -24,6 +24,15 @@ val commit : t -> Event.data -> unit
 
 val add_so : t -> from:int -> into:int -> unit
 
+type snapshot
+(** O(1) value-copy of the event map and so relation (both persistent) *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** roll the graph back in place — handles captured at build time stay
+    valid *)
+
 val events : t -> Event.data list
 val events_by_cix : t -> Event.data list
 (** events in commit order — the total order of commit instructions; for

@@ -5,19 +5,37 @@
    which is what lets a client combine, say, a stack's and an exchanger's
    orderings (Section 4). *)
 
+type snapshot = {
+  s_next_eid : int;
+  s_next_obj : int;
+  s_graphs : Graph.snapshot array;  (** aligned with [order], newest first *)
+}
+
 type t = {
   mutable next_eid : int;
   mutable next_obj : int;
   graphs : (int, Graph.t) Hashtbl.t;
+  mutable order : Graph.t list;
+      (** registration order, newest first — the snapshot walk order, so
+          snapshots need no [Hashtbl.fold]; length is [next_obj] *)
+  mutable snap_cache : snapshot option;
 }
 
-let create () = { next_eid = 0; next_obj = 0; graphs = Hashtbl.create 8 }
+let create () =
+  {
+    next_eid = 0;
+    next_obj = 0;
+    graphs = Hashtbl.create 8;
+    order = [];
+    snap_cache = None;
+  }
 
 let new_graph t ~name =
   let obj = t.next_obj in
   t.next_obj <- obj + 1;
   let g = Graph.create ~obj ~name in
   Hashtbl.replace t.graphs obj g;
+  t.order <- g :: t.order;
   g
 
 (* Reserve a fresh event id.  Reservation is separate from commit: an
@@ -30,11 +48,79 @@ let reserve t =
   t.next_eid <- e + 1;
   e
 
+(* -- snapshot / restore ------------------------------------------------------
+
+   One {!Graph.snapshot} per registered object, aligned with the [order]
+   list so taking one is a plain list walk (it is on the model checker's
+   per-step checkpoint path).  [restore] mutates the existing {!Graph.t}
+   records in place (scenarios capture them at build time) and removes
+   graphs registered after the snapshot, so re-executing the suffix
+   re-registers them under the same object ids.
+
+   Snapshots are reused while nothing changed: {!Graph.snapshot} is
+   version-cached (physically equal result for an unchanged graph), so
+   cache validity is a counter check plus one pointer comparison per
+   registered graph. *)
+
+let build_snapshot t =
+  match t.order with
+  | [] -> { s_next_eid = t.next_eid; s_next_obj = t.next_obj; s_graphs = [||] }
+  | g0 :: tl ->
+      let a = Array.make t.next_obj (Graph.snapshot g0) in
+      let rec fill i = function
+        | [] -> ()
+        | g :: tl ->
+            a.(i) <- Graph.snapshot g;
+            fill (i + 1) tl
+      in
+      fill 1 tl;
+      { s_next_eid = t.next_eid; s_next_obj = t.next_obj; s_graphs = a }
+
+let cache_valid t s =
+  s.s_next_eid = t.next_eid
+  && s.s_next_obj = t.next_obj
+  &&
+  let rec ok i = function
+    | [] -> true
+    | g :: tl -> Graph.snapshot g == s.s_graphs.(i) && ok (i + 1) tl
+  in
+  ok 0 t.order
+
+let snapshot t =
+  match t.snap_cache with
+  | Some s when cache_valid t s -> s
+  | _ ->
+      let s = build_snapshot t in
+      t.snap_cache <- Some s;
+      s
+
+let restore t s =
+  t.next_eid <- s.s_next_eid;
+  (* Graphs registered after the snapshot sit at the front of [order]. *)
+  let rec drop n l =
+    if n = 0 then l
+    else
+      match l with
+      | g :: tl ->
+          Hashtbl.remove t.graphs (Graph.obj g);
+          drop (n - 1) tl
+      | [] -> invalid_arg "Registry.restore: snapshot from a different registry"
+  in
+  let order = drop (t.next_obj - s.s_next_obj) t.order in
+  t.order <- order;
+  t.next_obj <- s.s_next_obj;
+  let rec fill i = function
+    | [] -> ()
+    | g :: tl ->
+        Graph.restore g s.s_graphs.(i);
+        fill (i + 1) tl
+  in
+  fill 0 order;
+  t.snap_cache <- Some s
+
 let graph t obj =
   match Hashtbl.find_opt t.graphs obj with
   | Some g -> g
   | None -> invalid_arg (Printf.sprintf "Registry.graph: no object %d" obj)
 
-let graphs t =
-  Hashtbl.fold (fun _ g acc -> g :: acc) t.graphs []
-  |> List.sort (fun a b -> Int.compare (Graph.obj a) (Graph.obj b))
+let graphs t = List.rev t.order

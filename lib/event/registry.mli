@@ -17,6 +17,15 @@ val reserve : t -> int
     only at the commit instruction — the paper's "fresh [e ∉ G] added at
     the commit point". *)
 
+type snapshot
+(** event-id/object counters plus one {!Graph.snapshot} per object *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** roll back in place: graph handles captured at build time stay valid;
+    graphs registered after the snapshot are removed *)
+
 val graph : t -> int -> Graph.t
 (** @raise Invalid_argument for unknown object ids *)
 

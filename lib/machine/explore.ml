@@ -140,13 +140,141 @@ let run_tree ~config ~reduce ~count scenario st script =
   let judge = scenario.build m in
   let oracle = Oracle.script script in
   let outcome = Machine.run ~reduce m oracle in
-  let ds = Array.of_list (Oracle.decisions oracle) in
+  let ds, ars = Oracle.vectors oracle in
   (if count then
      match outcome with
      | Machine.Pruned -> st.pruned <- st.pruned + 1
      | _ -> account st outcome (judge outcome) ds);
-  let ars = Array.of_list (Oracle.arities oracle) in
   (outcome, ds, ars)
+
+(* -- the incremental engine --------------------------------------------------
+
+   Replay-from-root pays [Machine.create] + scenario build + a full replay
+   of the decision prefix on every execution: O(depth) redundant work per
+   leaf of the decision tree.  The incremental engine instead keeps ONE
+   machine per driver and a stack of checkpoints keyed by decision depth
+   along the current path.  To run the next script, it finds the deepest
+   checkpoint whose depth is within the common prefix of the new script
+   and the previous run's decisions, restores it (O(#locations + #graphs)
+   pointer copies — the underlying maps are persistent), and re-executes
+   only the decision suffix.  Since DFS bumps the *deepest* untried
+   alternative, the suffix is usually a handful of steps.
+
+   A checkpoint is taken every [stride] decisions (at machine-step
+   boundaries); on backtrack at most [stride] decisions' worth of steps
+   are replayed from the restored state.  The scenario is built exactly
+   once per engine: thread programs are free-monad values and judges read
+   machine state that [restore] rolls back in place, so per-execution
+   behaviour — and hence every report field — matches replay-from-root
+   decision for decision (the differential suite in test/test_explore.ml
+   asserts this). *)
+
+let default_stride = 1
+
+type checkpoint = {
+  c_depth : int;  (** oracle decisions consumed when the snapshot was taken *)
+  c_snap : Machine.snapshot;
+  c_log : (int * int) list;  (** oracle raw log at the checkpoint *)
+}
+
+type engine = {
+  e_machine : Machine.t;
+  e_judge : Machine.outcome -> verdict;
+  e_stride : int;
+  mutable e_stack : checkpoint list;
+      (** deepest first; the bottom element is the post-build root and is
+          never popped.  Invariant: every checkpoint is a state along the
+          previous run's path (prefix depths only). *)
+  mutable e_prev : int array;  (** the previous run's decision vector *)
+}
+
+let engine ?(stride = default_stride) ~config scenario =
+  if stride < 1 then invalid_arg "Explore.engine: stride < 1";
+  let m = Machine.create ~config () in
+  let judge = scenario.build m in
+  (* Prime before the root snapshot so every run — including one restored
+     from the root — resumes with the deadline and sleep set a
+     from-the-root replay would compute. *)
+  Machine.prime m;
+  let root = { c_depth = 0; c_snap = Machine.snapshot m; c_log = [] } in
+  {
+    e_machine = m;
+    e_judge = judge;
+    e_stride = stride;
+    e_stack = [ root ];
+    e_prev = [||];
+  }
+
+let engine_run eng ~reduce ~count st script =
+  (* Divergence point: the first position where [script] departs from the
+     previous run's decisions.  Checkpoints strictly deeper than it belong
+     to a different path. *)
+  let diverge =
+    let n = min (Array.length script) (Array.length eng.e_prev) in
+    let rec go i =
+      if i < n && script.(i) = eng.e_prev.(i) then go (i + 1) else i
+    in
+    go 0
+  in
+  let rec pop = function
+    | ck :: (_ :: _ as rest) when ck.c_depth > diverge -> pop rest
+    | stack -> stack
+  in
+  eng.e_stack <- pop eng.e_stack;
+  let ck = List.hd eng.e_stack in
+  let m = eng.e_machine in
+  Machine.restore m ck.c_snap;
+  let oracle = Oracle.resume_script ~pos:ck.c_depth ~log:ck.c_log script in
+  let top = ref ck.c_depth in
+  (* Machine step at which the head checkpoint's snapshot was taken — to
+     skip no-op slides when no forced step ran since. *)
+  let top_step = ref (Machine.steps m) in
+  let on_step () =
+    let d = Oracle.position oracle in
+    if d >= !top + eng.e_stride then begin
+      top := d;
+      top_step := Machine.steps m;
+      eng.e_stack <-
+        { c_depth = d; c_snap = Machine.snapshot m; c_log = Oracle.raw_log oracle }
+        :: eng.e_stack
+    end
+  in
+  let on_sched () =
+    (* A scheduling decision is about to be consumed.  If forced steps ran
+       since the head checkpoint's snapshot (arity-1 choices are not
+       logged, so the depth didn't move), slide the checkpoint forward to
+       this settled boundary: a restore to this depth then lands right
+       before the decision instead of replaying the forced run.  Sliding
+       only here — not on every forced step — takes exactly one snapshot
+       per decision, and none for the forced run trailing the last
+       decision (such a snapshot could never be restored: any future
+       divergence point is at most the last decision's depth). *)
+    let d = Oracle.position oracle in
+    match eng.e_stack with
+    | ck :: rest when ck.c_depth = d && Machine.steps m > !top_step ->
+        top_step := Machine.steps m;
+        eng.e_stack <- { ck with c_snap = Machine.snapshot m } :: rest
+    | _ -> ()
+  in
+  let outcome = Machine.run ~reduce ~resume:true ~on_step ~on_sched m oracle in
+  let ds, ars = Oracle.vectors oracle in
+  eng.e_prev <- ds;
+  (if count then
+     match outcome with
+     | Machine.Pruned -> st.pruned <- st.pruned + 1
+     | _ -> account st outcome (eng.e_judge outcome) ds);
+  (outcome, ds, ars)
+
+(* A driver-agnostic runner: one closure per (driver, domain), so each
+   worker owns at most one machine for its whole lifetime instead of
+   allocating a machine, hash tables and scenario closures per
+   execution. *)
+let make_runner ~incremental ~stride ~config ~reduce scenario =
+  if incremental then begin
+    let eng = engine ~stride ~config scenario in
+    fun st ~count script -> engine_run eng ~reduce ~count st script
+  end
+  else fun st ~count script -> run_tree ~config ~reduce ~count scenario st script
 
 (* Deepest position [i] with [lo <= i < min hi (length ds)] holding an
    untried alternative; the bumped script locks everything above it.  [lo]
@@ -164,13 +292,14 @@ let bump ~lo ~hi ds ars =
   | Some i -> Some (Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |])
 
 (* Exhaustive DFS over the decision tree, up to [max_execs] executions. *)
-let dfs ?(max_execs = 100_000) ?(reduce = false) ?(config = Machine.default_config)
-    scenario =
+let dfs ?(max_execs = 100_000) ?(reduce = false) ?(incremental = true)
+    ?(stride = default_stride) ?(config = Machine.default_config) scenario =
   let st = fresh_stats () in
+  let run = make_runner ~incremental ~stride ~config ~reduce scenario in
   let rec go script =
     if st.execs >= max_execs then false
     else begin
-      let _, ds, ars = run_tree ~config ~reduce ~count:true scenario st script in
+      let _, ds, ars = run st ~count:true script in
       match bump ~lo:0 ~hi:max_int ds ars with
       | None -> true
       | Some script -> go script
@@ -225,17 +354,25 @@ let compare_failure (a : failure) (b : failure) =
   in
   go 0
 
+(* Workers claim execution budget in batches: one [fetch_and_add] amortised
+   over [budget_batch] runs instead of one per run.  Per-execution atomics
+   on a shared counter are a cross-domain cache-line ping-pong — profiled
+   as the dominant cost of [pdfs] once executions got cheap. *)
+let budget_batch = 64
+
 let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
-    ?(reduce = false) ?(config = Machine.default_config) scenario =
+    ?(reduce = false) ?(incremental = true) ?(stride = default_stride)
+    ?(config = Machine.default_config) scenario =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
   in
   if split_depth < 1 then invalid_arg "Explore.pdfs: split_depth < 1";
   (* Phase 1: shard frontier. *)
   let scratch = fresh_stats () in
+  let frun = make_runner ~incremental ~stride ~config ~reduce scenario in
   let shards = ref [] and n_shards = ref 0 and frontier_complete = ref true in
   let rec enumerate script =
-    let _, ds, ars = run_tree ~config ~reduce ~count:false scenario scratch script in
+    let _, ds, ars = frun scratch ~count:false script in
     let prefix = Array.sub ds 0 (min split_depth (Array.length ds)) in
     shards := prefix :: !shards;
     incr n_shards;
@@ -248,28 +385,48 @@ let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
   enumerate [||];
   let shards = Array.of_list (List.rev !shards) in
   (* Phase 2: fan out.  Workers share the shard cursor and the global
-     execution budget; everything else is domain-local. *)
+     execution budget; everything else — including the worker's single
+     reused machine — is domain-local. *)
   let cursor = Atomic.make 0 in
   let spent = Atomic.make 0 in
   let budget_hit = Atomic.make false in
   let worker () =
     let st = fresh_stats () in
+    let run = make_runner ~incremental ~stride ~config ~reduce scenario in
+    (* Locally cached budget slots (claimed, not yet used). *)
+    let local = ref 0 in
+    let take_slot () =
+      if !local > 0 then begin decr local; true end
+      else begin
+        let got = Atomic.fetch_and_add spent budget_batch in
+        if got >= max_execs then begin
+          (* Over budget: put the whole batch back and stop. *)
+          ignore (Atomic.fetch_and_add spent (-budget_batch));
+          Atomic.set budget_hit true;
+          false
+        end
+        else begin
+          (* Keep only the slots that fit under the budget. *)
+          let batch = min budget_batch (max_execs - got) in
+          if batch < budget_batch then
+            ignore (Atomic.fetch_and_add spent (batch - budget_batch));
+          local := batch - 1;
+          true
+        end
+      end
+    in
     let rec shard_loop () =
       let i = Atomic.fetch_and_add cursor 1 in
       if i < Array.length shards && not (Atomic.get budget_hit) then begin
         let prefix = shards.(i) in
         let lock = Array.length prefix in
         let rec go script =
-          if Atomic.fetch_and_add spent 1 >= max_execs then
-            Atomic.set budget_hit true
+          if not (take_slot ()) then ()
           else begin
-            let outcome, ds, ars =
-              run_tree ~config ~reduce ~count:true scenario st script
-            in
+            let outcome, ds, ars = run st ~count:true script in
             (* Pruned runs are not executions: refund the budget slot so the
                parallel budget counts what sequential [dfs] counts. *)
-            if outcome = Machine.Pruned then
-              ignore (Atomic.fetch_and_add spent (-1));
+            if outcome = Machine.Pruned then incr local;
             match bump ~lo:lock ~hi:max_int ds ars with
             | None -> ()
             | Some script -> go script
@@ -280,6 +437,9 @@ let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
       end
     in
     shard_loop ();
+    (* Return unused cached slots to the shared budget. *)
+    ignore (Atomic.fetch_and_add spent (- !local));
+    local := 0;
     st
   in
   let stats =
@@ -317,10 +477,11 @@ let random ?(execs = 1_000) ?(seed = 0) ?(config = Machine.default_config)
 
 type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
 
-let run ?(config = Machine.default_config) ?(jobs = 1) ?(reduce = false) ~mode
-    scenario =
+let run ?(config = Machine.default_config) ?(jobs = 1) ?(reduce = false)
+    ?(incremental = true) ?(stride = default_stride) ~mode scenario =
   match mode with
   | Dfs { max_execs } ->
-      if jobs > 1 then pdfs ~jobs ~max_execs ~reduce ~config scenario
-      else dfs ~max_execs ~reduce ~config scenario
+      if jobs > 1 then
+        pdfs ~jobs ~max_execs ~reduce ~incremental ~stride ~config scenario
+      else dfs ~max_execs ~reduce ~incremental ~stride ~config scenario
   | Random { execs; seed } -> random ~execs ~seed ~config scenario

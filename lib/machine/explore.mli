@@ -63,17 +63,39 @@ val replay :
   Machine.t * Machine.outcome * verdict
 (** re-run one script with tracing on, for counterexample display *)
 
+val default_stride : int
+(** decisions between checkpoints in the incremental engine (1: checkpoint
+    every decision — maximal reuse; memory is bounded by the decision
+    depth either way, so larger strides only trade replayed suffix steps
+    for fewer snapshots) *)
+
 val dfs :
-  ?max_execs:int -> ?reduce:bool -> ?config:Machine.config -> scenario -> report
+  ?max_execs:int ->
+  ?reduce:bool ->
+  ?incremental:bool ->
+  ?stride:int ->
+  ?config:Machine.config ->
+  scenario ->
+  report
 (** exhaustive sequential DFS.  [reduce] turns on sleep-set reduction:
     redundant interleavings of independent steps are pruned (counted in
-    {!report.pruned}), never losing a violation up to graph isomorphism. *)
+    {!report.pruned}), never losing a violation up to graph isomorphism.
+
+    [incremental] (default on) explores with the checkpoint/restore
+    engine: one machine built once, a stack of snapshots keyed by decision
+    depth, and only the decision suffix past the deepest valid checkpoint
+    re-executed per run — instead of replaying every execution from the
+    root.  Reports are field-for-field identical either way (the replay
+    path, [~incremental:false], is kept as the differential-testing
+    oracle); [stride] sets the checkpoint spacing in decisions. *)
 
 val pdfs :
   ?jobs:int ->
   ?split_depth:int ->
   ?max_execs:int ->
   ?reduce:bool ->
+  ?incremental:bool ->
+  ?stride:int ->
   ?config:Machine.config ->
   scenario ->
   report
@@ -84,7 +106,10 @@ val pdfs :
     merged into one report.  With the same budget and tree,
     [pdfs ~jobs] and {!dfs} agree on every report field; kept violations
     are the lexicographically first scripts, so they agree on those too
-    whenever at most 16 violations exist. *)
+    whenever at most 16 violations exist.  Each worker keeps one
+    incremental engine (machine + checkpoint stack) for its whole
+    lifetime, and claims execution budget in batches rather than one
+    atomic per run. *)
 
 val random : ?execs:int -> ?seed:int -> ?config:Machine.config -> scenario -> report
 
@@ -94,8 +119,11 @@ val run :
   ?config:Machine.config ->
   ?jobs:int ->
   ?reduce:bool ->
+  ?incremental:bool ->
+  ?stride:int ->
   mode:mode ->
   scenario ->
   report
-(** dispatch on [mode]; [jobs > 1] routes [Dfs] to {!pdfs}, and [reduce]
-    applies to either DFS driver (random sampling ignores both) *)
+(** dispatch on [mode]; [jobs > 1] routes [Dfs] to {!pdfs}, and [reduce] /
+    [incremental] / [stride] apply to either DFS driver (random sampling
+    ignores them) *)

@@ -61,6 +61,35 @@ let pp_outcome ppf = function
   | Bounded -> Format.pp_print_string ppf "bounded"
   | Pruned -> Format.pp_print_string ppf "pruned"
 
+(* Footprints (for sleep-set reduction) are declared here because the
+   machine's resumable sleep state mentions them; the reduction machinery
+   itself lives further down. *)
+type footprint = FRead of Loc.t | FWrite of Loc.t | FLocal | FGlobal
+
+(* Snapshot types are declared here because the machine keeps its last
+   snapshot as a cache; the snapshot/restore machinery lives further
+   down. *)
+type thread_snap = {
+  ts_prog : Value.t Prog.t;
+  ts_tv : Tview.t;
+  ts_finished : Value.t option;
+}
+
+type snapshot = {
+  s_mem : Memory.snapshot;
+  s_reg : Registry.snapshot;
+  s_setup_tv : Tview.t;
+  s_threads : thread_snap array;
+  s_step : int;
+  s_trace : Trace.entry list;
+  s_sc_view : View.t;
+  s_sc_lview : Lview.t;
+  s_accesses : Access.t list;
+  s_next_aid : int;
+  s_sleep : (int * footprint) list;
+  s_run_deadline : int;
+}
+
 type t = {
   config : config;
   mem : Memory.t;
@@ -76,6 +105,16 @@ type t = {
   mutable sc_lview : Lview.t;
   mutable accesses : Access.t list;  (** newest first; see [record_accesses] *)
   mutable next_aid : int;
+  mutable sleep : (int * footprint) list;
+      (** sleep set along the current path (tid, pending footprint); lives
+          in the machine so checkpoints can capture and resume it *)
+  mutable run_deadline : int;
+      (** absolute step bound of the current concurrent phase; kept across
+          checkpoint restores so a resumed run bounds exactly like a
+          from-the-root replay *)
+  mutable snap_cache : snapshot option;
+      (** last snapshot taken or restored; {!snapshot} reuses its
+          per-thread records when a thread hasn't changed *)
 }
 
 let create ?(config = default_config) () =
@@ -91,6 +130,9 @@ let create ?(config = default_config) () =
     sc_lview = Lview.empty;
     accesses = [];
     next_aid = 0;
+    sleep = [];
+    run_deadline = max_int;
+    snap_cache = None;
   }
 
 let registry m = m.reg
@@ -468,7 +510,6 @@ let thread_view m tid = m.threads.(tid).tv
    steps permutes reservation order and commit indices, which yields an
    isomorphic graph — and every checked predicate (consistency conditions,
    spec styles) is invariant under that isomorphism. *)
-type footprint = FRead of Loc.t | FWrite of Loc.t | FLocal | FGlobal
 
 let footprint (th : thread) =
   match th.prog with
@@ -503,11 +544,20 @@ let independent a b =
    the current node is exactly the set of scheduling alternatives below
    the chosen one, so the sleep set can be reconstructed during replay
    with no tree state. *)
-let run ?(reduce = false) m oracle =
+(* Initialise the concurrent-phase deadline and sleep set without running:
+   what [run ~resume:false] does on entry.  The incremental explorer primes
+   the machine once after build, snapshots it as the root checkpoint, and
+   then always runs with [~resume:true] — so a root restored after some
+   forced steps keeps the deadline a from-the-root replay would have. *)
+let prime m =
+  m.run_deadline <- m.step + m.config.max_steps;
+  m.sleep <- []
+
+let run ?(reduce = false) ?(resume = false) ?on_step ?on_sched m oracle =
   let n = Array.length m.threads in
   if n = 0 then invalid_arg "Machine.run: no threads (call spawn)";
-  let deadline = m.step + m.config.max_steps in
-  let rec loop sleep =
+  if not resume then prime m;
+  let rec loop () =
     Array.iter (fun th -> settle m th) m.threads;
     let runnable =
       Array.to_list m.threads
@@ -517,36 +567,125 @@ let run ?(reduce = false) m oracle =
     if not unfinished then
       Finished (Array.map (fun th -> Option.get th.finished) m.threads)
     else if runnable = [] then Blocked "deadlock: all unfinished threads await"
-    else if m.step >= deadline then Bounded
+    else if m.step >= m.run_deadline then Bounded
     else begin
-      let j = choose oracle ~arity:(List.length runnable) in
+      let arity = List.length runnable in
+      (* A scheduling *decision* (arity > 1) is about to be consumed and
+         the machine is at a settled step boundary: the incremental
+         explorer's last chance to checkpoint the state this decision
+         branches from. *)
+      if arity > 1 then (match on_sched with Some f -> f () | None -> ());
+      let j = choose oracle ~arity in
       let th = List.nth runnable j in
-      if reduce && List.mem_assq th.tid sleep then Pruned
+      if reduce && List.mem_assq th.tid m.sleep then Pruned
       else begin
-        let sleep =
-          if not reduce then sleep
-          else begin
-            (* Earlier siblings fall asleep; survivors are the sleepers
-               whose pending step is independent of the one now taken. *)
-            let fp = footprint th in
-            let explored =
-              List.filteri (fun i _ -> i < j) runnable
-              |> List.map (fun (u : thread) -> (u.tid, footprint u))
-            in
-            List.filter
-              (fun (_, fu) -> independent fu fp)
-              (sleep @ explored)
-          end
-        in
+        if reduce then begin
+          (* Earlier siblings fall asleep; survivors are the sleepers
+             whose pending step is independent of the one now taken. *)
+          let fp = footprint th in
+          let explored =
+            List.filteri (fun i _ -> i < j) runnable
+            |> List.map (fun (u : thread) -> (u.tid, footprint u))
+          in
+          m.sleep <-
+            List.filter (fun (_, fu) -> independent fu fp) (m.sleep @ explored)
+        end;
         step_thread m th oracle;
-        loop sleep
+        (match on_step with Some f -> f () | None -> ());
+        loop ()
       end
     end
   in
-  try loop [] with
+  try loop () with
   | Memory.Error e -> Fault (Format.asprintf "%a" Memory.pp_error e)
   | Prog.Out_of_fuel what -> Blocked ("out of fuel: " ^ what)
   | Invalid_argument s | Failure s -> Fault ("program error: " ^ s)
+
+(* -- snapshot / restore ------------------------------------------------------
+
+   A machine snapshot is a value-copy of every mutable field: memory and
+   registry delegate to their own snapshot layers (persistent maps, O(#locs
+   + #graphs) pointers), thread records are copied field-wise (programs are
+   free-monad values, immutable by construction), and the sleep set /
+   deadline of a concurrent phase in flight ride along so a restored run
+   can resume mid-phase with [run ~resume:true].
+
+   Taken between machine steps, the shared message refs and event records
+   behind the persistent maps are immutable (commit patching happens inside
+   the step that creates a message), so sharing them is sound.  [restore]
+   mutates the machine, its histories, graphs and thread records in place:
+   every handle a scenario captured at build time stays valid.
+
+   The snapshot and thread_snap types are declared next to {!t} (the
+   machine caches its last snapshot).  A machine step changes at most one
+   thread, so [snapshot] reuses the cached snapshot's per-thread records
+   whenever a thread's fields are unchanged — physical equality, so a
+   stale cache only costs allocations, never correctness. *)
+
+let thread_snaps m =
+  let fresh th =
+    { ts_prog = th.prog; ts_tv = th.tv; ts_finished = th.finished }
+  in
+  match m.snap_cache with
+  | Some p when Array.length p.s_threads = Array.length m.threads ->
+      Array.mapi
+        (fun i th ->
+          let ts = p.s_threads.(i) in
+          if
+            ts.ts_prog == th.prog && ts.ts_tv == th.tv
+            && ts.ts_finished == th.finished
+          then ts
+          else fresh th)
+        m.threads
+  | _ -> Array.map fresh m.threads
+
+let snapshot m =
+  let s =
+    {
+      s_mem = Memory.snapshot m.mem;
+      s_reg = Registry.snapshot m.reg;
+      s_setup_tv = m.setup_tv;
+      s_threads = thread_snaps m;
+      s_step = m.step;
+      s_trace = m.trace;
+      s_sc_view = m.sc_view;
+      s_sc_lview = m.sc_lview;
+      s_accesses = m.accesses;
+      s_next_aid = m.next_aid;
+      s_sleep = m.sleep;
+      s_run_deadline = m.run_deadline;
+    }
+  in
+  m.snap_cache <- Some s;
+  s
+
+let restore m s =
+  Memory.restore m.mem s.s_mem;
+  Registry.restore m.reg s.s_reg;
+  m.setup_tv <- s.s_setup_tv;
+  if Array.length m.threads = Array.length s.s_threads then
+    Array.iteri
+      (fun i ts ->
+        let th = m.threads.(i) in
+        th.prog <- ts.ts_prog;
+        th.tv <- ts.ts_tv;
+        th.finished <- ts.ts_finished)
+      s.s_threads
+  else
+    m.threads <-
+      Array.mapi
+        (fun i ts ->
+          { tid = i; prog = ts.ts_prog; tv = ts.ts_tv; finished = ts.ts_finished })
+        s.s_threads;
+  m.step <- s.s_step;
+  m.trace <- s.s_trace;
+  m.sc_view <- s.s_sc_view;
+  m.sc_lview <- s.s_sc_lview;
+  m.accesses <- s.s_accesses;
+  m.next_aid <- s.s_next_aid;
+  m.sleep <- s.s_sleep;
+  m.run_deadline <- s.s_run_deadline;
+  m.snap_cache <- Some s
 
 (* Join all thread views into the setup view (the parent joining children),
    so a finale prog can read results without racing. *)

@@ -73,7 +73,20 @@ val spawn : t -> Value.t Prog.t list -> unit
 
 val thread_view : t -> int -> Tview.t
 
-val run : ?reduce:bool -> t -> Oracle.t -> outcome
+val prime : t -> unit
+(** initialise the concurrent-phase step deadline and sleep set without
+    running — what {!run}[ ~resume:false] does on entry.  The incremental
+    explorer primes once after build, takes the root {!snapshot}, and then
+    always runs with [~resume:true]. *)
+
+val run :
+  ?reduce:bool ->
+  ?resume:bool ->
+  ?on_step:(unit -> unit) ->
+  ?on_sched:(unit -> unit) ->
+  t ->
+  Oracle.t ->
+  outcome
 (** interleave the spawned threads to completion (or fault / block /
     budget).  With [reduce] (default off) the scheduler maintains a sleep
     set along the replayed path and stops with {!Pruned} as soon as the
@@ -81,7 +94,29 @@ val run : ?reduce:bool -> t -> Oracle.t -> outcome
     would only commute independent steps of an already-explored subtree.
     Two pending steps are independent when they touch different locations
     or are both reads (and neither is an allocation or SC fence); see
-    DESIGN.md, "Parallel exploration & reduction". *)
+    DESIGN.md, "Parallel exploration & reduction".
+
+    [resume] (default off) continues a concurrent phase from a state
+    installed by {!restore}: the step deadline and sleep set of the
+    checkpointed phase are kept instead of being re-initialised, so the
+    resumed run bounds and prunes exactly like a from-the-root replay of
+    the same decision script.  [on_step] is called after every completed
+    machine step; [on_sched] is called at the settled step boundary just
+    before a scheduling choice with more than one alternative is
+    consumed.  Both are the incremental explorer's checkpoint hooks. *)
+
+type snapshot
+(** a value-copy of all machine state (threads, memory, graphs, views,
+    sleep set), sharing persistent substructure: O(#locations + #graphs +
+    #threads) pointers.  Valid to take between machine steps. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** roll the machine — including its memory, registry and thread records,
+    all mutated in place so handles captured at build time stay valid —
+    back to [snapshot].  Follow with {!run}[ ~resume:true] to re-explore
+    from that point under a different decision suffix. *)
 
 val join_views : t -> unit
 (** join all thread views into the setup view (parent joins children) *)

@@ -25,6 +25,27 @@ let choose o ~arity =
 let decisions o = List.rev_map snd o.log
 let arities o = List.rev_map fst o.log
 
+(* Both vectors as arrays in one log traversal — the explorer calls this
+   once per execution, so it avoids the intermediate reversed lists. *)
+let vectors o =
+  let n = o.pos in
+  let ds = Array.make n 0 and ars = Array.make n 0 in
+  let rec fill i = function
+    | [] -> ()
+    | (a, c) :: tl ->
+        ds.(i) <- c;
+        ars.(i) <- a;
+        fill (i - 1) tl
+  in
+  fill (n - 1) o.log;
+  (ds, ars)
+
+let position o = o.pos
+
+(* Raw (arity, choice) log, newest first — the persistent list itself, so
+   checkpointing it is O(1). *)
+let raw_log o = o.log
+
 (* Deterministic oracle: always the last alternative.  For loads the
    alternatives are in ascending timestamp order, so "last" reads the
    mo-maximal message — the right default for solo (setup) execution.
@@ -37,19 +58,26 @@ let random ~seed =
   let st = Random.State.make [| seed; 0x5eed |] in
   { pos = 0; log = []; pick = (fun ~pos:_ ~arity -> Random.State.int st arity) }
 
+let script_pick choices ~pos ~arity =
+  if pos < Array.length choices then (
+    let c = choices.(pos) in
+    if c >= arity then
+      invalid_arg
+        (Printf.sprintf "Oracle.script: choice %d/%d at %d" c arity pos);
+    c)
+  else 0
+
 (* Replay [script] and fall back to choice 0 (the "first" alternative) past
    its end — the DFS explorer's workhorse. *)
-let script choices =
-  {
-    pos = 0;
-    log = [];
-    pick =
-      (fun ~pos ~arity ->
-        if pos < Array.length choices then (
-          let c = choices.(pos) in
-          if c >= arity then
-            invalid_arg
-              (Printf.sprintf "Oracle.script: choice %d/%d at %d" c arity pos);
-          c)
-        else 0);
-  }
+let script choices = { pos = 0; log = []; pick = script_pick choices }
+
+(* Resume a scripted replay from a machine checkpoint: the first [pos]
+   choices were already taken on the checkpointed path, and their
+   (arity, choice) pairs are seeded from [log] so that {!decisions} and
+   {!arities} still report the full vectors the DFS bumper needs.  [log]
+   must be the {!raw_log} captured when the checkpoint was taken, and the
+   checkpoint is only valid if [script] agrees with it on those [pos]
+   positions (the explorer guarantees this by construction). *)
+let resume_script ~pos ~log choices =
+  assert (List.length log = pos);
+  { pos; log; pick = script_pick choices }

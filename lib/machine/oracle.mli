@@ -16,6 +16,10 @@ val decisions : t -> int list
 
 val arities : t -> int list
 
+val vectors : t -> int array * int array
+(** (decisions, arities) as arrays, earliest first, in one traversal —
+    what the DFS bumper consumes once per execution *)
+
 val fresh_latest : unit -> t
 (** deterministic: always the last alternative (for loads: the mo-maximal
     message) — the right default for solo/setup execution.  A fresh value
@@ -28,3 +32,15 @@ val script : int array -> t
 (** replay the given choices, falling back to choice 0 past the end; the
     DFS explorer's workhorse.
     @raise Invalid_argument if a scripted choice exceeds the arity *)
+
+val position : t -> int
+(** number of choices taken so far (the current decision depth) *)
+
+val raw_log : t -> (int * int) list
+(** the (arity, choice) log, newest first; a persistent value, so
+    capturing it in a checkpoint is O(1) *)
+
+val resume_script : pos:int -> log:(int * int) list -> int array -> t
+(** resume a scripted replay from decision depth [pos], seeding the log
+    with the {!raw_log} captured at a machine checkpoint; the script must
+    agree with [log] on the first [pos] positions *)

@@ -151,3 +151,18 @@ let with_fuel ~fuel ~what body =
       match r with Some v -> return v | None -> go (n - 1)
   in
   go fuel
+
+(* Like {!with_fuel}, but passes the 0-based attempt number to [body].
+   Retry loops that vary their behaviour per attempt (e.g. rotating over
+   exchanger slots) must use this instead of closing over a mutable
+   counter: programs are replayed from machine checkpoints, so any state a
+   program carries across attempts has to live in the term, not in OCaml
+   refs. *)
+let with_fuel_i ~fuel ~what body =
+  let rec go i n =
+    if n <= 0 then Op (Yield, fun _ -> raise (Out_of_fuel what))
+    else
+      let* r = body i in
+      match r with Some v -> return v | None -> go (i + 1) (n - 1)
+  in
+  go 0 fuel

@@ -109,3 +109,9 @@ val for_ : int -> int -> (int -> unit t) -> unit t
 val with_fuel : fuel:int -> what:string -> (unit -> 'a option t) -> 'a t
 (** retry the body until it yields [Some v], at most [fuel] times;
     raises {!Out_of_fuel} past the budget *)
+
+val with_fuel_i : fuel:int -> what:string -> (int -> 'a option t) -> 'a t
+(** {!with_fuel} passing the 0-based attempt number to the body.  Use this
+    (not a closed-over mutable counter) when attempts differ: programs are
+    replayed from machine checkpoints, so per-attempt state must live in
+    the term, never in OCaml refs. *)

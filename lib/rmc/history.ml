@@ -24,6 +24,19 @@ let add h (m : Msg.t) =
   assert (not (mem h m.ts));
   h.msgs <- Tsmap.add m.ts (ref m) h.msgs
 
+(* -- snapshot / restore ------------------------------------------------------
+
+   The timestamp map is persistent, so a snapshot is one pointer.  The
+   message refs behind it are shared, which is sound because a ref is only
+   mutated (commit-view patching) during the machine step that inserts it:
+   snapshots are taken at step boundaries, after which every reachable
+   message is immutable. *)
+
+type snapshot = Msg.t ref Tsmap.t
+
+let snapshot h = h.msgs
+let restore h s = h.msgs <- s
+
 (* All messages readable by a thread whose view of this location is [from]:
    coherence forbids reading below the view, nothing forbids reading above.
    Returned in ascending timestamp order. *)

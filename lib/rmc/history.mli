@@ -14,6 +14,14 @@ val cardinal : t -> int
 val add : t -> Msg.t -> unit
 (** insert a message at a fresh timestamp *)
 
+type snapshot
+(** an O(1) value-copy of the history (the timestamp map is persistent;
+    message refs are shared — they are immutable after the machine step
+    that inserts them) *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
 val readable : t -> from:Timestamp.t -> Msg.t ref list
 (** all messages a thread whose view of this location is [from] may read
     (coherence forbids reading below the view); ascending timestamp

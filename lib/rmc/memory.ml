@@ -6,10 +6,28 @@
 
 type policy = [ `Append | `Gap ]
 
+type snapshot = {
+  s_version : int;
+  s_next_base : int;
+  s_n_locs : int;
+  s_hists : History.snapshot array;
+      (** aligned with {!t.order} (newest first) *)
+}
+
 type t = {
   mutable next_base : int;
   hists : (Loc.t, History.t) Hashtbl.t;
+  mutable order : (Loc.t * History.t) list;
+      (** allocation order, newest first — the snapshot walk order, so
+          snapshots need no [Hashtbl.fold] *)
+  mutable n_locs : int;
   policy : policy;
+  mutable version : int;
+      (** identifies the store's content: fresh after every mutation, set
+          back to the snapshot's version on restore — so an unchanged
+          version means an unchanged store and snapshots can be reused *)
+  mutable vnext : int;  (** next fresh version (monotone, never reused) *)
+  mutable snap_cache : snapshot option;
 }
 
 type error =
@@ -28,15 +46,33 @@ let pp_error ppf = function
 exception Error of error
 
 let error e = raise (Error e)
-let create ?(policy = `Append) () = { next_base = 0; hists = Hashtbl.create 256; policy }
+let create ?(policy = `Append) () =
+  {
+    next_base = 0;
+    hists = Hashtbl.create 256;
+    order = [];
+    n_locs = 0;
+    policy;
+    version = 0;
+    vnext = 1;
+    snap_cache = None;
+  }
+
+let touch mem =
+  mem.version <- mem.vnext;
+  mem.vnext <- mem.vnext + 1
 
 let alloc mem ~name ~size ~init_value =
+  touch mem;
   let base = mem.next_base in
   mem.next_base <- base + 1;
   Loc.register_name ~base ~name;
   for off = 0 to size - 1 do
     let loc = Loc.make ~base ~off in
-    Hashtbl.replace mem.hists loc (History.create ~loc ~init_value)
+    let h = History.create ~loc ~init_value in
+    Hashtbl.replace mem.hists loc h;
+    mem.order <- (loc, h) :: mem.order;
+    mem.n_locs <- mem.n_locs + 1
   done;
   Loc.make ~base ~off:0
 
@@ -75,7 +111,88 @@ let na_read mem l ~tv ~tid =
 let write_ts_choices mem l ~above =
   History.fresh_ts (hist mem l) ~policy:mem.policy ~above
 
-let add_msg mem (m : Msg.t) = History.add (hist mem m.loc) m
+let add_msg mem (m : Msg.t) =
+  touch mem;
+  History.add (hist mem m.loc) m
+
+(* -- snapshot / restore ------------------------------------------------------
+
+   A snapshot captures the allocator position plus one {!History.snapshot}
+   per location — O(#locations) pointer copies; the per-location maps are
+   persistent, so nothing message-level is duplicated.  The snapshot array
+   is aligned with the [order] list (allocation order, newest first), so
+   taking one is a plain list walk: no hashing and no tuple allocation —
+   it is on the model checker's per-step checkpoint path.
+
+   [restore] mutates the existing {!History.t} records in place (callers
+   may hold handles to them) and removes locations allocated after the
+   snapshot was taken, so re-executing the suffix re-allocates them at
+   the same bases.  Restore targets are always states along the current
+   execution's prefix, so the snapshotted locations are exactly the
+   oldest [s_n_locs] entries of [order].
+
+   Snapshots are version-cached: reads don't [touch] the store, so the
+   checkpoint-per-step explorer reuses one snapshot across read-only
+   steps instead of rebuilding the array. *)
+
+let build_snapshot mem =
+  match mem.order with
+  | [] ->
+      {
+        s_version = mem.version;
+        s_next_base = mem.next_base;
+        s_n_locs = 0;
+        s_hists = [||];
+      }
+  | (_, h0) :: tl ->
+      let a = Array.make mem.n_locs (History.snapshot h0) in
+      let rec fill i = function
+        | [] -> ()
+        | (_, h) :: tl ->
+            a.(i) <- History.snapshot h;
+            fill (i + 1) tl
+      in
+      fill 1 tl;
+      {
+        s_version = mem.version;
+        s_next_base = mem.next_base;
+        s_n_locs = mem.n_locs;
+        s_hists = a;
+      }
+
+let snapshot mem =
+  match mem.snap_cache with
+  | Some s when s.s_version = mem.version -> s
+  | _ ->
+      let s = build_snapshot mem in
+      mem.snap_cache <- Some s;
+      s
+
+let restore mem s =
+  mem.next_base <- s.s_next_base;
+  (* Locations allocated after the snapshot sit at the front of [order]. *)
+  let rec drop n l =
+    if n = 0 then l
+    else
+      match l with
+      | (loc, _) :: tl ->
+          Hashtbl.remove mem.hists loc;
+          drop (n - 1) tl
+      | [] -> invalid_arg "Memory.restore: snapshot from a different store"
+  in
+  let order = drop (mem.n_locs - s.s_n_locs) mem.order in
+  mem.order <- order;
+  mem.n_locs <- s.s_n_locs;
+  let rec fill i = function
+    | [] -> ()
+    | (_, h) :: tl ->
+        History.restore h s.s_hists.(i);
+        fill (i + 1) tl
+  in
+  fill 0 order;
+  (* The store's content is now exactly what [s] captured. *)
+  mem.version <- s.s_version;
+  mem.snap_cache <- Some s
 
 let pp ppf mem =
   Hashtbl.iter

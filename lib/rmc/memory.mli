@@ -43,4 +43,16 @@ val na_read : t -> Loc.t -> tv:Tview.t -> tid:int -> Msg.t ref
 
 val write_ts_choices : t -> Loc.t -> above:Timestamp.t -> Timestamp.t list
 val add_msg : t -> Msg.t -> unit
+
+type snapshot
+(** allocator position plus one {!History.snapshot} per location:
+    O(#locations) pointer copies *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** roll the store back to [snapshot]: existing histories are mutated in
+    place (handles stay valid) and locations allocated after the snapshot
+    are removed *)
+
 val pp : Format.formatter -> t -> unit

@@ -86,6 +86,7 @@ let check_so_lhb g =
    d'. *)
 let check_fifo g =
   let so = Graph.so g in
+  let enqs = enqs g in
   List.fold_left
     (fun acc (e_id, d_id) ->
       let d = Graph.find g d_id in
@@ -110,13 +111,14 @@ let check_fifo g =
                      undequeued"
                     Event.pp e' Event.pp e Event.pp d Event.pp e Event.pp e')
             else acc)
-          acc (enqs g))
+          acc enqs)
     [] so
 
 (* QUEUE-EMPDEQ: an empty dequeue d is justified only if every enqueue that
    happens before d had already been dequeued when d committed. *)
 let check_empdeq g =
   let so = Graph.so g in
+  let enqs = enqs g in
   List.fold_left
     (fun acc (d : Event.data) ->
       List.fold_left
@@ -133,7 +135,7 @@ let check_empdeq g =
                    undequeued"
                   Event.pp d Event.pp e)
           else acc)
-        acc (enqs g))
+        acc enqs)
     [] (empdeqs g)
 
 (* lhb must be consistent with commit order: an event only observes events

@@ -70,6 +70,7 @@ let check_so_lhb g =
    popped when d commits, by a pop d' that d does not happen before. *)
 let check_lifo g =
   let so = Graph.so g in
+  let pushes = pushes g in
   List.fold_left
     (fun acc (e_id, d_id) ->
       let d = Graph.find g d_id in
@@ -98,13 +99,14 @@ let check_lifo g =
                      %a pops %a"
                     Event.pp e' Event.pp e Event.pp d Event.pp d Event.pp e)
             else acc)
-          acc (pushes g))
+          acc pushes)
     [] so
 
 (* STACK-EMPPOP: an empty pop is justified only if every push that happens
    before it had already been popped. *)
 let check_emppop g =
   let so = Graph.so g in
+  let pushes = pushes g in
   List.fold_left
     (fun acc (d : Event.data) ->
       List.fold_left
@@ -118,7 +120,7 @@ let check_emppop g =
                   "empty pop %a although %a happens-before it and is unpopped"
                   Event.pp d Event.pp e)
           else acc)
-        acc (pushes g))
+        acc pushes)
     [] (emppops g)
 
 (* Same-step observation is allowed: see Queue_spec.check_lhb_order. *)

@@ -15,6 +15,12 @@ let vi n = Value.Int n
 let msgs (r : Explore.report) =
   List.sort compare (List.map (fun (f : Explore.failure) -> f.Explore.message) r.Explore.violations)
 
+let scripts (r : Explore.report) =
+  List.sort compare
+    (List.map
+       (fun (f : Explore.failure) -> Array.to_list f.Explore.script)
+       r.Explore.violations)
+
 let report_eq ~name (a : Explore.report) (b : Explore.report) =
   Alcotest.(check int) (name ^ ": executions") a.Explore.executions b.Explore.executions;
   Alcotest.(check int) (name ^ ": passed") a.Explore.passed b.Explore.passed;
@@ -24,6 +30,15 @@ let report_eq ~name (a : Explore.report) (b : Explore.report) =
   Alcotest.(check int) (name ^ ": pruned") a.Explore.pruned b.Explore.pruned;
   Alcotest.(check bool) (name ^ ": complete") a.Explore.complete b.Explore.complete;
   Alcotest.(check (list string)) (name ^ ": violation multiset") (msgs a) (msgs b)
+
+(* For two drivers with the same enumeration order (e.g. incremental vs
+   replay-from-root DFS) the kept violations must match script for
+   script, not just message for message. *)
+let report_eq_strict ~name a b =
+  report_eq ~name a b;
+  Alcotest.(check (list (list int)))
+    (name ^ ": violation scripts (sorted)")
+    (scripts a) (scripts b)
 
 (* An intentionally broken scenario: MP over raw cells with a relaxed
    flag, where the stale read is reported as a violation.  The full DFS
@@ -83,6 +98,74 @@ let equivalence_cases () =
         Harness.stack_workload Treiber.instantiate ~pushers:2 ~poppers:1 ~ops:1 () );
     ("seeded-violation", false, fun () -> seeded_mp_violation ());
   ]
+
+(* -- incremental vs replay-from-root differential suite ----------------------
+
+   The incremental checkpoint/restore engine must be observationally
+   identical to the replay-from-root oracle: same enumeration order, so
+   every report field — including the kept violation scripts — must agree
+   exactly, whatever the checkpoint stride, with and without sleep-set
+   reduction, and under pdfs sharding (per-worker engines). *)
+
+let test_incremental_equivalence () =
+  List.iter
+    (fun (name, _, mk) ->
+      List.iter
+        (fun reduce ->
+          let oracle =
+            Explore.dfs ~incremental:false ~reduce ~max_execs:200_000 (mk ())
+          in
+          List.iter
+            (fun stride ->
+              let inc =
+                Explore.dfs ~incremental:true ~stride ~reduce
+                  ~max_execs:200_000 (mk ())
+              in
+              report_eq_strict
+                ~name:
+                  (Printf.sprintf "%s (reduce %b, stride %d)" name reduce
+                     stride)
+                oracle inc)
+            [ 1; 2; 5 ])
+        [ false; true ])
+    (equivalence_cases ())
+
+let test_incremental_litmus () =
+  (* Every litmus verdict — pass/fail plus observation counts — is
+     preserved by the incremental engine. *)
+  List.iter
+    (fun mk ->
+      let t_seq = mk () and t_inc = mk () in
+      let ok_seq, r_seq, obs_seq = Litmus.verdict ~incremental:false t_seq in
+      let ok_inc, r_inc, obs_inc = Litmus.verdict ~incremental:true t_inc in
+      Alcotest.(check bool)
+        (r_seq.Explore.name ^ ": verdict preserved incrementally")
+        ok_seq ok_inc;
+      Alcotest.(check int)
+        (r_seq.Explore.name ^ ": observation count preserved")
+        obs_seq obs_inc;
+      report_eq_strict ~name:r_seq.Explore.name r_seq r_inc)
+    [
+      Litmus.sb; Litmus.sb_sc_fences; (fun () -> Litmus.mp ());
+      Litmus.mp_fences; Litmus.corr; Litmus.cowr; Litmus.lb; Litmus.wrc;
+      (fun () -> Litmus.faa_atomic ());
+    ]
+
+let test_incremental_pdfs () =
+  (* Sharding composes with checkpointing: each worker's engine only ever
+     restores checkpoints of its own shard, so incremental pdfs matches
+     the replay-from-root sequential driver field for field. *)
+  List.iter
+    (fun (name, reduce, mk) ->
+      let oracle =
+        Explore.dfs ~incremental:false ~reduce ~max_execs:200_000 (mk ())
+      in
+      let par =
+        Explore.pdfs ~jobs:4 ~split_depth:3 ~incremental:true ~reduce
+          ~max_execs:200_000 (mk ())
+      in
+      report_eq ~name:(name ^ " (incremental pdfs vs replay dfs)") oracle par)
+    (equivalence_cases ())
 
 let test_pdfs_equivalence () =
   List.iter
@@ -167,6 +250,12 @@ let test_domain_isolation () =
 
 let suite =
   [
+    Alcotest.test_case "incremental == replay dfs (strides 1/2/5, ±reduce)"
+      `Slow test_incremental_equivalence;
+    Alcotest.test_case "incremental preserves litmus verdicts" `Quick
+      test_incremental_litmus;
+    Alcotest.test_case "incremental pdfs == replay dfs" `Slow
+      test_incremental_pdfs;
     Alcotest.test_case "pdfs == dfs (3 scenarios + seeded violation)" `Slow
       test_pdfs_equivalence;
     Alcotest.test_case "sleep sets preserve litmus verdicts" `Slow
