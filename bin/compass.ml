@@ -7,7 +7,9 @@
      compass matrix
      compass dot (ms / hw / treiber / es / exchanger / chaselev)
      compass axioms
-     compass replay [--script N,N,...]
+     compass analyze races --struct (ms / ms-weak / ...) [--json FILE]
+     compass analyze modes --struct (ms / ms-fences / ...) [--json FILE]
+     compass replay [--script N,N,...] [--weaken SITE=MODE] [--probe KEY]
      compass report [--quick]
 
    Every exploring subcommand also takes [--jobs N] (shard the DFS
@@ -24,6 +26,7 @@ open Compass_event
 open Compass_spec
 open Compass_dstruct
 open Compass_clients
+open Compass_analysis
 
 (* -- shared arguments --------------------------------------------------------- *)
 
@@ -453,6 +456,131 @@ let axioms_cmd =
   Cmd.v (Cmd.info "axioms" ~doc)
     Term.(const run $ execs $ jobs $ reduce $ incremental $ stride)
 
+(* -- analyze ----------------------------------------------------------------------- *)
+
+let struct_arg =
+  let doc =
+    Printf.sprintf "Structure probe to analyze: %s."
+      (String.concat ", "
+         (List.map (fun k -> Printf.sprintf "$(b,%s)" k) (Probes.keys ())))
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "struct" ] ~docv:"IMPL" ~doc)
+
+let json_arg =
+  let doc = "Also write the analysis report as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+(* Unlike the exploring subcommands, analysis defaults to sleep-set
+   reduction: the audit needs *complete* explorations to call a mode
+   over-strong, and reduction keeps them small without losing
+   violations. *)
+let analyze_reduce =
+  let doc =
+    "Sleep-set partial-order reduction (default on; \
+     $(b,--reduce=false) explores the full tree)."
+  in
+  Arg.(value & opt bool true & info [ "reduce" ] ~docv:"BOOL" ~doc)
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Jsonout.to_string json);
+  close_out oc;
+  Format.printf "JSON report written to %s@." path
+
+let with_probe key f =
+  match Probes.find key with
+  | Some p -> f p
+  | None ->
+      Format.eprintf "unknown structure %s (try: %s)@." key
+        (String.concat ", " (Probes.keys ()));
+      2
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let analyze_races_cmd =
+  let run struct_key execs reduce incremental stride json =
+    with_probe struct_key (fun p ->
+        let agg = Races.agg_create () in
+        let config =
+          { Machine.default_config with record_accesses = true }
+        in
+        List.iter
+          (fun mk ->
+            let sc =
+              Instrument.with_accesses (mk ()) (fun log ->
+                  Races.agg_add agg log)
+            in
+            let r =
+              Explore.dfs ~max_execs:execs ~reduce ~incremental ~stride ~config
+                sc
+            in
+            Format.printf "%-38s %7d executions analysed@." r.Explore.name
+              r.Explore.executions)
+          p.Probes.scenarios;
+        let s = Races.summary agg in
+        Format.printf "@.%a@." Races.pp_summary s;
+        Option.iter (fun f -> write_json f (Races.summary_to_json s)) json;
+        if s.Races.mismatch_count > 0 then 1 else 0)
+  in
+  let doc =
+    "Explore a structure's probe clients with access recording on, detect \
+     data races per execution with the vector-clock detector, aggregate \
+     them by site pair, and differentially check every execution's race \
+     set against the RC11 checker's race clause.  (Sequential driver \
+     only: the collector is a closure.)"
+  in
+  Cmd.v (Cmd.info "races" ~doc)
+    Term.(
+      const run $ struct_arg $ execs $ analyze_reduce $ incremental $ stride
+      $ json_arg)
+
+let analyze_modes_cmd =
+  let site_arg =
+    let doc = "Only audit sites whose label contains $(docv)." in
+    Arg.(value & opt (some string) None & info [ "site" ] ~docv:"SUBSTR" ~doc)
+  in
+  let run struct_key execs jobs reduce site json =
+    with_probe struct_key (fun p ->
+        let options = { Audit.default_options with execs; jobs; reduce } in
+        let site_filter =
+          match site with
+          | None -> fun _ -> true
+          | Some sub -> fun s -> contains ~sub s
+        in
+        let report =
+          Audit.run ~options ~site_filter
+            ~log:(fun line -> Format.printf "%s@." line)
+            ~probe:p.Probes.key p.Probes.scenarios
+        in
+        Format.printf "@.%a@." Audit.pp_report report;
+        Option.iter (fun f -> write_json f (Audit.report_to_json report)) json;
+        if report.Audit.baseline_ok then 0 else 1)
+  in
+  let doc =
+    "The mode-necessity audit: for every labeled atomic site (and fence) \
+     the probe exercises, run strictly weaker mutants via mode overrides \
+     and classify the site necessary (violation witnessed, with a \
+     replayable counterexample script), over-strong (exploration \
+     exhausted with no violation), or unknown (budget ran out)."
+  in
+  Cmd.v (Cmd.info "modes" ~doc)
+    Term.(
+      const run $ struct_arg $ execs $ jobs $ analyze_reduce $ site_arg
+      $ json_arg)
+
+let analyze_cmd =
+  let doc =
+    "Synchronization analysis: per-site race detection and the \
+     mode-necessity audit."
+  in
+  Cmd.group (Cmd.info "analyze" ~doc) [ analyze_races_cmd; analyze_modes_cmd ]
+
 (* -- replay ------------------------------------------------------------------------ *)
 
 let replay_cmd =
@@ -463,30 +591,78 @@ let replay_cmd =
     in
     Arg.(value & opt string "" & info [ "script" ] ~docv:"N,N,..." ~doc)
   in
-  let run factory script_str =
+  let weaken_arg =
+    let doc =
+      "Weaken a site while replaying (repeatable): $(b,site=mode) with an \
+       access mode ($(b,rlx), $(b,acq), $(b,rel), $(b,acq_rel)), a fence \
+       mode ($(b,fence_acq), ...), or $(b,drop) — the spec an audit \
+       counterexample prints."
+    in
+    Arg.(value & opt_all string [] & info [ "weaken" ] ~docv:"SITE=MODE" ~doc)
+  in
+  let probe_arg =
+    let doc =
+      "Replay against a probe's client scenario instead of the plain MP \
+       client (same scenarios the audit runs; see $(b,compass analyze))."
+    in
+    Arg.(value & opt (some string) None & info [ "probe" ] ~docv:"KEY" ~doc)
+  in
+  let scenario_arg =
+    let doc = "Scenario index within the probe (default 0, the MP client)." in
+    Arg.(value & opt int 0 & info [ "scenario" ] ~docv:"I" ~doc)
+  in
+  let run factory script_str weaken probe scenario_idx =
     let script =
       if script_str = "" then [||]
       else
         String.split_on_char ',' script_str
         |> List.map int_of_string |> Array.of_list
     in
-    let sc = Mp.make factory (Mp.fresh_stats ()) in
-    let m, outcome, verdict =
-      Explore.replay ~config:Machine.default_config sc script
-    in
-    Format.printf "outcome: %a@.verdict: %s@.@.%a@." Machine.pp_outcome outcome
-      (match verdict with
-      | Explore.Pass -> "pass"
-      | Explore.Violation s -> "VIOLATION: " ^ s
-      | Explore.Discard s -> "discard: " ^ s)
-      Trace.pp (Machine.trace m);
-    0
+    match Override.of_specs weaken with
+    | Error e ->
+        Format.eprintf "bad --weaken spec: %s@." e;
+        2
+    | Ok overrides -> (
+        let sc =
+          match probe with
+          | None -> Some (Mp.make factory (Mp.fresh_stats ()))
+          | Some key -> (
+              match Probes.find key with
+              | Some p -> (
+                  match List.nth_opt p.Probes.scenarios scenario_idx with
+                  | Some mk -> Some (mk ())
+                  | None -> None)
+              | None -> None)
+        in
+        match sc with
+        | None ->
+            Format.eprintf "unknown probe/scenario (try: %s)@."
+              (String.concat ", " (Probes.keys ()));
+            2
+        | Some sc ->
+            if not (Override.is_empty overrides) then
+              Format.printf "weakened: %a@." Override.pp overrides;
+            let config = { Machine.default_config with overrides } in
+            let m, outcome, verdict = Explore.replay ~config sc script in
+            Format.printf "outcome: %a@.verdict: %s@.@.%a@."
+              Machine.pp_outcome outcome
+              (match verdict with
+              | Explore.Pass -> "pass"
+              | Explore.Violation s -> "VIOLATION: " ^ s
+              | Explore.Discard s -> "discard: " ^ s)
+              Trace.pp (Machine.trace m);
+            0)
   in
   let doc =
-    "Replay one MP execution from a decision script with full tracing (a \
-     demonstration of counterexample replay; empty script = first path)."
+    "Replay one execution from a decision script with full tracing — \
+     optionally under the same $(b,--weaken) mode overrides an audit \
+     mutant ran with, so its counterexamples replay exactly (empty \
+     script = first path)."
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ queue_arg $ script_arg)
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const run $ queue_arg $ script_arg $ weaken_arg $ probe_arg
+      $ scenario_arg)
 
 (* -- report ---------------------------------------------------------------------- *)
 
@@ -502,10 +678,24 @@ let report_cmd =
     List.iter
       (fun (what, figure) -> Format.printf "  %-28s %s@." what figure)
       Experiments.e7_paper_numbers;
+    (* One-line synchronization-audit summary (full run: compass analyze
+       modes --struct ms). *)
+    let p = Option.get (Probes.find "ms") in
+    let options =
+      (* reduction always: the summary needs complete explorations to
+         tell over-strong from unknown within a sane budget *)
+      { Audit.default_options with execs = 12_000; jobs; reduce = true }
+    in
+    let ar = Audit.run ~options ~probe:p.Probes.key p.Probes.scenarios in
+    let n, o, u, mi = Audit.counts ar in
+    Format.printf
+      "@.sync audit (ms-queue): %d sites audited — %d necessary, %d \
+       over-strong, %d unknown, %d minimal@."
+      (List.length ar.Audit.sites) n o u mi;
     let ok = List.length (List.filter (fun l -> l.Experiments.ok) lines) in
     Format.printf "@.%d/%d experiments OK in %.1fs@." ok (List.length lines)
       (Unix.gettimeofday () -. t0);
-    if ok = List.length lines then 0 else 1
+    if ok = List.length lines && ar.Audit.baseline_ok then 0 else 1
   in
   let doc = "Run the full experiment battery (E1-E8) and print paper-vs-measured." in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ quick $ jobs $ reduce)
@@ -523,5 +713,5 @@ let () =
        (Cmd.group info
           [
             litmus_cmd; client_cmd; check_cmd; matrix_cmd; dot_cmd; axioms_cmd;
-            replay_cmd; report_cmd;
+            analyze_cmd; replay_cmd; report_cmd;
           ]))

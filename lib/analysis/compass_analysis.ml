@@ -1,0 +1,18 @@
+(** The synchronization analyzer: static-analysis-flavoured tooling over
+    recorded executions.
+
+    - {!Races}: a vector-clock per-site race detector, differentially
+      checked against {!Compass_machine.Rc11}'s race clause;
+    - {!Audit}: the mode-necessity audit — weakened mutants of each
+      labeled site run as {!Compass_machine.Override}s, classified
+      necessary / over-strong / unknown with replayable counterexamples;
+    - {!Probes}: per-structure client scenarios the audit runs against;
+    - {!Instrument}: scenario wrapping that hands each execution's
+      access log to a collector;
+    - {!Jsonout}: the minimal JSON emitter behind [--json] output. *)
+
+module Jsonout = Jsonout
+module Instrument = Instrument
+module Races = Races
+module Audit = Audit
+module Probes = Probes

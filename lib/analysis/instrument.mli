@@ -1,0 +1,9 @@
+open Compass_machine
+
+val with_accesses :
+  Explore.scenario -> (Access.t list -> unit) -> Explore.scenario
+(** run the collector on every execution's recorded access log, just
+    before the scenario's own judge.  Requires a config with
+    [record_accesses = true] and a sequential driver ([jobs = 1] — under
+    {!Explore.pdfs} the collector would run concurrently on several
+    domains). *)

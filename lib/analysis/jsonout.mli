@@ -1,0 +1,16 @@
+(** A minimal JSON emitter for the analysis reports ([compass analyze
+    ... --json]) that CI archives as artifacts.  Strings are escaped;
+    output is pretty-printed with a trailing newline. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+val int_array : int array -> t
+val str_list : string list -> t
+val opt : ('a -> t) -> 'a option -> t

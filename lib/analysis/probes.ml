@@ -1,0 +1,75 @@
+open Compass_dstruct
+open Compass_clients
+
+(* Audit probes: which client scenarios exercise a structure's labeled
+   sites.  Each probe pairs the MP client — the paper's Figure 1, whose
+   judge demands the release/acquire flag transfer — with a small
+   symmetric workload that exercises the contended paths MP cannot reach
+   (competing enqueuers hitting the tail-help path, competing dequeuers
+   hitting the head-CAS release).  Only sites a probe exercises are
+   audited; verdicts are relative to these clients. *)
+
+type t = {
+  key : string;
+  description : string;
+  scenarios : (unit -> Compass_machine.Explore.scenario) list;
+}
+
+let mp_queue factory () = Mp.make factory (Mp.fresh_stats ())
+let mp_stack factory () = Mp_stack.make factory (Mp_stack.fresh_stats ())
+
+let wl_queue factory () =
+  Harness.queue_workload factory ~enqers:2 ~deqers:1 ~ops:1 ()
+
+let wl_stack factory () =
+  Harness.stack_workload factory ~pushers:2 ~poppers:1 ~ops:1 ()
+
+let all =
+  [
+    {
+      key = "ms";
+      description =
+        "Michael-Scott queue (release-acquire) under MP and a 2-enqueuer \
+         workload";
+      scenarios =
+        [ mp_queue Msqueue.instantiate; wl_queue Msqueue.instantiate ];
+    };
+    {
+      key = "ms-fences";
+      description =
+        "Michael-Scott queue (relaxed accesses + fences) under MP and a \
+         2-enqueuer workload";
+      scenarios =
+        [
+          mp_queue Msqueue_fences.instantiate;
+          wl_queue Msqueue_fences.instantiate;
+        ];
+    };
+    {
+      key = "ms-weak";
+      description =
+        "the checked-in publication-relaxed Michael-Scott mutant (its \
+         baseline must fail)";
+      scenarios = [ mp_queue Msqueue_weak.instantiate ];
+    };
+    {
+      key = "hw";
+      description = "Herlihy-Wing queue (rel enq / acq deq) under MP";
+      scenarios = [ mp_queue Hwqueue.instantiate ];
+    };
+    {
+      key = "treiber";
+      description =
+        "Treiber stack under stack-MP and a 2-pusher workload";
+      scenarios =
+        [ mp_stack Treiber.instantiate; wl_stack Treiber.instantiate ];
+    };
+    {
+      key = "lock-queue";
+      description = "coarse lock-based queue (SC baseline) under MP";
+      scenarios = [ mp_queue Lockqueue.instantiate ];
+    };
+  ]
+
+let find key = List.find_opt (fun p -> p.key = key) all
+let keys () = List.map (fun p -> p.key) all

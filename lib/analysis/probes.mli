@@ -1,0 +1,15 @@
+open Compass_machine
+
+(** Audit probes: the client scenarios that exercise each structure's
+    labeled sites — the MP client plus a small contended workload where
+    MP alone cannot reach a path (tail helping, competing dequeuers). *)
+
+type t = {
+  key : string;  (** CLI name: [ms], [ms-fences], [ms-weak], ... *)
+  description : string;
+  scenarios : (unit -> Explore.scenario) list;
+}
+
+val all : t list
+val find : string -> t option
+val keys : unit -> string list

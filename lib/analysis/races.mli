@@ -1,0 +1,51 @@
+open Compass_machine
+
+(** Per-site race detection over recorded access logs.
+
+    Happens-before is recomputed with a vector-clock forward sweep — a
+    different algorithm from {!Rc11}'s explicit transitive closure, so
+    comparing the two race sets per execution ({!differential}) is a
+    meaningful differential check of both.  Races are conflicting access
+    pairs (same location, at least one write, at least one non-atomic,
+    different threads) unordered by hb in either direction — exactly
+    {!Rc11}'s race clause. *)
+
+val detect : Access.t list -> (int * int) list
+(** racing aid pairs, ascending *)
+
+val differential : Access.t list -> string list
+(** disagreements with {!Rc11.races} on the same log; [[]] = agree *)
+
+val site_key : Access.t -> string
+(** the access's site label, or a synthesised [unlabeled@loc] key *)
+
+(** {1 Aggregation across an exploration} *)
+
+type agg
+
+val agg_create : unit -> agg
+
+val agg_add : ?oracle:bool -> agg -> Access.t list -> unit
+(** detect races in one execution's log and fold them in; [oracle]
+    (default on) also runs {!differential} against {!Rc11.races} *)
+
+type site_pair = {
+  site_a : string;
+  site_b : string;
+  pair_count : int;  (** racing pairs across all executions *)
+  exec_count : int;  (** executions with at least one such pair *)
+  example : string;
+}
+
+type summary = {
+  executions : int;
+  racy_executions : int;
+  total_pairs : int;
+  by_site : site_pair list;  (** most frequent first *)
+  mismatch_count : int;
+  mismatches : string list;  (** first few differential disagreements *)
+}
+
+val summary : agg -> summary
+val pp_summary : Format.formatter -> summary -> unit
+val summary_to_json : summary -> Jsonout.t

@@ -371,6 +371,43 @@ let faa_atomic ?(threads = 3) () =
   in
   { scenario; observed; expect = `Forbidden; descr = "FAA: lost increment" }
 
+(* Deliberately racy message passing: the data cell is written and read
+   *non-atomically* with no synchronisation at all, so the conflicting
+   pair is unordered by hb — the machine's eager race detector faults
+   the execution, and both race analyses (the RC11 race clause and the
+   analyzer's vector-clock detector) must flag the same pair.  NOT part
+   of [all ()]: the battery expects race-free tests; this one exists as
+   the positive control for the synchronization analyzer's tests. *)
+let racy_na () =
+  let observed = ref 0 in
+  let scenario =
+    {
+      Explore.name = "RACY-NA";
+      build =
+        (fun m ->
+          let x = alloc0 m "x" and flag = alloc0 m "flag" in
+          let t1 =
+            let* () = Prog.store ~site:"racy.data.write" x (vi 1) Mode.Na in
+            let* () = Prog.store flag (vi 1) Mode.Rlx in
+            Prog.return Value.Unit
+          in
+          let t2 =
+            let* _ = Prog.load flag Mode.Rlx in
+            Prog.load ~site:"racy.data.read" x Mode.Na
+          in
+          Machine.spawn m [ t1; t2 ];
+          finished2 (fun _ _ ->
+              incr observed;
+              Explore.Pass));
+    }
+  in
+  {
+    scenario;
+    observed;
+    expect = `Observable;
+    descr = "racy na MP: the machine must fault, both detectors must flag";
+  }
+
 let all () =
   [
     sb ();

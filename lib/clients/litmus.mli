@@ -51,6 +51,10 @@ val wrc : unit -> t
 val faa_atomic : ?threads:int -> unit -> t
 (** RMW atomicity: no lost increments *)
 
+val racy_na : unit -> t
+(** deliberately racy non-atomic MP — the machine faults on it; the
+    positive control for the race detectors (not part of {!all}) *)
+
 val all : unit -> t list
 (** the standard battery (excludes {!two_two_w}, which needs its own
     machine config) *)

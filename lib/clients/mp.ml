@@ -78,11 +78,14 @@ let make ?(flag_write = Mode.Rel) ?(flag_read = Mode.Acq) ?(style = Styles.Hb)
         Prog.returning_unit
           (Prog.bind (q.Iface.enq (Value.Int 41)) (fun () ->
                Prog.bind (q.Iface.enq (Value.Int 42)) (fun () ->
-                   Prog.store flag (Value.Int 1) flag_write)))
+                   Prog.store ~site:"mp.flag.publish" flag (Value.Int 1)
+                     flag_write)))
       in
       let middle = q.Iface.deq () in
       let right =
-        Prog.bind (Prog.await flag flag_read (Value.equal (Value.Int 1)))
+        Prog.bind
+          (Prog.await ~site:"mp.flag.await" flag flag_read
+             (Value.equal (Value.Int 1)))
           (fun _ -> q.Iface.deq ())
       in
       let judge vs =

@@ -32,11 +32,14 @@ let make ?(style = Styles.Hb) (factory : Iface.stack_factory) (st : stats) =
         Prog.returning_unit
           (Prog.bind (s.Iface.push (Value.Int 41)) (fun () ->
                Prog.bind (s.Iface.push (Value.Int 42)) (fun () ->
-                   Prog.store flag (Value.Int 1) Mode.Rel)))
+                   Prog.store ~site:"mp_stack.flag.publish" flag (Value.Int 1)
+                     Mode.Rel)))
       in
       let middle = s.Iface.pop () in
       let right =
-        Prog.bind (Prog.await flag Mode.Acq (Value.equal (Value.Int 1)))
+        Prog.bind
+          (Prog.await ~site:"mp_stack.flag.await" flag Mode.Acq
+             (Value.equal (Value.Int 1)))
           (fun _ -> s.Iface.pop ())
       in
       let judge vs =

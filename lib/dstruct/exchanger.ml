@@ -54,17 +54,17 @@ let graph t = t.graph
 let exchange_attempt ?(extra = fun _ -> []) t ~e1 ~my_tid v1 =
   let obj = Graph.obj t.graph in
   let attempt () =
-      let* s = Prog.load_explicit t.slot Mode.Acq in
+      let* s = Prog.load_explicit ~site:"exchanger.slot_load" t.slot Mode.Acq in
       match s.Prog.value with
       | Value.Null -> (
           (* Publish an offer. *)
           let* o = Prog.alloc ~name:"offer" 4 in
-          let* () = Prog.store (Loc.shift o 0) v1 Mode.Na in
-          let* () = Prog.store (Loc.shift o 1) (Value.Int e1) Mode.Na in
-          let* () = Prog.store (Loc.shift o 2) (Value.Int my_tid) Mode.Na in
-          let* () = Prog.store (Loc.shift o 3) Value.Null Mode.Na in
+          let* () = Prog.store ~site:"exchanger.offer.init_val" (Loc.shift o 0) v1 Mode.Na in
+          let* () = Prog.store ~site:"exchanger.offer.init_eid" (Loc.shift o 1) (Value.Int e1) Mode.Na in
+          let* () = Prog.store ~site:"exchanger.offer.init_tid" (Loc.shift o 2) (Value.Int my_tid) Mode.Na in
+          let* () = Prog.store ~site:"exchanger.offer.init_hole" (Loc.shift o 3) Value.Null Mode.Na in
           let* _, ok =
-            Prog.cas t.slot ~expected:Value.Null ~desired:(Value.Ptr o) Mode.Rel
+            Prog.cas ~site:"exchanger.offer.publish_cas" t.slot ~expected:Value.Null ~desired:(Value.Ptr o) Mode.Rel
           in
           if not ok then Prog.return None (* slot got occupied; retry *)
           else
@@ -81,8 +81,9 @@ let exchange_attempt ?(extra = fun _ -> []) t ~e1 ~my_tid v1 =
                 extra
             in
             let* r =
-              Prog.cas_explicit (Loc.shift o 3) ~expected:Value.Null
-                ~desired:Value.Taken Mode.Acq ~commit:fail_commit
+              Prog.cas_explicit ~site:"exchanger.retract_cas" (Loc.shift o 3)
+                ~expected:Value.Null ~desired:Value.Taken Mode.Acq
+                ~commit:fail_commit
             in
             if r.Prog.success then
               (* Failed exchange; clear the slot (best effort). *)
@@ -96,7 +97,7 @@ let exchange_attempt ?(extra = fun _ -> []) t ~e1 ~my_tid v1 =
                  both events are already in the graph. *)
               match r.Prog.value with
               | Value.Ptr c ->
-                  let* v2 = Prog.load (Loc.shift c 0) Mode.Na in
+                  let* v2 = Prog.load ~site:"exchanger.helper_cell_load" (Loc.shift c 0) Mode.Na in
                   let* _ =
                     Prog.cas t.slot ~expected:(Value.Ptr o) ~desired:Value.Null
                       Mode.Rlx
@@ -107,12 +108,12 @@ let exchange_attempt ?(extra = fun _ -> []) t ~e1 ~my_tid v1 =
                     (Format.asprintf "exchanger: corrupt hole %a" Value.pp w))
       | Value.Ptr o -> (
           (* Someone's offer is up: try to help. *)
-          let* v2 = Prog.load (Loc.shift o 0) Mode.Na in
-          let* e2v = Prog.load (Loc.shift o 1) Mode.Na in
-          let* tid2v = Prog.load (Loc.shift o 2) Mode.Na in
+          let* v2 = Prog.load ~site:"exchanger.help.val_load" (Loc.shift o 0) Mode.Na in
+          let* e2v = Prog.load ~site:"exchanger.help.eid_load" (Loc.shift o 1) Mode.Na in
+          let* tid2v = Prog.load ~site:"exchanger.help.tid_load" (Loc.shift o 2) Mode.Na in
           let e2 = Value.to_int_exn e2v and tid2 = Value.to_int_exn tid2v in
           let* c = Prog.alloc ~name:"cell" 1 in
-          let* () = Prog.store c v1 Mode.Na in
+          let* () = Prog.store ~site:"exchanger.help.cell_init" c v1 Mode.Na in
           let offer_view = s.Prog.view and offer_lview = s.Prog.lview in
           let match_commit =
             Commit.compose
@@ -137,8 +138,9 @@ let exchange_attempt ?(extra = fun _ -> []) t ~e1 ~my_tid v1 =
               extra
           in
           let* _, ok =
-            Prog.cas (Loc.shift o 3) ~expected:Value.Null ~desired:(Value.Ptr c)
-              Mode.AcqRel ~commit:match_commit
+            Prog.cas ~site:"exchanger.help.match_cas" (Loc.shift o 3)
+              ~expected:Value.Null ~desired:(Value.Ptr c) Mode.AcqRel
+              ~commit:match_commit
           in
           if ok then
             let* _ =

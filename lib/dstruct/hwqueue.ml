@@ -58,10 +58,13 @@ let slot t i = Loc.shift t.items i
 let enq ?(extra = fun _ -> []) t v =
   let* e = Prog.reserve in
   let* cell = Prog.alloc ~name:"cell" 2 in
-  let* () = Prog.store (Loc.shift cell 0) v Mode.Na in
-  let* () = Prog.store (Loc.shift cell 1) (Value.Int e) Mode.Na in
+  let* () = Prog.store ~site:"hwqueue.enq.init_val" (Loc.shift cell 0) v Mode.Na in
+  let* () =
+    Prog.store ~site:"hwqueue.enq.init_eid" (Loc.shift cell 1) (Value.Int e)
+      Mode.Na
+  in
   Hashtbl.replace t.ghost (Loc.base cell) (v, e);
-  let* i = Prog.faa t.back 1 Mode.Rlx in
+  let* i = Prog.faa ~site:"hwqueue.enq.back_faa" t.back 1 Mode.Rlx in
   if i >= t.capacity then
     (* Out of slots: not a behaviour of the unbounded algorithm; discard. *)
     let* () = Prog.yield in
@@ -72,12 +75,13 @@ let enq ?(extra = fun _ -> []) t v =
         (Commit.always ~obj:(Graph.obj t.graph) (fun _ -> (e, Event.Enq v)))
         extra
     in
-    Prog.store (slot t i) (Value.Ptr cell) Mode.Rel ~commit
+    Prog.store ~site:"hwqueue.enq.slot_publish" (slot t i) (Value.Ptr cell)
+      Mode.Rel ~commit
 
 let deq ?(extra = fun _ -> []) t =
   let* d = Prog.reserve in
   let obj = Graph.obj t.graph in
-  let* b = Prog.load t.back Mode.Rlx in
+  let* b = Prog.load ~site:"hwqueue.deq.back_load" t.back Mode.Rlx in
   let b = min (Value.to_int_exn b) t.capacity in
   let take_commit =
     Commit.compose
@@ -102,12 +106,19 @@ let deq ?(extra = fun _ -> []) t =
           (fun _ -> [ Commit.spec ~obj [ Commit.ev d Event.EmpDeq ] ])
           extra
       in
-      let* _ = Prog.load t.back Mode.Rlx ~commit:empty_commit in
+      let* _ =
+        Prog.load ~site:"hwqueue.deq.back_reread" t.back Mode.Rlx
+          ~commit:empty_commit
+      in
       Prog.return Value.Null
     else
-      let* x = Prog.xchg (slot t i) Value.Taken Mode.Acq ~commit:take_commit in
+      let* x =
+        Prog.xchg ~site:"hwqueue.deq.slot_take" (slot t i) Value.Taken
+          Mode.Acq ~commit:take_commit
+      in
       match x with
-      | Value.Ptr cell -> Prog.load (Loc.shift cell 0) Mode.Na
+      | Value.Ptr cell ->
+          Prog.load ~site:"hwqueue.deq.val_load" (Loc.shift cell 0) Mode.Na
       | _ -> scan (i + 1)
   in
   scan 0

@@ -40,14 +40,19 @@ let slot t i = Loc.shift t.base (3 + i)
 
 let lock t =
   Prog.with_fuel ~fuel:t.fuel ~what:"lockqueue-lock" (fun () ->
-      let* _ = Prog.await (lock_cell t) Mode.Rlx (Value.equal (Value.Int 0)) in
+      let* _ =
+        Prog.await ~site:"lockqueue.lock.await" (lock_cell t) Mode.Rlx
+          (Value.equal (Value.Int 0))
+      in
       let* _, ok =
-        Prog.cas (lock_cell t) ~expected:(Value.Int 0) ~desired:(Value.Int 1)
-          Mode.AcqRel
+        Prog.cas ~site:"lockqueue.lock.cas" (lock_cell t)
+          ~expected:(Value.Int 0) ~desired:(Value.Int 1) Mode.AcqRel
       in
       Prog.return (if ok then Some () else None))
 
-let unlock t = Prog.store (lock_cell t) (Value.Int 0) Mode.Rel
+let unlock t =
+  Prog.store ~site:"lockqueue.unlock.store" (lock_cell t) (Value.Int 0)
+    Mode.Rel
 
 let enq ?(extra = fun _ -> []) t v =
   let* e = Prog.reserve in

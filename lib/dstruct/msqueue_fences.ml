@@ -44,48 +44,64 @@ let create ?(fuel = default_fuel) m ~name =
 
 let graph t = t.graph
 
-(* A relaxed load followed by an acquire fence: the fence-based acquire. *)
-let load_acq_fence l =
-  let* v = Prog.load l Mode.Rlx in
-  let* () = Prog.fence Mode.F_acq in
+(* A relaxed load followed by an acquire fence: the fence-based acquire.
+   [site] labels the load; the fence gets the same label with a ".fence"
+   suffix so the audit can weaken or drop it independently. *)
+let load_acq_fence ?site l =
+  let fsite = Option.map (fun s -> s ^ ".fence") site in
+  let* v = Prog.load ?site l Mode.Rlx in
+  let* () = Prog.fence ?site:fsite Mode.F_acq in
   Prog.return v
 
 let enq ?(extra = fun _ -> []) t v =
   let* e = Prog.reserve in
   let* n = Prog.alloc ~name:"node" 3 in
   let np = Value.Ptr n in
-  let* () = Prog.store (Loc.shift n 0) v Mode.Na in
-  let* () = Prog.store (Loc.shift n 1) (Value.Int e) Mode.Na in
-  let* () = Prog.store (Loc.shift n 2) Value.Null Mode.Na in
+  let* () = Prog.store ~site:"msqueue_f.enq.init_val" (Loc.shift n 0) v Mode.Na in
+  let* () =
+    Prog.store ~site:"msqueue_f.enq.init_eid" (Loc.shift n 1) (Value.Int e)
+      Mode.Na
+  in
+  let* () =
+    Prog.store ~site:"msqueue_f.enq.init_next" (Loc.shift n 2) Value.Null
+      Mode.Na
+  in
   let commit =
     Commit.compose
       (Commit.on_success ~obj:(Graph.obj t.graph) (fun _ -> (e, Event.Enq v)))
       extra
   in
   Prog.with_fuel ~fuel:t.fuel ~what:"msf-enq" (fun () ->
-      let* tl = load_acq_fence t.tail in
-      let* nx = load_acq_fence (fnext tl) in
+      let* tl = load_acq_fence ~site:"msqueue_f.enq.tail_load" t.tail in
+      let* nx = load_acq_fence ~site:"msqueue_f.enq.next_load" (fnext tl) in
       match nx with
       | Value.Null ->
           (* The fence-based release: publish node fields + logical view
              through the (relaxed) linking CAS. *)
-          let* () = Prog.fence Mode.F_rel in
+          let* () = Prog.fence ~site:"msqueue_f.enq.publish_fence" Mode.F_rel in
           let* _, ok =
-            Prog.cas (fnext tl) ~expected:Value.Null ~desired:np Mode.Rlx ~commit
+            Prog.cas ~site:"msqueue_f.enq.link_cas" (fnext tl)
+              ~expected:Value.Null ~desired:np Mode.Rlx ~commit
           in
           if ok then
-            let* _ = Prog.cas t.tail ~expected:tl ~desired:np Mode.Rlx in
+            let* _ =
+              Prog.cas ~site:"msqueue_f.enq.tail_swing" t.tail ~expected:tl
+                ~desired:np Mode.Rlx
+            in
             Prog.return (Some ())
           else Prog.return None
       | _ ->
-          let* _ = Prog.cas t.tail ~expected:tl ~desired:nx Mode.Rlx in
+          let* _ =
+            Prog.cas ~site:"msqueue_f.enq.tail_help" t.tail ~expected:tl
+              ~desired:nx Mode.Rlx
+          in
           Prog.return None)
 
 let deq ?(extra = fun _ -> []) t =
   let* d = Prog.reserve in
   let obj = Graph.obj t.graph in
   Prog.with_fuel ~fuel:t.fuel ~what:"msf-deq" (fun () ->
-      let* h = load_acq_fence t.head in
+      let* h = load_acq_fence ~site:"msqueue_f.deq.head_load" t.head in
       let empty_commit =
         Commit.compose
           (fun (r : Commit.op_result) ->
@@ -94,13 +110,18 @@ let deq ?(extra = fun _ -> []) t =
             else [])
           extra
       in
-      let* nx = Prog.load (fnext h) Mode.Rlx ~commit:empty_commit in
-      let* () = Prog.fence Mode.F_acq in
+      let* nx =
+        Prog.load ~site:"msqueue_f.deq.next_load" (fnext h) Mode.Rlx
+          ~commit:empty_commit
+      in
+      let* () = Prog.fence ~site:"msqueue_f.deq.next_load.fence" Mode.F_acq in
       match nx with
       | Value.Null -> Prog.return (Some Value.Null)
       | _ ->
-          let* v = Prog.load (fval nx) Mode.Na in
-          let* ev = Prog.load (feid nx) Mode.Na in
+          let* v = Prog.load ~site:"msqueue_f.deq.val_load" (fval nx) Mode.Na in
+          let* ev =
+            Prog.load ~site:"msqueue_f.deq.eid_load" (feid nx) Mode.Na
+          in
           let e = Value.to_int_exn ev in
           let commit =
             Commit.compose
@@ -110,8 +131,11 @@ let deq ?(extra = fun _ -> []) t =
               extra
           in
           (* Release what we observed to later dequeuers through head. *)
-          let* () = Prog.fence Mode.F_rel in
-          let* _, ok = Prog.cas t.head ~expected:h ~desired:nx Mode.Rlx ~commit in
+          let* () = Prog.fence ~site:"msqueue_f.deq.publish_fence" Mode.F_rel in
+          let* _, ok =
+            Prog.cas ~site:"msqueue_f.deq.head_cas" t.head ~expected:h
+              ~desired:nx Mode.Rlx ~commit
+          in
           if ok then Prog.return (Some v) else Prog.return None)
 
 let instantiate : Iface.queue_factory =

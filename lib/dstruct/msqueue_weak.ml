@@ -3,25 +3,25 @@ open Compass_event
 open Compass_machine
 open Prog.Syntax
 
-(* Michael-Scott queue [Michael & Scott, PODC'96] in pure release-acquire,
-   as verified in the paper against the LATabs-hb specs (Section 3.2:
-   "a purely release-acquire implementation of the Michael-Scott queue
-   satisfies the LATabs-hb specs").
+(* The *deliberately broken* Michael-Scott queue: publication relaxed.
 
-   Access modes: purely release-acquire — every CAS is acq-rel and every
-   pointer load is an acquire.  The release side of the dequeue's head CAS
-   matters: a later dequeuer reaches nodes *through head*, not through the
-   enqueuers' next-chain, so head must carry the dequeuer's accumulated
-   observations (dropping it to a plain acquire CAS lets a second dequeuer
-   read a node's uninitialised next field — our race detector catches
-   exactly this if you try).
+   This is {!Msqueue} with the enqueue's two publication CASes demoted to
+   relaxed — the link CAS on the predecessor's [next] field and the tail
+   swing.  Linking a node with a relaxed CAS publishes a message that
+   carries no view: a dequeuer that reaches the node through it has not
+   acquired the enqueuer's non-atomic initialisation of [value]/[eid],
+   so its plain loads of those fields race.  The machine's race detector
+   faults the execution, the RC11 differential checker flags the same
+   unordered pair, and the MP client reports the violation — the
+   counterexample the paper predicts for dropping the release on
+   publication.
 
-   Commit points:
-   - enqueue: the successful CAS on the predecessor's [next] field;
-   - successful dequeue: the successful CAS on [head];
-   - empty dequeue: the acquire load of [head->next] that returned null. *)
+   It is a checked-in regression fixture for the synchronization
+   analyzer: behaviourally identical to running the real {!Msqueue}
+   under [--weaken msqueue.enq.link_cas=rlx], which is exactly the
+   weakest mutant the mode-necessity audit generates for that site and
+   must classify [Necessary].  Tests pin both routes to the bug. *)
 
-(* Node block: [0] value, [1] event id, [2] next. *)
 let fval p = Loc.shift (Value.to_loc_exn p) 0
 let feid p = Loc.shift (Value.to_loc_exn p) 1
 let fnext p = Loc.shift (Value.to_loc_exn p) 2
@@ -52,49 +52,53 @@ let enq ?(extra = fun _ -> []) t v =
   let* e = Prog.reserve in
   let* n = Prog.alloc ~name:"node" 3 in
   let np = Value.Ptr n in
-  let* () = Prog.store ~site:"msqueue.enq.init_val" (Loc.shift n 0) v Mode.Na in
   let* () =
-    Prog.store ~site:"msqueue.enq.init_eid" (Loc.shift n 1) (Value.Int e)
+    Prog.store ~site:"msqueue_weak.enq.init_val" (Loc.shift n 0) v Mode.Na
+  in
+  let* () =
+    Prog.store ~site:"msqueue_weak.enq.init_eid" (Loc.shift n 1) (Value.Int e)
       Mode.Na
   in
   let* () =
-    Prog.store ~site:"msqueue.enq.init_next" (Loc.shift n 2) Value.Null Mode.Na
+    Prog.store ~site:"msqueue_weak.enq.init_next" (Loc.shift n 2) Value.Null
+      Mode.Na
   in
   let commit =
     Commit.compose
       (Commit.on_success ~obj:(Graph.obj t.graph) (fun _ -> (e, Event.Enq v)))
       extra
   in
-  Prog.with_fuel ~fuel:t.fuel ~what:"ms-enq" (fun () ->
-      let* tl = Prog.load ~site:"msqueue.enq.tail_load" t.tail Mode.Acq in
-      let* nx = Prog.load ~site:"msqueue.enq.next_load" (fnext tl) Mode.Acq in
+  Prog.with_fuel ~fuel:t.fuel ~what:"ms-weak-enq" (fun () ->
+      let* tl = Prog.load ~site:"msqueue_weak.enq.tail_load" t.tail Mode.Acq in
+      let* nx =
+        Prog.load ~site:"msqueue_weak.enq.next_load" (fnext tl) Mode.Acq
+      in
       match nx with
       | Value.Null ->
+          (* BUG (deliberate): the publication CAS is relaxed. *)
           let* _, ok =
-            Prog.cas ~site:"msqueue.enq.link_cas" (fnext tl)
-              ~expected:Value.Null ~desired:np Mode.AcqRel ~commit
+            Prog.cas ~site:"msqueue_weak.enq.link_cas" (fnext tl)
+              ~expected:Value.Null ~desired:np Mode.Rlx ~commit
           in
           if ok then
-            (* Swing the tail (best effort; others may help). *)
             let* _ =
-              Prog.cas ~site:"msqueue.enq.tail_swing" t.tail ~expected:tl
-                ~desired:np Mode.AcqRel
+              Prog.cas ~site:"msqueue_weak.enq.tail_swing" t.tail ~expected:tl
+                ~desired:np Mode.Rlx
             in
             Prog.return (Some ())
           else Prog.return None
       | _ ->
-          (* Tail is lagging: help swing it, then retry. *)
           let* _ =
-            Prog.cas ~site:"msqueue.enq.tail_help" t.tail ~expected:tl
-              ~desired:nx Mode.AcqRel
+            Prog.cas ~site:"msqueue_weak.enq.tail_help" t.tail ~expected:tl
+              ~desired:nx Mode.Rlx
           in
           Prog.return None)
 
 let deq ?(extra = fun _ -> []) t =
   let* d = Prog.reserve in
   let obj = Graph.obj t.graph in
-  Prog.with_fuel ~fuel:t.fuel ~what:"ms-deq" (fun () ->
-      let* h = Prog.load ~site:"msqueue.deq.head_load" t.head Mode.Acq in
+  Prog.with_fuel ~fuel:t.fuel ~what:"ms-weak-deq" (fun () ->
+      let* h = Prog.load ~site:"msqueue_weak.deq.head_load" t.head Mode.Acq in
       let empty_commit =
         Commit.compose
           (fun (r : Commit.op_result) ->
@@ -104,14 +108,18 @@ let deq ?(extra = fun _ -> []) t =
           extra
       in
       let* nx =
-        Prog.load ~site:"msqueue.deq.next_load" (fnext h) Mode.Acq
+        Prog.load ~site:"msqueue_weak.deq.next_load" (fnext h) Mode.Acq
           ~commit:empty_commit
       in
       match nx with
       | Value.Null -> Prog.return (Some Value.Null)
       | _ ->
-          let* v = Prog.load ~site:"msqueue.deq.val_load" (fval nx) Mode.Na in
-          let* ev = Prog.load ~site:"msqueue.deq.eid_load" (feid nx) Mode.Na in
+          let* v =
+            Prog.load ~site:"msqueue_weak.deq.val_load" (fval nx) Mode.Na
+          in
+          let* ev =
+            Prog.load ~site:"msqueue_weak.deq.eid_load" (feid nx) Mode.Na
+          in
           let e = Value.to_int_exn ev in
           let commit =
             Commit.compose
@@ -121,19 +129,19 @@ let deq ?(extra = fun _ -> []) t =
               extra
           in
           let* _, ok =
-            Prog.cas ~site:"msqueue.deq.head_cas" t.head ~expected:h
+            Prog.cas ~site:"msqueue_weak.deq.head_cas" t.head ~expected:h
               ~desired:nx Mode.AcqRel ~commit
           in
           if ok then Prog.return (Some v) else Prog.return None)
 
 let instantiate : Iface.queue_factory =
   {
-    Iface.q_name = "ms-queue";
+    Iface.q_name = "ms-queue-weak";
     make_queue =
       (fun m ~name ->
         let t = create m ~name in
         {
-          Iface.q_kind = "ms-queue";
+          Iface.q_kind = "ms-queue-weak";
           q_graph = t.graph;
           enq = (fun v -> enq t v);
           deq = (fun () -> deq t);

@@ -14,14 +14,18 @@ let create m ~name = { cell = Machine.alloc m ~name ~init:(Value.Int 0) 1 }
 
 let lock ?(fuel = 16) t =
   Prog.with_fuel ~fuel ~what:"spinlock" (fun () ->
-      let* _ = Prog.await t.cell Mode.Rlx (Value.equal (Value.Int 0)) in
+      let* _ =
+        Prog.await ~site:"spinlock.lock.await" t.cell Mode.Rlx
+          (Value.equal (Value.Int 0))
+      in
       let* _, ok =
-        Prog.cas t.cell ~expected:(Value.Int 0) ~desired:(Value.Int 1)
-          Mode.AcqRel
+        Prog.cas ~site:"spinlock.lock.cas" t.cell ~expected:(Value.Int 0)
+          ~desired:(Value.Int 1) Mode.AcqRel
       in
       Prog.return (if ok then Some () else None))
 
-let unlock t = Prog.store t.cell (Value.Int 0) Mode.Rel
+let unlock t =
+  Prog.store ~site:"spinlock.unlock.store" t.cell (Value.Int 0) Mode.Rel
 
 let with_lock ?fuel t body =
   let* () = lock ?fuel t in

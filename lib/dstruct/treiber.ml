@@ -32,20 +32,26 @@ let graph t = t.graph
 
 let make_node v e =
   let* n = Prog.alloc ~name:"node" 3 in
-  let* () = Prog.store (Loc.shift n 0) v Mode.Na in
-  let* () = Prog.store (Loc.shift n 1) (Value.Int e) Mode.Na in
+  let* () = Prog.store ~site:"treiber.push.init_val" (Loc.shift n 0) v Mode.Na in
+  let* () =
+    Prog.store ~site:"treiber.push.init_eid" (Loc.shift n 1) (Value.Int e)
+      Mode.Na
+  in
   Prog.return n
 
 (* One push attempt; [Some ()] on success. *)
 let push_attempt ?(extra = fun _ -> []) t v e n =
-  let* h = Prog.load t.head Mode.Rlx in
-  let* () = Prog.store (Loc.shift n 2) h Mode.Na in
+  let* h = Prog.load ~site:"treiber.push.head_load" t.head Mode.Rlx in
+  let* () = Prog.store ~site:"treiber.push.init_next" (Loc.shift n 2) h Mode.Na in
   let commit =
     Commit.compose
       (Commit.on_success ~obj:(Graph.obj t.graph) (fun _ -> (e, Event.Push v)))
       extra
   in
-  let* _, ok = Prog.cas t.head ~expected:h ~desired:(Value.Ptr n) Mode.Rel ~commit in
+  let* _, ok =
+    Prog.cas ~site:"treiber.push.head_cas" t.head ~expected:h
+      ~desired:(Value.Ptr n) Mode.Rel ~commit
+  in
   Prog.return (if ok then Some () else None)
 
 (* One pop attempt; [Some v] done (with [v = Null] for empty), [None] lost
@@ -60,14 +66,26 @@ let pop_attempt ?(extra = fun _ -> []) t d =
         else [])
       extra
   in
-  let* h = Prog.load t.head Mode.Acq ~commit:empty_commit in
+  let* h = Prog.load ~site:"treiber.pop.head_load" t.head Mode.Acq ~commit:empty_commit in
   match h with
   | Value.Null -> Prog.return (Some Value.Null)
   | _ ->
-      let* v = Prog.load (Loc.shift (Value.to_loc_exn h) 0) Mode.Na in
-      let* ev = Prog.load (Loc.shift (Value.to_loc_exn h) 1) Mode.Na in
+      let* v =
+        Prog.load ~site:"treiber.pop.val_load"
+          (Loc.shift (Value.to_loc_exn h) 0)
+          Mode.Na
+      in
+      let* ev =
+        Prog.load ~site:"treiber.pop.eid_load"
+          (Loc.shift (Value.to_loc_exn h) 1)
+          Mode.Na
+      in
       let e = Value.to_int_exn ev in
-      let* nx = Prog.load (Loc.shift (Value.to_loc_exn h) 2) Mode.Na in
+      let* nx =
+        Prog.load ~site:"treiber.pop.next_load"
+          (Loc.shift (Value.to_loc_exn h) 2)
+          Mode.Na
+      in
       let commit =
         Commit.compose
           (Commit.on_success ~obj
@@ -75,7 +93,10 @@ let pop_attempt ?(extra = fun _ -> []) t d =
              (fun _ -> (d, Event.Pop v)))
           extra
       in
-      let* _, ok = Prog.cas t.head ~expected:h ~desired:nx Mode.Acq ~commit in
+      let* _, ok =
+        Prog.cas ~site:"treiber.pop.head_cas" t.head ~expected:h ~desired:nx
+          Mode.Acq ~commit
+      in
       Prog.return (if ok then Some v else None)
 
 let push ?extra t v =

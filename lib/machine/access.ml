@@ -18,15 +18,22 @@ type t =
       mode : Mode.access;
       read_ts : Timestamp.t option;  (** the message read (loads, updates) *)
       write_ts : Timestamp.t option;  (** the message written *)
+      site : string option;  (** source-level site label, when the program
+                                 supplied one (see {!Prog.op}) *)
     }
-  | Fence of { aid : int; tid : int; fence : Mode.fence }
+  | Fence of { aid : int; tid : int; fence : Mode.fence; site : string option }
 
 let aid = function Access a -> a.aid | Fence f -> f.aid
 let tid = function Access a -> a.tid | Fence f -> f.tid
+let site = function Access a -> a.site | Fence f -> f.site
+
+let pp_site ppf = function
+  | Some s -> Format.fprintf ppf " [%s]" s
+  | None -> ()
 
 let pp ppf = function
   | Access a ->
-      Format.fprintf ppf "%d:T%d %s_%a %a%a%a" a.aid a.tid
+      Format.fprintf ppf "%d:T%d %s_%a %a%a%a%a" a.aid a.tid
         (match a.kind with Load -> "R" | Store -> "W" | Update -> "U")
         Mode.pp_access a.mode Loc.pp a.loc
         (fun ppf -> function
@@ -36,5 +43,7 @@ let pp ppf = function
         (fun ppf -> function
           | Some ts -> Format.fprintf ppf " w@%a" Timestamp.pp ts
           | None -> ())
-        a.write_ts
-  | Fence f -> Format.fprintf ppf "%d:T%d %a" f.aid f.tid Mode.pp_fence f.fence
+        a.write_ts pp_site a.site
+  | Fence f ->
+      Format.fprintf ppf "%d:T%d %a%a" f.aid f.tid Mode.pp_fence f.fence
+        pp_site f.site

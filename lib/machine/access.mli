@@ -15,9 +15,16 @@ type t =
       mode : Mode.access;
       read_ts : Timestamp.t option;  (** the message read (loads, updates) *)
       write_ts : Timestamp.t option;  (** the message written *)
+      site : string option;
+          (** source-level site label, when the program supplied one
+              (see {!Prog.op}) *)
     }
-  | Fence of { aid : int; tid : int; fence : Mode.fence }
+  | Fence of { aid : int; tid : int; fence : Mode.fence; site : string option }
 
 val aid : t -> int
 val tid : t -> int
+
+val site : t -> string option
+(** the site label, for both accesses and fences *)
+
 val pp : Format.formatter -> t -> unit

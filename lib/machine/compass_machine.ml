@@ -9,6 +9,7 @@ module Commit = Commit
 module Oracle = Oracle
 module Trace = Trace
 module Access = Access
+module Override = Override
 module Rc11 = Rc11
 module Machine = Machine
 module Explore = Explore

@@ -291,18 +291,24 @@ let bump ~lo ~hi ds ars =
   | None -> None
   | Some i -> Some (Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |])
 
-(* Exhaustive DFS over the decision tree, up to [max_execs] executions. *)
+(* Exhaustive DFS over the decision tree, up to [max_execs] executions.
+   With [until_violation] the search stops at the first kept violation —
+   the mode-necessity audit only needs a witness per mutant, not the full
+   census (a run cut short this way reports [complete = false]). *)
 let dfs ?(max_execs = 100_000) ?(reduce = false) ?(incremental = true)
-    ?(stride = default_stride) ?(config = Machine.default_config) scenario =
+    ?(stride = default_stride) ?(until_violation = false)
+    ?(config = Machine.default_config) scenario =
   let st = fresh_stats () in
   let run = make_runner ~incremental ~stride ~config ~reduce scenario in
   let rec go script =
     if st.execs >= max_execs then false
     else begin
       let _, ds, ars = run st ~count:true script in
-      match bump ~lo:0 ~hi:max_int ds ars with
-      | None -> true
-      | Some script -> go script
+      if until_violation && st.viol_count > 0 then false
+      else
+        match bump ~lo:0 ~hi:max_int ds ars with
+        | None -> true
+        | Some script -> go script
     end
   in
   let complete = go [||] in
@@ -362,7 +368,7 @@ let budget_batch = 64
 
 let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
     ?(reduce = false) ?(incremental = true) ?(stride = default_stride)
-    ?(config = Machine.default_config) scenario =
+    ?(until_violation = false) ?(config = Machine.default_config) scenario =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
   in
@@ -390,6 +396,9 @@ let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
   let cursor = Atomic.make 0 in
   let spent = Atomic.make 0 in
   let budget_hit = Atomic.make false in
+  (* [until_violation]: the first worker to keep a violation raises this
+     flag; the others stop at their next shard/run boundary. *)
+  let stop = Atomic.make false in
   let worker () =
     let st = fresh_stats () in
     let run = make_runner ~incremental ~stride ~config ~reduce scenario in
@@ -417,19 +426,26 @@ let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
     in
     let rec shard_loop () =
       let i = Atomic.fetch_and_add cursor 1 in
-      if i < Array.length shards && not (Atomic.get budget_hit) then begin
+      if
+        i < Array.length shards
+        && not (Atomic.get budget_hit)
+        && not (Atomic.get stop)
+      then begin
         let prefix = shards.(i) in
         let lock = Array.length prefix in
         let rec go script =
-          if not (take_slot ()) then ()
+          if Atomic.get stop then ()
+          else if not (take_slot ()) then ()
           else begin
             let outcome, ds, ars = run st ~count:true script in
             (* Pruned runs are not executions: refund the budget slot so the
                parallel budget counts what sequential [dfs] counts. *)
             if outcome = Machine.Pruned then incr local;
-            match bump ~lo:lock ~hi:max_int ds ars with
-            | None -> ()
-            | Some script -> go script
+            if until_violation && st.viol_count > 0 then Atomic.set stop true
+            else
+              match bump ~lo:lock ~hi:max_int ds ars with
+              | None -> ()
+              | Some script -> go script
           end
         in
         go prefix;
@@ -458,7 +474,10 @@ let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
     |> List.filteri (fun i _ -> i < max_violations)
     |> List.rev;
   to_report ~name:scenario.name
-    ~complete:(!frontier_complete && not (Atomic.get budget_hit))
+    ~complete:
+      (!frontier_complete
+      && (not (Atomic.get budget_hit))
+      && not (Atomic.get stop))
     st
 
 (* Random sampling: [execs] seeded executions. *)
@@ -478,10 +497,14 @@ let random ?(execs = 1_000) ?(seed = 0) ?(config = Machine.default_config)
 type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
 
 let run ?(config = Machine.default_config) ?(jobs = 1) ?(reduce = false)
-    ?(incremental = true) ?(stride = default_stride) ~mode scenario =
+    ?(incremental = true) ?(stride = default_stride)
+    ?(until_violation = false) ~mode scenario =
   match mode with
   | Dfs { max_execs } ->
       if jobs > 1 then
-        pdfs ~jobs ~max_execs ~reduce ~incremental ~stride ~config scenario
-      else dfs ~max_execs ~reduce ~incremental ~stride ~config scenario
+        pdfs ~jobs ~max_execs ~reduce ~incremental ~stride ~until_violation
+          ~config scenario
+      else
+        dfs ~max_execs ~reduce ~incremental ~stride ~until_violation ~config
+          scenario
   | Random { execs; seed } -> random ~execs ~seed ~config scenario

@@ -74,6 +74,7 @@ val dfs :
   ?reduce:bool ->
   ?incremental:bool ->
   ?stride:int ->
+  ?until_violation:bool ->
   ?config:Machine.config ->
   scenario ->
   report
@@ -87,7 +88,12 @@ val dfs :
     re-executed per run — instead of replaying every execution from the
     root.  Reports are field-for-field identical either way (the replay
     path, [~incremental:false], is kept as the differential-testing
-    oracle); [stride] sets the checkpoint spacing in decisions. *)
+    oracle); [stride] sets the checkpoint spacing in decisions.
+
+    [until_violation] (default off) stops the search at the first kept
+    violation — what the mode-necessity audit uses to witness a broken
+    mutant without paying for the rest of the tree.  A search cut short
+    this way reports [complete = false]. *)
 
 val pdfs :
   ?jobs:int ->
@@ -96,6 +102,7 @@ val pdfs :
   ?reduce:bool ->
   ?incremental:bool ->
   ?stride:int ->
+  ?until_violation:bool ->
   ?config:Machine.config ->
   scenario ->
   report
@@ -121,6 +128,7 @@ val run :
   ?reduce:bool ->
   ?incremental:bool ->
   ?stride:int ->
+  ?until_violation:bool ->
   mode:mode ->
   scenario ->
   report

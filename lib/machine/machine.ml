@@ -22,6 +22,10 @@ type config = {
   record_accesses : bool;
       (** record memory accesses for the axiomatic differential check
           ({!Rc11}) *)
+  overrides : Override.t;
+      (** mode overrides applied by site label just before an instruction
+          executes — how the synchronization audit runs weakened mutants
+          of unmodified programs *)
 }
 
 let default_config =
@@ -30,6 +34,7 @@ let default_config =
     policy = `Append;
     record_trace = false;
     record_accesses = false;
+    overrides = Override.empty;
   }
 
 type thread = {
@@ -147,20 +152,20 @@ let record m ~tid descr =
 
 let accesses m = List.rev m.accesses
 
-let record_access m ~tid ~loc ~kind ~mode ~read_ts ~write_ts =
+let record_access m ~tid ?site ~loc ~kind ~mode ~read_ts ~write_ts () =
   if m.config.record_accesses then begin
     let aid = m.next_aid in
     m.next_aid <- aid + 1;
     m.accesses <-
-      Access.Access { aid; tid; loc; kind; mode; read_ts; write_ts }
+      Access.Access { aid; tid; loc; kind; mode; read_ts; write_ts; site }
       :: m.accesses
   end
 
-let record_fence m ~tid fence =
+let record_fence m ~tid ?site fence =
   if m.config.record_accesses then begin
     let aid = m.next_aid in
     m.next_aid <- aid + 1;
-    m.accesses <- Access.Fence { aid; tid; fence } :: m.accesses
+    m.accesses <- Access.Fence { aid; tid; fence; site } :: m.accesses
   end
 
 (* Choices with a single alternative consume no oracle decision: this keeps
@@ -221,7 +226,7 @@ let mk_res ?(success = true) ~value ~view ~lview () =
 (* Execute the write half of a store/RMW: pick a timestamp, compute the
    message views, insert the message.  Returns the inserted message ref and
    the per-message result. *)
-let do_write m (th : thread) oracle ~l ~value ~mode ?rmw_read () =
+let do_write m (th : thread) oracle ?site ~l ~value ~mode ?rmw_read () =
   let above = View.get th.tv.Tview.cur l in
   let ts =
     match rmw_read with
@@ -232,7 +237,16 @@ let do_write m (th : thread) oracle ~l ~value ~mode ?rmw_read () =
         next
     | None ->
         if mode = Mode.Na then begin
-          ignore (Memory.na_check m.mem l ~tv:th.tv ~tid:th.tid ~kind:"na-write");
+          (try
+             ignore
+               (Memory.na_check m.mem l ~tv:th.tv ~tid:th.tid ~kind:"na-write")
+           with Memory.Error (Memory.Race _) as e ->
+             (* Record the faulting access (no timestamp: it never landed)
+                so the race pair is visible to the analysis-side race
+                detector even though the machine aborts the execution. *)
+             record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Store
+               ~mode:Mode.Na ~read_ts:None ~write_ts:None ();
+             raise e);
           Memory.max_ts m.mem l + 1
         end
         else begin
@@ -260,10 +274,20 @@ let pick_read m (th : thread) oracle l =
    on logic errors. *)
 let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.t)
     : Value.t Prog.t =
-  match op with
+  let site = op.Prog.site in
+  match op.Prog.instr with
   | Prog.Load (l, mode, commit) ->
+      let mode = Override.access m.config.overrides ~site mode in
       let mref =
-        if mode = Mode.Na then Memory.na_read m.mem l ~tv:th.tv ~tid:th.tid
+        if mode = Mode.Na then (
+          try Memory.na_read m.mem l ~tv:th.tv ~tid:th.tid
+          with Memory.Error (Memory.Race _) as e ->
+            (* Record the faulting read (no timestamp: it never landed) so
+               the race pair is visible to the analysis-side race detector
+               even though the machine aborts the execution. *)
+            record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Load
+              ~mode:Mode.Na ~read_ts:None ~write_ts:None ();
+            raise e)
         else pick_read m th oracle l
       in
       let msg = !mref in
@@ -271,8 +295,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
       record m ~tid:th.tid (fun () ->
           Format.asprintf "load_%a %a -> %a" Mode.pp_access mode Loc.pp l
             Value.pp msg.Msg.value);
-      record_access m ~tid:th.tid ~loc:l ~kind:Access.Load ~mode
-        ~read_ts:(Some msg.Msg.ts) ~write_ts:None;
+      record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Load ~mode
+        ~read_ts:(Some msg.Msg.ts) ~write_ts:None ();
       let res =
         mk_res ~value:msg.Msg.value ~view:msg.Msg.view ~lview:msg.Msg.lview ()
       in
@@ -281,6 +305,7 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
       | None -> ());
       k res
   | Prog.Await (l, mode, pred, commit) ->
+      let mode = Override.access m.config.overrides ~site mode in
       let from = View.get th.tv.Tview.cur l in
       let sat =
         Memory.read_choices m.mem l ~from
@@ -294,8 +319,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
       record m ~tid:th.tid (fun () ->
           Format.asprintf "await_%a %a -> %a" Mode.pp_access mode Loc.pp l
             Value.pp msg.Msg.value);
-      record_access m ~tid:th.tid ~loc:l ~kind:Access.Load ~mode
-        ~read_ts:(Some msg.Msg.ts) ~write_ts:None;
+      record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Load ~mode
+        ~read_ts:(Some msg.Msg.ts) ~write_ts:None ();
       let res =
         mk_res ~value:msg.Msg.value ~view:msg.Msg.view ~lview:msg.Msg.lview ()
       in
@@ -304,17 +329,19 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
       | None -> ());
       k res
   | Prog.Store (l, v, mode, commit) ->
-      let mref = do_write m th oracle ~l ~value:v ~mode () in
+      let mode = Override.access m.config.overrides ~site mode in
+      let mref = do_write m th oracle ?site ~l ~value:v ~mode () in
       record m ~tid:th.tid (fun () ->
           Format.asprintf "store_%a %a := %a" Mode.pp_access mode Loc.pp l
             Value.pp v);
-      record_access m ~tid:th.tid ~loc:l ~kind:Access.Store ~mode ~read_ts:None
-        ~write_ts:(Some !mref.Msg.ts);
+      record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Store ~mode
+        ~read_ts:None ~write_ts:(Some !mref.Msg.ts) ();
       (match commit with
       | Some f -> run_commits m th ~written:(Some mref) (f { value = v; success = true })
       | None -> ());
       k (mk_res ~value:v ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ())
   | Prog.Rmw (l, kind, mode, commit) ->
+      let mode = Override.access m.config.overrides ~site mode in
       (* Read-mode / write-mode split of the RMW access mode. *)
       let rmode =
         match mode with
@@ -373,17 +400,26 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
             | None -> " (failed)"));
       (match written with
       | Some w ->
-          record_access m ~tid:th.tid ~loc:l ~kind:Access.Update ~mode
-            ~read_ts:(Some msg.Msg.ts) ~write_ts:(Some !w.Msg.ts)
+          record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Update ~mode
+            ~read_ts:(Some msg.Msg.ts) ~write_ts:(Some !w.Msg.ts) ()
       | None ->
           (* A failed CAS is just a read with the read-part mode. *)
-          record_access m ~tid:th.tid ~loc:l ~kind:Access.Load ~mode:rmode
-            ~read_ts:(Some msg.Msg.ts) ~write_ts:None);
+          record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Load ~mode:rmode
+            ~read_ts:(Some msg.Msg.ts) ~write_ts:None ());
       (match commit with
       | Some f -> run_commits m th ~written (f { value = msg.Msg.value; success })
       | None -> ());
       k (mk_res ~success ~value:msg.Msg.value ~view:msg.Msg.view ~lview:msg.Msg.lview ())
-  | Prog.Fence f ->
+  | Prog.Fence f0 -> (
+      match Override.fence m.config.overrides ~site f0 with
+      | None ->
+          (* Dropped by an override: the op degenerates to a yield (still
+             one machine step, so decision scripts keep their shape). *)
+          record m ~tid:th.tid (fun () ->
+              Format.asprintf "%a (dropped)" Mode.pp_fence f0);
+          k (mk_res ~value:Value.Unit ~view:th.tv.Tview.cur
+               ~lview:th.tv.Tview.cur_l ())
+      | Some f ->
       th.tv <- Tview.fence th.tv f;
       (if f = Mode.F_sc then begin
          (* Join with the global SC view both ways: the interleaving order
@@ -404,8 +440,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
            }
        end);
       record m ~tid:th.tid (fun () -> Format.asprintf "%a" Mode.pp_fence f);
-      record_fence m ~tid:th.tid f;
-      k (mk_res ~value:Value.Unit ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ())
+      record_fence m ~tid:th.tid ?site f;
+      k (mk_res ~value:Value.Unit ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ()))
   | Prog.Alloc { name; size; init } ->
       let loc = Memory.alloc m.mem ~name ~size ~init_value:init in
       (* The allocating thread observes the initialisation writes. *)
@@ -419,8 +455,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
             acq = View.extend !tv.Tview.acq cell Timestamp.init;
           };
         (* The initialisation writes, so reads-from-init has a source. *)
-        record_access m ~tid:th.tid ~loc:cell ~kind:Access.Store ~mode:Mode.Na
-          ~read_ts:None ~write_ts:(Some Timestamp.init)
+        record_access m ~tid:th.tid ?site ~loc:cell ~kind:Access.Store
+          ~mode:Mode.Na ~read_ts:None ~write_ts:(Some Timestamp.init) ()
       done;
       th.tv <- !tv;
       record m ~tid:th.tid (fun () ->
@@ -446,7 +482,7 @@ let rec settle m (th : thread) =
 (* Is the thread's next operation enabled? *)
 let enabled m (th : thread) =
   match th.prog with
-  | Prog.Op (Prog.Await (l, _, pred, _), _) ->
+  | Prog.Op ({ Prog.instr = Prog.Await (l, _, pred, _); _ }, _) ->
       let from = View.get th.tv.Tview.cur l in
       Memory.read_choices m.mem l ~from
       |> List.exists (fun mref -> pred !mref.Msg.value)
@@ -514,7 +550,7 @@ let thread_view m tid = m.threads.(tid).tv
 let footprint (th : thread) =
   match th.prog with
   | Prog.Op (op, _) -> (
-      match op with
+      match op.Prog.instr with
       | Prog.Load (l, _, _) | Prog.Await (l, _, _, _) -> FRead l
       | Prog.Store (l, _, _, _) | Prog.Rmw (l, _, _, _) -> FWrite l
       | Prog.Fence Mode.F_sc -> FGlobal

@@ -22,6 +22,10 @@ type config = {
   record_accesses : bool;
       (** record memory accesses for the axiomatic differential check
           ({!Rc11}) *)
+  overrides : Override.t;
+      (** mode overrides applied by site label just before an instruction
+          executes — how the synchronization audit runs weakened mutants
+          of unmodified programs *)
 }
 
 val default_config : config

@@ -1,0 +1,41 @@
+open Compass_rmc
+
+(** Mode overrides: site label -> weakened access mode / fence replacement,
+    applied by the machine just before executing an instruction.
+
+    The synchronization audit ({!Compass_analysis}) runs weakened mutants
+    of a data structure by executing the *original* program under an
+    override, so a mutant counterexample replays exactly with
+    [compass replay --weaken site=mode]. *)
+
+type fence_action = Weaken_fence of Mode.fence | Drop_fence
+
+type t = {
+  accesses : (string * Mode.access) list;  (** site -> replacement mode *)
+  fences : (string * fence_action) list;  (** site -> replacement / drop *)
+}
+
+val empty : t
+val is_empty : t -> bool
+
+val weaken_access : string -> Mode.access -> t -> t
+val weaken_fence : string -> Mode.fence -> t -> t
+val drop_fence : string -> t -> t
+
+val access : t -> site:string option -> Mode.access -> Mode.access
+(** the mode to execute an access labeled [site] with *)
+
+val fence : t -> site:string option -> Mode.fence -> Mode.fence option
+(** the fence to execute, or [None] if it is dropped (becomes a yield) *)
+
+val access_of_string : string -> Mode.access option
+val fence_of_string : string -> Mode.fence option
+
+val add_spec : t -> string -> (t, string) result
+(** parse one ["site=mode"] spec, where mode is an access mode
+    ([na|rlx|acq|rel|acq_rel]), a fence mode
+    ([fence_acq|fence_rel|fence_acq_rel|fence_sc]), or ["drop"] *)
+
+val of_specs : string list -> (t, string) result
+val spec_strings : t -> string list
+val pp : Format.formatter -> t -> unit

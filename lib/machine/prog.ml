@@ -27,7 +27,7 @@ type rmw_kind =
   | Faa of int
   | Xchg of Value.t
 
-type op =
+type instr =
   | Load of Loc.t * Mode.access * Commit.fn option
   | Store of Loc.t * Value.t * Mode.access * Commit.fn option
   | Rmw of Loc.t * rmw_kind * Mode.access * Commit.fn option
@@ -39,6 +39,13 @@ type op =
   | Alloc of { name : string; size : int; init : Value.t }
   | Yield
   | Tid  (** the executing thread's id, as [Int tid] *)
+
+(* An operation is an instruction plus an optional *site label*: a stable,
+   source-level name for the access site (e.g. "msqueue.enq.link_cas").
+   Labels flow into recorded {!Access.t} events, so analyses report source
+   sites instead of raw event ids, and the synchronization audit can
+   address a site when generating weakened mutants (see {!Override}). *)
+type op = { site : string option; instr : instr }
 
 type 'a t =
   | Ret of 'a
@@ -70,41 +77,46 @@ open Syntax
 
 (* -- memory operations ---------------------------------------------------- *)
 
-let load ?commit l mode = Op (Load (l, mode, commit), fun r -> Ret r.value)
+let op ?site instr k = Op ({ site; instr }, k)
+
+let load ?site ?commit l mode = op ?site (Load (l, mode, commit)) (fun r -> Ret r.value)
 
 (* Load returning the full result, including the message's views. *)
-let load_explicit ?commit l mode = Op (Load (l, mode, commit), fun r -> Ret r)
-let store ?commit l v mode = Op (Store (l, v, mode, commit), fun _ -> Ret ())
+let load_explicit ?site ?commit l mode = op ?site (Load (l, mode, commit)) (fun r -> Ret r)
+let store ?site ?commit l v mode = op ?site (Store (l, v, mode, commit)) (fun _ -> Ret ())
 
 (* CAS returning [(old_value, success)]. *)
-let cas ?commit l ~expected ~desired mode =
-  Op (Rmw (l, Cas (expected, desired), mode, commit), fun r -> Ret (r.value, r.success))
+let cas ?site ?commit l ~expected ~desired mode =
+  op ?site (Rmw (l, Cas (expected, desired), mode, commit)) (fun r ->
+      Ret (r.value, r.success))
 
-let cas_explicit ?commit l ~expected ~desired mode =
-  Op (Rmw (l, Cas (expected, desired), mode, commit), fun r -> Ret r)
+let cas_explicit ?site ?commit l ~expected ~desired mode =
+  op ?site (Rmw (l, Cas (expected, desired), mode, commit)) (fun r -> Ret r)
 
 (* Fetch-and-add returning the old value (which must be an [Int]). *)
-let faa ?commit l delta mode =
-  Op (Rmw (l, Faa delta, mode, commit), fun r -> Ret (Value.to_int_exn r.value))
+let faa ?site ?commit l delta mode =
+  op ?site (Rmw (l, Faa delta, mode, commit)) (fun r -> Ret (Value.to_int_exn r.value))
 
 (* Atomic exchange returning the old value. *)
-let xchg ?commit l v mode = Op (Rmw (l, Xchg v, mode, commit), fun r -> Ret r.value)
+let xchg ?site ?commit l v mode =
+  op ?site (Rmw (l, Xchg v, mode, commit)) (fun r -> Ret r.value)
 
-let xchg_explicit ?commit l v mode =
-  Op (Rmw (l, Xchg v, mode, commit), fun r -> Ret r)
+let xchg_explicit ?site ?commit l v mode =
+  op ?site (Rmw (l, Xchg v, mode, commit)) (fun r -> Ret r)
 
-let await ?commit l mode pred = Op (Await (l, mode, pred, commit), fun r -> Ret r.value)
+let await ?site ?commit l mode pred =
+  op ?site (Await (l, mode, pred, commit)) (fun r -> Ret r.value)
 
-let await_explicit ?commit l mode pred =
-  Op (Await (l, mode, pred, commit), fun r -> Ret r)
+let await_explicit ?site ?commit l mode pred =
+  op ?site (Await (l, mode, pred, commit)) (fun r -> Ret r)
 
-let fence f = Op (Fence f, fun _ -> Ret ())
+let fence ?site f = op ?site (Fence f) (fun _ -> Ret ())
 
-let alloc ?(init = Value.Poison) ~name size =
-  Op (Alloc { name; size; init }, fun r -> Ret (Value.to_loc_exn r.value))
+let alloc ?site ?(init = Value.Poison) ~name size =
+  op ?site (Alloc { name; size; init }) (fun r -> Ret (Value.to_loc_exn r.value))
 
-let yield = Op (Yield, fun _ -> Ret ())
-let tid = Op (Tid, fun r -> Ret (Value.to_int_exn r.value))
+let yield = op Yield (fun _ -> Ret ())
+let tid = op Tid (fun r -> Ret (Value.to_int_exn r.value))
 let reserve = Reserve (fun e -> Ret e)
 
 (* Threads return [Value.t]; lift a unit program. *)
@@ -145,7 +157,7 @@ let for_ lo hi f =
    {!Out_of_fuel} past the budget (the machine discards such executions). *)
 let with_fuel ~fuel ~what body =
   let rec go n =
-    if n <= 0 then Op (Yield, fun _ -> raise (Out_of_fuel what))
+    if n <= 0 then op Yield (fun _ -> raise (Out_of_fuel what))
     else
       let* r = body () in
       match r with Some v -> return v | None -> go (n - 1)
@@ -160,7 +172,7 @@ let with_fuel ~fuel ~what body =
    refs. *)
 let with_fuel_i ~fuel ~what body =
   let rec go i n =
-    if n <= 0 then Op (Yield, fun _ -> raise (Out_of_fuel what))
+    if n <= 0 then op Yield (fun _ -> raise (Out_of_fuel what))
     else
       let* r = body i in
       match r with Some v -> return v | None -> go (i + 1) (n - 1)

@@ -21,7 +21,7 @@ type rmw_kind =
   | Faa of int
   | Xchg of Value.t
 
-type op =
+type instr =
   | Load of Loc.t * Mode.access * Commit.fn option
   | Store of Loc.t * Value.t * Mode.access * Commit.fn option
   | Rmw of Loc.t * rmw_kind * Mode.access * Commit.fn option
@@ -33,6 +33,13 @@ type op =
   | Alloc of { name : string; size : int; init : Value.t }
   | Yield
   | Tid  (** the executing thread's id, as [Int tid] *)
+
+type op = { site : string option; instr : instr }
+(** an instruction plus an optional *site label*: a stable source-level
+    name for the access site (e.g. ["msqueue.enq.link_cas"]).  Labels flow
+    into recorded {!Access.t} events, so analyses report source sites
+    instead of raw event ids, and the synchronization audit can address a
+    site when generating weakened mutants. *)
 
 type 'a t =
   | Ret of 'a
@@ -56,11 +63,16 @@ end
 
 (** {1 Memory operations} *)
 
-val load : ?commit:Commit.fn -> Loc.t -> Mode.access -> Value.t t
-val load_explicit : ?commit:Commit.fn -> Loc.t -> Mode.access -> res t
-val store : ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> unit t
+val load : ?site:string -> ?commit:Commit.fn -> Loc.t -> Mode.access -> Value.t t
+
+val load_explicit :
+  ?site:string -> ?commit:Commit.fn -> Loc.t -> Mode.access -> res t
+
+val store :
+  ?site:string -> ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> unit t
 
 val cas :
+  ?site:string ->
   ?commit:Commit.fn ->
   Loc.t ->
   expected:Value.t ->
@@ -70,6 +82,7 @@ val cas :
 (** returns (read value, success) *)
 
 val cas_explicit :
+  ?site:string ->
   ?commit:Commit.fn ->
   Loc.t ->
   expected:Value.t ->
@@ -77,20 +90,33 @@ val cas_explicit :
   Mode.access ->
   res t
 
-val faa : ?commit:Commit.fn -> Loc.t -> int -> Mode.access -> int t
+val faa : ?site:string -> ?commit:Commit.fn -> Loc.t -> int -> Mode.access -> int t
 (** fetch-and-add; returns the old value (which must be an [Int]) *)
 
-val xchg : ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> Value.t t
-val xchg_explicit : ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> res t
+val xchg :
+  ?site:string -> ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> Value.t t
+
+val xchg_explicit :
+  ?site:string -> ?commit:Commit.fn -> Loc.t -> Value.t -> Mode.access -> res t
 
 val await :
-  ?commit:Commit.fn -> Loc.t -> Mode.access -> (Value.t -> bool) -> Value.t t
+  ?site:string ->
+  ?commit:Commit.fn ->
+  Loc.t ->
+  Mode.access ->
+  (Value.t -> bool) ->
+  Value.t t
 
 val await_explicit :
-  ?commit:Commit.fn -> Loc.t -> Mode.access -> (Value.t -> bool) -> res t
+  ?site:string ->
+  ?commit:Commit.fn ->
+  Loc.t ->
+  Mode.access ->
+  (Value.t -> bool) ->
+  res t
 
-val fence : Mode.fence -> unit t
-val alloc : ?init:Value.t -> name:string -> int -> Loc.t t
+val fence : ?site:string -> Mode.fence -> unit t
+val alloc : ?site:string -> ?init:Value.t -> name:string -> int -> Loc.t t
 val yield : unit t
 val tid : int t
 val reserve : int t

@@ -273,6 +273,45 @@ let sw_pairs x rf =
   chain sc_fences;
   !acc
 
+(* -- races --------------------------------------------------------------------
+
+   The race clause, factored out so the analysis-side race detector
+   ({!Compass_analysis.Races}) can use it as a differential oracle: two
+   accesses race when they conflict (same location, at least one write, at
+   least one non-atomic, different threads) and hb orders them in neither
+   direction.  [hb] is the transitive closure predicate over aids. *)
+
+let race_pairs x hb =
+  let nodes = List.init x.n (fun i -> i) in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if a >= b then None
+          else
+            match (x.items.(a), x.items.(b)) with
+            | Access.Access ia, Access.Access ib
+              when Loc.equal ia.loc ib.loc
+                   && (is_write x.items.(a) || is_write x.items.(b))
+                   && (is_na x.items.(a) || is_na x.items.(b))
+                   && ia.tid <> ib.tid ->
+                if not (hb a b || hb b a) then Some (a, b) else None
+            | _ -> None)
+        nodes)
+    nodes
+
+let hb_of x =
+  let nodes = List.init x.n (fun i -> i) in
+  let po = po_pairs x in
+  let asw = asw_pairs x in
+  let rf, _missing = rf_pairs x in
+  let sw = sw_pairs x rf in
+  Order.closure (Order.of_pairs ~nodes (po @ asw @ sw))
+
+let races accesses =
+  let x = of_accesses accesses in
+  race_pairs x (hb_of x)
+
 (* -- the axioms ---------------------------------------------------------------- *)
 
 let check accesses =
@@ -361,21 +400,8 @@ let check accesses =
      hb-ordered.  (Initialisation writes by tid -1 are setup and always
      hb-before via asw.) *)
   List.iter
-    (fun a ->
-      List.iter
-        (fun b ->
-          if a < b then
-            match (x.items.(a), x.items.(b)) with
-            | Access.Access ia, Access.Access ib
-              when Loc.equal ia.loc ib.loc
-                   && (is_write x.items.(a) || is_write x.items.(b))
-                   && (is_na x.items.(a) || is_na x.items.(b))
-                   && ia.tid <> ib.tid ->
-                if not (hb a b || hb b a) then
-                  violations :=
-                    Printf.sprintf "rc11-race: %d and %d unordered" a b
-                    :: !violations
-            | _ -> ())
-        nodes)
-    nodes;
+    (fun (a, b) ->
+      violations :=
+        Printf.sprintf "rc11-race: %d and %d unordered" a b :: !violations)
+    (race_pairs x hb);
   List.rev !violations

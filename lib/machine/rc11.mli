@@ -11,3 +11,9 @@
 
 val check : Access.t list -> string list
 (** axiom violations of one recorded execution; [[]] = consistent *)
+
+val races : Access.t list -> (int * int) list
+(** the race clause alone: aid pairs (low, high) of conflicting accesses
+    (same location, ≥1 write, ≥1 non-atomic, different threads) that hb
+    orders in neither direction.  The analysis-side race detector
+    ({!Compass_analysis}) uses this as its differential oracle. *)

@@ -23,6 +23,7 @@ let () =
       ("spsc-spec", Test_spsc_spec.suite);
       ("conformance", Test_conformance.suite);
       ("rc11", Test_rc11.suite);
+      ("analysis", Test_analysis.suite);
       ("prefix", Test_prefix.suite);
       ("dstruct", Test_dstruct.suite);
       ("clients", Test_clients.suite);

@@ -102,7 +102,7 @@ let test_rc11_rejects_coherence_violation () =
   let open Compass_rmc in
   let l = Loc.make ~base:99 ~off:0 in
   let mk aid tid kind mode read_ts write_ts =
-    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts }
+    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts; site = None }
   in
   let accesses =
     [
@@ -120,7 +120,7 @@ let test_rc11_rejects_atomicity_violation () =
   let open Compass_rmc in
   let l = Loc.make ~base:98 ~off:0 in
   let mk aid tid kind mode read_ts write_ts =
-    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts }
+    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts; site = None }
   in
   let accesses =
     [
@@ -139,7 +139,7 @@ let test_rc11_rejects_race () =
   let open Compass_rmc in
   let l = Loc.make ~base:97 ~off:0 in
   let mk aid tid kind mode read_ts write_ts =
-    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts }
+    Access.Access { aid; tid; loc = l; kind; mode; read_ts; write_ts; site = None }
   in
   let accesses =
     [
