@@ -17,6 +17,8 @@ open Compass_machine
 open Compass_spec
 open Compass_dstruct
 open Compass_clients
+open Compass_util
+module Fz = Compass_fuzz
 
 let vi n = Value.Int n
 
@@ -309,6 +311,19 @@ let scaling =
    nonzero if the incremental engine is slower than sequential replay on
    any scenario: the CI perf-smoke gate. *)
 
+let write_json_file file json =
+  let s = Jsonout.to_string json in
+  let oc = open_out file in
+  output_string oc s;
+  close_out oc;
+  print_string s;
+  Format.printf "wrote %s@." file
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
 let bench_explore ~quick ~check =
   let max_execs = if quick then 2_000 else 20_000 in
   let scenarios =
@@ -325,79 +340,82 @@ let bench_explore ~quick ~check =
     ]
   in
   let domains = Domain.recommended_domain_count () in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
   let rate (r : Explore.report) t =
     if t > 0. then float_of_int r.Explore.executions /. t else 0.
   in
   let slow = ref [] in
-  let buf = Buffer.create 4096 in
-  let bpf fmt = Printf.bprintf buf fmt in
-  bpf "{\n  \"max_execs\": %d,\n  \"quick\": %b,\n" max_execs quick;
-  bpf "  \"host\": { \"recommended_domains\": %d, \"ocaml\": %S },\n" domains
-    Sys.ocaml_version;
-  bpf "  \"scenarios\": [";
-  List.iteri
-    (fun i (name, mk) ->
-      if i > 0 then bpf ",";
-      let seq, seq_t =
-        time (fun () -> Explore.dfs ~max_execs ~incremental:false (mk ()))
-      in
-      let inc, inc_t = time (fun () -> Explore.dfs ~max_execs (mk ())) in
-      if rate inc inc_t < rate seq seq_t then slow := name :: !slow;
-      bpf "\n    { \"name\": %S,\n" name;
-      bpf
-        "      \"sequential\": { \"executions\": %d, \"complete\": %b, \
-         \"seconds\": %.4f, \"execs_per_sec\": %.1f },\n"
-        seq.Explore.executions seq.Explore.complete seq_t (rate seq seq_t);
-      bpf
-        "      \"incremental\": { \"executions\": %d, \"complete\": %b, \
-         \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
-         \"speedup_vs_sequential\": %.2f },\n"
-        inc.Explore.executions inc.Explore.complete inc_t (rate inc inc_t)
-        (if inc_t > 0. then seq_t /. inc_t else 0.);
-      bpf "      \"pdfs\": [";
-      List.iteri
-        (fun j jobs ->
-          if j > 0 then bpf ",";
-          if jobs > 1 && domains < 2 then
-            bpf
-              "\n        { \"jobs\": %d, \"skipped\": \"host recommends %d \
-               domain(s)\" }"
-              jobs domains
-          else begin
-            let r, t = time (fun () -> Explore.pdfs ~jobs ~max_execs (mk ())) in
-            bpf
-              "\n        { \"jobs\": %d, \"executions\": %d, \"complete\": \
-               %b, \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
-               \"speedup_vs_sequential\": %.2f }"
-              jobs r.Explore.executions r.Explore.complete t (rate r t)
-              (if t > 0. then seq_t /. t else 0.)
-          end)
-        [ 1; 2; 4 ];
-      bpf "\n      ],\n";
-      let red, red_t =
-        time (fun () -> Explore.dfs ~reduce:true ~max_execs (mk ()))
-      in
-      bpf
-        "      \"incremental_reduced\": { \"executions\": %d, \"pruned\": %d, \
-         \"complete\": %b, \"seconds\": %.4f, \"execs_vs_full\": %.3f, \
-         \"speedup_vs_sequential\": %.2f }\n"
-        red.Explore.executions red.Explore.pruned red.Explore.complete red_t
-        (float_of_int red.Explore.executions
-        /. float_of_int (max 1 seq.Explore.executions))
-        (if red_t > 0. then seq_t /. red_t else 0.);
-      bpf "    }")
-    scenarios;
-  bpf "\n  ]\n}\n";
-  let oc = open_out "BENCH_explore.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  print_string (Buffer.contents buf);
-  Format.printf "wrote BENCH_explore.json@.";
+  let run_row (r : Explore.report) t extra =
+    Jsonout.Obj
+      ([
+         ("executions", Jsonout.Int r.Explore.executions);
+         ("complete", Jsonout.Bool r.Explore.complete);
+         ("seconds", Jsonout.Float t);
+         ("execs_per_sec", Jsonout.Float (rate r t));
+       ]
+      @ extra)
+  in
+  let scenario_json (name, mk) =
+    let seq, seq_t =
+      time (fun () -> Explore.dfs ~max_execs ~incremental:false (mk ()))
+    in
+    let inc, inc_t = time (fun () -> Explore.dfs ~max_execs (mk ())) in
+    if rate inc inc_t < rate seq seq_t then slow := name :: !slow;
+    let speedup t =
+      ( "speedup_vs_sequential",
+        Jsonout.Float (if t > 0. then seq_t /. t else 0.) )
+    in
+    let pdfs_row jobs =
+      if jobs > 1 && domains < 2 then
+        Jsonout.Obj
+          [
+            ("jobs", Jsonout.Int jobs);
+            ( "skipped",
+              Jsonout.Str
+                (Printf.sprintf "host recommends %d domain(s)" domains) );
+          ]
+      else
+        let r, t = time (fun () -> Explore.pdfs ~jobs ~max_execs (mk ())) in
+        match run_row r t [ speedup t ] with
+        | Jsonout.Obj fields ->
+            Jsonout.Obj (("jobs", Jsonout.Int jobs) :: fields)
+        | j -> j
+    in
+    let red, red_t =
+      time (fun () -> Explore.dfs ~reduce:true ~max_execs (mk ()))
+    in
+    Jsonout.Obj
+      [
+        ("name", Jsonout.Str name);
+        ("sequential", run_row seq seq_t []);
+        ("incremental", run_row inc inc_t [ speedup inc_t ]);
+        ("pdfs", Jsonout.List (List.map pdfs_row [ 1; 2; 4 ]));
+        ( "incremental_reduced",
+          run_row red red_t
+            [
+              ("pruned", Jsonout.Int red.Explore.pruned);
+              ( "execs_vs_full",
+                Jsonout.Float
+                  (float_of_int red.Explore.executions
+                  /. float_of_int (max 1 seq.Explore.executions)) );
+              speedup red_t;
+            ] );
+      ]
+  in
+  let json =
+    Jsonout.Obj
+      [
+        ("max_execs", Jsonout.Int max_execs);
+        ("quick", Jsonout.Bool quick);
+        ( "host",
+          Jsonout.Obj
+            [
+              ("recommended_domains", Jsonout.Int domains);
+              ("ocaml", Jsonout.Str Sys.ocaml_version);
+            ] );
+        ("scenarios", Jsonout.List (List.map scenario_json scenarios));
+      ]
+  in
+  write_json_file "BENCH_explore.json" json;
   if check then
     match !slow with
     | [] -> Format.printf "perf-smoke: incremental >= sequential everywhere@."
@@ -406,6 +424,147 @@ let bench_explore ~quick ~check =
           "perf-smoke FAILED: incremental slower than sequential on: %s@."
           (String.concat ", " (List.rev l));
         exit 1
+
+(* -- fuzz-comparison mode (--fuzz [--quick] [--check]) -------------------------
+
+   Time-to-first-violation comparison of the fuzzing strategies, written
+   to BENCH_fuzz.json: for each violating target (the deliberately weak
+   MS queue, plus litmus tests whose distinguished weak outcome we hunt
+   as if it were a bug), run each mode over a batch of seeds and compare
+   the median number of executions to the first violation (deterministic
+   per seed) and the median wall-clock seconds (host-dependent).  A trial
+   that exhausts its budget without a violation counts as the full budget
+   (censored).  [--check] exits nonzero if neither PCT nor the
+   coverage-guided mode beats-or-ties uniform random on the ms-weak
+   median: the CI fuzz-smoke gate. *)
+
+let bench_fuzz ~quick ~check =
+  let budget = if quick then 2_000 else 10_000 in
+  let seeds = List.init (if quick then 7 else 15) (fun i -> 100 + i) in
+  (* Hunt a litmus test's distinguished weak outcome as a "violation":
+     the judge flags any execution that bumps the observation counter. *)
+  let hunt name (mk_t : unit -> Litmus.t) () =
+    let t = mk_t () in
+    let before = ref 0 in
+    {
+      Explore.name;
+      build =
+        (fun m ->
+          before := !(t.Litmus.observed);
+          let judge = t.Litmus.scenario.Explore.build m in
+          fun outcome ->
+            match judge outcome with
+            | Explore.Pass when !(t.Litmus.observed) > !before ->
+                Explore.Violation "target behaviour observed"
+            | v -> v);
+    }
+  in
+  let targets =
+    [
+      ( "ms-weak",
+        fun () -> Mp.make Msqueue_weak.instantiate (Mp.fresh_stats ()) );
+      ("litmus-sb", hunt "sb-hunt" (fun () -> Litmus.sb ()));
+      ( "litmus-mp-rlx",
+        hunt "mp-rlx-hunt" (fun () -> Litmus.mp ~rmode:Mode.Rlx ()) );
+      ("litmus-iriw", hunt "iriw-hunt" (fun () -> Litmus.iriw ()));
+    ]
+  in
+  let modes = [ Fz.Fuzz.Uniform; Fz.Fuzz.Pct; Fz.Fuzz.Guided ] in
+  let median xs =
+    match List.sort compare xs with
+    | [] -> 0.
+    | s -> List.nth s (List.length s / 2)
+  in
+  let medians = Hashtbl.create 16 in
+  let target_json (tname, mk) =
+    let mode_json mode =
+      let trials =
+        List.map
+          (fun seed ->
+            let options =
+              {
+                Fz.Fuzz.default_options with
+                Fz.Fuzz.mode;
+                execs = budget;
+                seed;
+                shrink = false;
+              }
+            in
+            let o = Fz.Fuzz.run ~options mk in
+            (* censored at the budget when no violation was found *)
+            let first =
+              match o.Fz.Fuzz.first_violation_exec with
+              | Some i -> i + 1
+              | None -> budget
+            in
+            ( seed,
+              first,
+              o.Fz.Fuzz.first_violation_exec <> None,
+              o.Fz.Fuzz.seconds ))
+          seeds
+      in
+      let found = List.filter (fun (_, _, f, _) -> f) trials in
+      let med_execs =
+        median (List.map (fun (_, n, _, _) -> float_of_int n) trials)
+      in
+      let med_seconds = median (List.map (fun (_, _, _, s) -> s) trials) in
+      Hashtbl.replace medians (tname, mode) med_execs;
+      Jsonout.Obj
+        [
+          ("mode", Jsonout.Str (Fz.Fuzz.mode_name mode));
+          ("trials", Jsonout.Int (List.length trials));
+          ("found", Jsonout.Int (List.length found));
+          ("median_execs_to_violation", Jsonout.Float med_execs);
+          ("median_seconds", Jsonout.Float med_seconds);
+          ( "per_seed",
+            Jsonout.List
+              (List.map
+                 (fun (seed, n, f, s) ->
+                   Jsonout.Obj
+                     [
+                       ("seed", Jsonout.Int seed);
+                       ("execs_to_violation", Jsonout.Int n);
+                       ("found", Jsonout.Bool f);
+                       ("seconds", Jsonout.Float s);
+                     ])
+                 trials) );
+        ]
+    in
+    Jsonout.Obj
+      [
+        ("target", Jsonout.Str tname);
+        ("modes", Jsonout.List (List.map mode_json modes));
+      ]
+  in
+  let json =
+    Jsonout.Obj
+      [
+        ("budget", Jsonout.Int budget);
+        ("seeds", Jsonout.Int (List.length seeds));
+        ("quick", Jsonout.Bool quick);
+        ("pct_depth", Jsonout.Int Fz.Fuzz.default_options.Fz.Fuzz.pct_depth);
+        ("targets", Jsonout.List (List.map target_json targets));
+      ]
+  in
+  write_json_file "BENCH_fuzz.json" json;
+  if check then begin
+    let m mode = Hashtbl.find medians ("ms-weak", mode) in
+    let u = m Fz.Fuzz.Uniform
+    and p = m Fz.Fuzz.Pct
+    and g = m Fz.Fuzz.Guided in
+    if Float.min p g <= u then
+      Format.printf
+        "fuzz-smoke: directed search beats-or-ties uniform on ms-weak \
+         (uniform %.0f, pct %.0f, guided %.0f median execs)@."
+        u p g
+    else begin
+      Format.printf
+        "fuzz-smoke FAILED: uniform %.0f beats pct %.0f and guided %.0f on \
+         ms-weak@."
+        u p g;
+      exit 1
+    end
+  end
 
 (* -- driver ------------------------------------------------------------------- *)
 
@@ -447,5 +606,8 @@ let () =
   let argv = Array.to_list Sys.argv in
   if List.mem "--explore" argv then
     bench_explore ~quick:(List.mem "--quick" argv)
+      ~check:(List.mem "--check" argv)
+  else if List.mem "--fuzz" argv then
+    bench_fuzz ~quick:(List.mem "--quick" argv)
       ~check:(List.mem "--check" argv)
   else bench_bechamel ()

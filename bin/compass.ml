@@ -10,6 +10,10 @@
      compass analyze races --struct (ms / ms-weak / ...) [--json FILE]
      compass analyze modes --struct (ms / ms-fences / ...) [--json FILE]
      compass replay [--script N,N,...] [--weaken SITE=MODE] [--probe KEY]
+     compass fuzz --struct (ms-weak / ...) [--mode uniform/pct/guided]
+                  [--pct-depth D] [--execs N] [--seed S] [--jobs N]
+                  [--corpus FILE] [--json FILE] [--expect-violation]
+     compass shrink --script N,N,... [--probe KEY] [--weaken SITE=MODE]
      compass report [--quick]
 
    Every exploring subcommand also takes [--jobs N] (shard the DFS
@@ -27,6 +31,7 @@ open Compass_spec
 open Compass_dstruct
 open Compass_clients
 open Compass_analysis
+module Fz = Compass_fuzz
 
 (* -- shared arguments --------------------------------------------------------- *)
 
@@ -664,6 +669,220 @@ let replay_cmd =
       const run $ queue_arg $ script_arg $ weaken_arg $ probe_arg
       $ scenario_arg)
 
+(* -- fuzz ---------------------------------------------------------------------- *)
+
+let scenario_idx_arg =
+  let doc = "Scenario index within the probe (default 0)." in
+  Arg.(value & opt int 0 & info [ "scenario" ] ~docv:"I" ~doc)
+
+let fuzz_cmd =
+  let mode_arg =
+    let doc =
+      "Search strategy: $(b,uniform) (seeded-random baseline), $(b,pct) \
+       (priority-based scheduling with change points), or $(b,guided) \
+       (coverage-guided corpus mutation)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("uniform", Fz.Fuzz.Uniform);
+               ("pct", Fz.Fuzz.Pct);
+               ("guided", Fz.Fuzz.Guided);
+             ])
+          Fz.Fuzz.Pct
+      & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let pct_depth =
+    let doc = "PCT priority change points." in
+    Arg.(value & opt int 3 & info [ "pct-depth"; "d" ] ~docv:"D" ~doc)
+  in
+  let pct_len =
+    let doc =
+      "Scheduling-decision count PCT samples change points over (0: \
+       measure with a pilot execution)."
+    in
+    Arg.(value & opt int 0 & info [ "pct-len" ] ~docv:"N" ~doc)
+  in
+  let fuzz_execs =
+    let doc = "Fuzzing execution budget." in
+    Arg.(value & opt int 4000 & info [ "execs"; "e" ] ~docv:"N" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Seed the guided corpus from $(docv) (missing file = empty) and save \
+       the final corpus back to it."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let shrink_arg =
+    let doc = "Shrink the first violation before reporting (default on)." in
+    Arg.(value & opt bool true & info [ "shrink" ] ~docv:"BOOL" ~doc)
+  in
+  let expect_violation =
+    let doc =
+      "Invert the exit code: succeed only if a violation was found (for \
+       known-broken fixtures in CI)."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let run struct_key scenario_idx mode depth len execs seed jobs corpus shrink
+      json expect =
+    with_probe struct_key (fun p ->
+        match List.nth_opt p.Probes.scenarios scenario_idx with
+        | None ->
+            Format.eprintf "probe %s has no scenario %d@." struct_key
+              scenario_idx;
+            2
+        | Some mk ->
+            let corpus_in = Option.map Fz.Corpus.load corpus in
+            let options =
+              {
+                Fz.Fuzz.default_options with
+                mode;
+                execs;
+                seed;
+                jobs;
+                pct_depth = depth;
+                sched_len = len;
+                shrink;
+                corpus_in;
+              }
+            in
+            let o = Fz.Fuzz.run ~options mk in
+            Format.printf "%a@." Fz.Fuzz.pp_outcome o;
+            let confirmed =
+              match o.Fz.Fuzz.violations with
+              | [] -> false
+              | f :: _ -> (
+                  (* the reported (shrunk) script must still replay to the
+                     same violation *)
+                  let _, _, verdict =
+                    Explore.replay ~config:options.Fz.Fuzz.config (mk ())
+                      f.Explore.script
+                  in
+                  match verdict with
+                  | Explore.Violation m when m = f.Explore.message ->
+                      Format.printf "replay confirms the violation@.";
+                      true
+                  | _ ->
+                      Format.printf
+                        "WARNING: replay does not reproduce the violation@.";
+                      false)
+            in
+            Option.iter
+              (fun file ->
+                Fz.Corpus.save o.Fz.Fuzz.corpus file;
+                Format.printf "corpus (%d entries) saved to %s@."
+                  (Fz.Corpus.size o.Fz.Fuzz.corpus)
+                  file)
+              corpus;
+            Option.iter
+              (fun file -> write_json file (Fz.Fuzz.outcome_to_json o))
+              json;
+            if expect then if confirmed then 0 else 1
+            else if o.Fz.Fuzz.violations = [] then 0
+            else 1)
+  in
+  let doc =
+    "Schedule-fuzz a structure probe: sample executions under a search \
+     strategy (uniform / PCT / coverage-guided) instead of enumerating \
+     them, report coverage statistics, and shrink the first violating \
+     decision script to 1-minimal form.  Deterministic for a fixed \
+     $(b,--seed) at any $(b,--jobs) count."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ struct_arg $ scenario_idx_arg $ mode_arg $ pct_depth
+      $ pct_len $ fuzz_execs $ seed $ jobs $ corpus_arg $ shrink_arg
+      $ json_arg $ expect_violation)
+
+(* -- shrink -------------------------------------------------------------------- *)
+
+let shrink_cmd =
+  let script_arg =
+    let doc = "Violating decision script to shrink (comma-separated)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "script" ] ~docv:"N,N,..." ~doc)
+  in
+  let weaken_arg =
+    let doc =
+      "Shrink under mode overrides (repeatable): $(b,site=mode), as \
+       printed by audit counterexamples."
+    in
+    Arg.(value & opt_all string [] & info [ "weaken" ] ~docv:"SITE=MODE" ~doc)
+  in
+  let probe_arg =
+    let doc =
+      "Shrink against a probe's client scenario instead of the plain MP \
+       client."
+    in
+    Arg.(value & opt (some string) None & info [ "probe" ] ~docv:"KEY" ~doc)
+  in
+  let max_replays =
+    let doc = "Replay budget for the shrinker." in
+    Arg.(value & opt int 20_000 & info [ "max-replays" ] ~docv:"N" ~doc)
+  in
+  let run factory script_str weaken probe scenario_idx max_replays =
+    let script =
+      String.split_on_char ',' script_str
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string |> Array.of_list
+    in
+    match Override.of_specs weaken with
+    | Error e ->
+        Format.eprintf "bad --weaken spec: %s@." e;
+        2
+    | Ok overrides -> (
+        let mk =
+          match probe with
+          | None -> Some (fun () -> Mp.make factory (Mp.fresh_stats ()))
+          | Some key -> (
+              match Probes.find key with
+              | Some p -> List.nth_opt p.Probes.scenarios scenario_idx
+              | None -> None)
+        in
+        match mk with
+        | None ->
+            Format.eprintf "unknown probe/scenario (try: %s)@."
+              (String.concat ", " (Probes.keys ()));
+            2
+        | Some mk -> (
+            let config = { Machine.default_config with overrides } in
+            let _, _, verdict = Explore.replay ~config (mk ()) script in
+            match verdict with
+            | Explore.Violation message ->
+                let stats, small =
+                  Fz.Shrink.minimize ~config ~max_replays ~scenario:(mk ())
+                    ~message script
+                in
+                Format.printf
+                  "violation: %s@ script: %d -> %d choices in %d replays@ \
+                   shrunk: %s@."
+                  message stats.Fz.Shrink.initial_len
+                  stats.Fz.Shrink.final_len stats.Fz.Shrink.replays
+                  (String.concat ","
+                     (List.map string_of_int (Array.to_list small)));
+                0
+            | Explore.Pass | Explore.Discard _ ->
+                Format.eprintf
+                  "the script does not produce a violation — nothing to \
+                   shrink@.";
+                1))
+  in
+  let doc =
+    "Delta-debug a violating decision script (e.g. from a fuzz or audit \
+     report) down to a 1-minimal script producing the same violation, \
+     optionally under the same $(b,--weaken) overrides."
+  in
+  Cmd.v (Cmd.info "shrink" ~doc)
+    Term.(
+      const run $ queue_arg $ script_arg $ weaken_arg $ probe_arg
+      $ scenario_idx_arg $ max_replays)
+
 (* -- report ---------------------------------------------------------------------- *)
 
 let report_cmd =
@@ -713,5 +932,5 @@ let () =
        (Cmd.group info
           [
             litmus_cmd; client_cmd; check_cmd; matrix_cmd; dot_cmd; axioms_cmd;
-            analyze_cmd; replay_cmd; report_cmd;
+            analyze_cmd; replay_cmd; fuzz_cmd; shrink_cmd; report_cmd;
           ]))

@@ -1,5 +1,6 @@
 open Compass_rmc
 open Compass_machine
+open Compass_util
 
 (* The mode-necessity audit.
 
@@ -131,10 +132,19 @@ type options = {
   jobs : int;
   reduce : bool;
   discover_execs : int;
+  shrink : bool;  (** delta-debug witness scripts before reporting *)
+  shrink_replays : int;
 }
 
 let default_options =
-  { execs = 100_000; jobs = 1; reduce = true; discover_execs = 256 }
+  {
+    execs = 100_000;
+    jobs = 1;
+    reduce = true;
+    discover_execs = 256;
+    shrink = true;
+    shrink_replays = 20_000;
+  }
 
 let explore_one opts override mk =
   let config =
@@ -148,6 +158,23 @@ let explore_one opts override mk =
       sc
   in
   (sc.Explore.name, r)
+
+(* Shrink a witness script before reporting it.  Verdicts never depend on
+   the script, only on whether a violation exists; a 1-minimal script is
+   what a human replays.  The shrinker preserves the exact violation
+   message under the same overrides, and hands the script back unchanged
+   if it somehow fails to reproduce, so witnesses stay replayable. *)
+let shrink_failure opts override mk (f : Explore.failure) =
+  if not opts.shrink then f
+  else
+    let config =
+      { Machine.default_config with Machine.overrides = override }
+    in
+    let _, script =
+      Compass_fuzz.Shrink.minimize ~config ~max_replays:opts.shrink_replays
+        ~scenario:(mk ()) ~message:f.Explore.message f.Explore.script
+    in
+    { f with Explore.script = script }
 
 let run_mutant opts scenarios site w =
   let override = override_of site w in
@@ -167,7 +194,7 @@ let run_mutant opts scenarios site w =
             {
               weakening = w;
               spec = spec_of site w;
-              outcome = Violated f;
+              outcome = Violated (shrink_failure opts override mk f);
               executions = execs + r.Explore.executions;
               scenario = Some name;
             }
@@ -254,7 +281,9 @@ let run ?(options = default_options) ?(site_filter = fun _ -> true)
         | Some _ -> acc
         | None -> (
             let _, r = explore_one options Override.empty mk in
-            match r.Explore.violations with f :: _ -> Some f | [] -> None))
+            match r.Explore.violations with
+            | f :: _ -> Some (shrink_failure options Override.empty mk f)
+            | [] -> None))
       None scenarios
   in
   let baseline_ok = baseline_failure = None in

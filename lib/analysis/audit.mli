@@ -1,5 +1,6 @@
 open Compass_rmc
 open Compass_machine
+open Compass_util
 
 (** The mode-necessity audit.
 
@@ -49,6 +50,11 @@ type options = {
   jobs : int;
   reduce : bool;
   discover_execs : int;
+  shrink : bool;
+      (** delta-debug witness scripts (baseline failures and [Violated]
+          mutants) to 1-minimal form before reporting; verdicts are
+          unchanged and witnesses still replay to the same violation *)
+  shrink_replays : int;
 }
 
 val default_options : options

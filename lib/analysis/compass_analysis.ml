@@ -9,9 +9,10 @@
     - {!Probes}: per-structure client scenarios the audit runs against;
     - {!Instrument}: scenario wrapping that hands each execution's
       access log to a collector;
-    - {!Jsonout}: the minimal JSON emitter behind [--json] output. *)
+    - {!Jsonout}: re-export of {!Compass_util.Jsonout}, the shared JSON
+      emitter behind [--json] output. *)
 
-module Jsonout = Jsonout
+module Jsonout = Compass_util.Jsonout
 module Instrument = Instrument
 module Races = Races
 module Audit = Audit

@@ -1,5 +1,6 @@
 open Compass_rmc
 open Compass_machine
+open Compass_util
 
 (* Per-site race detection over recorded access logs.
 

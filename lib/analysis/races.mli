@@ -1,4 +1,5 @@
 open Compass_machine
+open Compass_util
 
 (** Per-site race detection over recorded access logs.
 

@@ -346,9 +346,10 @@ let e4 ?(dfs_execs = 30_000) ?(rand_execs = 3_000) ?(jobs = 1)
         paper = "derived SPSC specs give end-to-end FIFO: a_c = a_p";
         measured =
           Printf.sprintf
-            "%d DFS + %d random executions, FIFO held in all (%d retries on \
-             empty)"
-            r1.Explore.executions r2.Explore.executions st.Spsc_client.empties;
+            "%d DFS + %d random executions (%d distinct), FIFO held in all \
+             (%d retries on empty)"
+            r1.Explore.executions r2.Explore.executions r2.Explore.distinct
+            st.Spsc_client.empties;
         ok = Explore.ok r1 && Explore.ok r2;
       })
     queue_factories
@@ -427,10 +428,12 @@ let e6 ?(dfs_execs = 40_000) ?(rand_execs = 4_000) ?(jobs = 1)
          together; supports resource exchange at commit points";
       measured =
         Printf.sprintf
-          "%d executions: %d swaps, %d failed exchanges, all consistent; \
-           non-atomic resource reads race-free"
+          "%d executions (%d distinct in the random leg): %d swaps, %d \
+           failed exchanges, all consistent; non-atomic resource reads \
+           race-free"
           (rx.Explore.executions + rx_rand.Explore.executions)
-          stx.Resource_exchange.swaps stx.Resource_exchange.fails;
+          rx_rand.Explore.distinct stx.Resource_exchange.swaps
+          stx.Resource_exchange.fails;
       ok = Explore.ok rx && Explore.ok rx_rand && stx.Resource_exchange.swaps > 0;
     };
     {
@@ -442,10 +445,10 @@ let e6 ?(dfs_execs = 40_000) ?(rand_execs = 4_000) ?(jobs = 1)
          LIFO";
       measured =
         Printf.sprintf
-          "%d executions: StackConsistent + simulation held in all; %d ops \
-           via base stack, %d eliminated pairs"
-          res.Explore.executions stes.Es_compose.via_base
-          stes.Es_compose.eliminated;
+          "%d executions (%d distinct): StackConsistent + simulation held \
+           in all; %d ops via base stack, %d eliminated pairs"
+          res.Explore.executions res.Explore.distinct
+          stes.Es_compose.via_base stes.Es_compose.eliminated;
       ok = Explore.ok res && stes.Es_compose.eliminated > 0;
     };
   ]

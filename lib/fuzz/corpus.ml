@@ -1,0 +1,98 @@
+(* Schedule-prefix corpus for coverage-guided fuzzing.
+
+   Entries are decision-script prefixes (the logged decision vectors of
+   executions that reached new coverage).  The guided driver picks an
+   entry, mutates it fuzzer-style, and replays it as a prefix with a
+   seeded-random tail; mutants are replayed with the *clamped* oracle, so
+   an out-of-range choice degrades to the last alternative instead of
+   raising — every mutant is runnable.
+
+   Mutations:
+   - truncate: keep a random prefix (the tail is re-randomized by the
+     driver's random continuation);
+   - flip: overwrite one position with a small random choice;
+   - splice: a prefix of one entry followed by the suffix of another —
+     crossover between two interesting schedules. *)
+
+type t = { mutable entries : int array list; mutable n : int }
+
+let create () = { entries = []; n = 0 }
+let size t = t.n
+
+(* Keep the corpus bounded: beyond [cap] entries, new ones overwrite a
+   random slot (reservoir-ish; the driver's Random.State keeps it
+   deterministic). *)
+let cap = 256
+
+let add t script =
+  if Array.length script = 0 then ()
+  else if t.n < cap then (
+    t.entries <- script :: t.entries;
+    t.n <- t.n + 1)
+  else
+    t.entries <-
+      List.mapi (fun i e -> if i = Hashtbl.hash script mod cap then script else e) t.entries
+
+let to_list t = List.rev t.entries
+
+let pick t st =
+  if t.n = 0 then None
+  else
+    let i = Random.State.int st t.n in
+    Some (List.nth t.entries i)
+
+let truncate st s =
+  let n = Array.length s in
+  Array.sub s 0 (Random.State.int st n)
+
+let flip st s =
+  let s = Array.copy s in
+  let i = Random.State.int st (Array.length s) in
+  s.(i) <- Random.State.int st 4;
+  s
+
+let splice st a b =
+  let i = Random.State.int st (Array.length a + 1) in
+  let j = Random.State.int st (Array.length b + 1) in
+  Array.append (Array.sub a 0 i) (Array.sub b j (Array.length b - j))
+
+(* One mutant of [s]; [other] (a second corpus pick, when available)
+   enables splicing. *)
+let mutate ?other st s =
+  if Array.length s = 0 then [||]
+  else
+    match (Random.State.int st 3, other) with
+    | 0, _ -> truncate st s
+    | 1, _ -> flip st s
+    | _, Some o -> splice st s o
+    | _, None -> flip st s
+
+(* Text persistence: one entry per line, space-separated choices — the
+   [--corpus FILE] format. *)
+let save t file =
+  let oc = open_out file in
+  List.iter
+    (fun s ->
+      output_string oc
+        (String.concat " " (Array.to_list (Array.map string_of_int s)));
+      output_char oc '\n')
+    (List.rev t.entries);
+  close_out oc
+
+let load file =
+  let t = create () in
+  (try
+     let ic = open_in file in
+     (try
+        while true do
+          let line = input_line ic in
+          let parts =
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+          in
+          match List.map int_of_string parts with
+          | [] -> ()
+          | ds -> add t (Array.of_list ds)
+        done
+      with End_of_file -> close_in ic)
+   with Sys_error _ -> ());
+  t

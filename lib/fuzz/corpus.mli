@@ -1,0 +1,25 @@
+(** Corpus of schedule prefixes (decision vectors that reached new
+    coverage), with fuzzer-style mutation: truncate, choice flip, and
+    splice between two entries.  Mutants may be invalid scripts; the
+    driver replays them clamped, so they never raise. *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val add : t -> int array -> unit
+(** keep an interesting decision vector (bounded; overwrites beyond the
+    cap) *)
+
+val to_list : t -> int array list
+(** entries, oldest first (for seeding another corpus or saving) *)
+
+val pick : t -> Random.State.t -> int array option
+val mutate : ?other:int array -> Random.State.t -> int array -> int array
+
+val save : t -> string -> unit
+(** one entry per line, space-separated choices *)
+
+val load : string -> t
+(** missing file loads as an empty corpus *)

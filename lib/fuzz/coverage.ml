@@ -1,0 +1,128 @@
+open Compass_rmc
+open Compass_machine
+
+(* Execution coverage for schedule fuzzing.
+
+   Two signals, both computed from the recorded access log:
+
+   - a *fingerprint* per execution — an FNV-style fold over the accesses
+     (thread, location, kind, mode, message timestamps, site) — so the
+     tracker counts how many observably distinct executions a budget
+     bought, and the corpus can keep only inputs that reached a new one;
+
+   - *site-pair* coverage: for every access, the most recent prior
+     conflicting access by another thread (same location, at least one a
+     write) contributes an ordered pair of site labels.  Pairs are the
+     classic interleaving-coverage metric: a schedule that first exhibits
+     "enqueue's tail CAS before dequeue's head load" covers a pair no
+     thread-local run can.
+
+   Both are deterministic functions of the execution, so coverage-guided
+   runs stay reproducible for a fixed seed. *)
+
+type feedback = { fresh : bool; new_pairs : int }
+
+type t = {
+  fps : (int, unit) Hashtbl.t;
+  pairs : (string, unit) Hashtbl.t;
+  mutable new_pair_execs : int;
+}
+
+let create () =
+  { fps = Hashtbl.create 199; pairs = Hashtbl.create 63; new_pair_execs = 0 }
+
+let distinct t = Hashtbl.length t.fps
+let pair_count t = Hashtbl.length t.pairs
+let new_pair_execs t = t.new_pair_execs
+
+let access_hash (a : Access.t) =
+  match a with
+  | Access.Access r ->
+      Hashtbl.hash
+        ( r.tid,
+          Loc.hash r.loc,
+          Hashtbl.hash r.kind,
+          Hashtbl.hash r.mode,
+          Hashtbl.hash r.read_ts,
+          Hashtbl.hash r.write_ts,
+          r.site )
+  | Access.Fence r -> Hashtbl.hash (r.tid, Hashtbl.hash r.fence, r.site)
+
+(* FNV-1a-style fold; masked to stay a non-negative OCaml int. *)
+let fingerprint accesses =
+  List.fold_left
+    (fun h a -> ((h * 0x01000193) lxor access_hash a) land max_int)
+    0x811c9dc5 accesses
+
+(* A printable label for an access: its site when the program supplied
+   one, else kind @ location. *)
+let label (a : Access.t) =
+  match Access.site a with
+  | Some s -> s
+  | None -> (
+      match a with
+      | Access.Access r ->
+          let k =
+            match r.kind with
+            | Access.Load -> "R"
+            | Access.Store -> "W"
+            | Access.Update -> "U"
+          in
+          k ^ "@" ^ Loc.to_string r.loc
+      | Access.Fence _ -> "F")
+
+(* Record one execution's access log; the returned feedback says whether
+   it reached a new fingerprint and how many new site pairs it covered. *)
+let note t accesses =
+  let fp = fingerprint accesses in
+  let fresh = not (Hashtbl.mem t.fps fp) in
+  if fresh then Hashtbl.replace t.fps fp ();
+  (* last access per (location, thread), to find each access's most
+     recent prior conflicting access by another thread in one pass *)
+  let last : (int, (int, bool * string * int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let news = ref 0 in
+  List.iter
+    (fun (a : Access.t) ->
+      match a with
+      | Access.Fence _ -> ()
+      | Access.Access r ->
+          let writes = r.kind <> Access.Load in
+          let lbl = label a in
+          let per =
+            match Hashtbl.find_opt last (Loc.hash r.loc) with
+            | Some h -> h
+            | None ->
+                let h = Hashtbl.create 4 in
+                Hashtbl.replace last (Loc.hash r.loc) h;
+                h
+          in
+          let prev =
+            Hashtbl.fold
+              (fun tid (w, l, aid) acc ->
+                if tid <> r.tid && (w || writes) then
+                  match acc with
+                  | Some (_, aid') when aid' >= aid -> acc
+                  | _ -> Some (l, aid)
+                else acc)
+              per None
+          in
+          (match prev with
+          | Some (plbl, _) ->
+              let key = plbl ^ " -> " ^ lbl in
+              if not (Hashtbl.mem t.pairs key) then (
+                Hashtbl.replace t.pairs key ();
+                incr news)
+          | None -> ());
+          Hashtbl.replace per r.tid (writes, lbl, r.aid))
+    accesses;
+  if !news > 0 then t.new_pair_execs <- t.new_pair_execs + 1;
+  { fresh; new_pairs = !news }
+
+(* Fold [src] into [dst] — how the parallel driver merges per-worker
+   trackers (in worker order, for determinism). *)
+let merge dst src =
+  Hashtbl.iter (fun k () -> Hashtbl.replace dst.fps k ()) src.fps;
+  Hashtbl.iter (fun k () -> Hashtbl.replace dst.pairs k ()) src.pairs;
+  dst.new_pair_execs <- dst.new_pair_execs + src.new_pair_execs

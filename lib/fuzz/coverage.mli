@@ -1,0 +1,33 @@
+open Compass_machine
+
+(** Execution coverage: per-execution fingerprints (a deterministic hash
+    of the access log) and site-pair interleaving coverage (for each
+    access, the most recent prior conflicting access by another thread).
+    Feeds the corpus of the coverage-guided fuzzing mode. *)
+
+type t
+
+type feedback = {
+  fresh : bool;  (** the execution reached a fingerprint not seen before *)
+  new_pairs : int;  (** site pairs first covered by this execution *)
+}
+
+val create : unit -> t
+
+val fingerprint : Access.t list -> int
+(** deterministic hash of an access log (non-negative) *)
+
+val note : t -> Access.t list -> feedback
+(** record one execution's access log *)
+
+val distinct : t -> int
+(** number of distinct fingerprints seen *)
+
+val pair_count : t -> int
+(** number of site pairs covered *)
+
+val new_pair_execs : t -> int
+(** executions that covered at least one new pair *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst] (parallel-worker merge) *)

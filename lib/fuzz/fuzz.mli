@@ -1,0 +1,70 @@
+open Compass_machine
+
+(** The schedule-fuzzing driver: sample the decision tree under a search
+    strategy instead of enumerating it.  Deterministic for a fixed seed
+    at any job count (per-execution seeds derive from the global
+    execution index); workers stop at their own first violation. *)
+
+type mode =
+  | Uniform  (** every choice seeded-uniform — the baseline *)
+  | Pct  (** priority-based scheduling with change points ({!Pct}) *)
+  | Guided  (** coverage-guided corpus mutation ({!Corpus}) *)
+
+val mode_name : mode -> string
+val mode_of_string : string -> mode option
+
+type options = {
+  mode : mode;
+  execs : int;
+  seed : int;
+  jobs : int;
+  pct_depth : int;  (** PCT priority change points *)
+  sched_len : int;  (** 0: measure with a pilot execution *)
+  stop_on_violation : bool;
+  max_violations : int;
+  shrink : bool;  (** shrink the first violation before reporting *)
+  shrink_replays : int;
+  corpus_in : Corpus.t option;  (** seed corpus ([--corpus FILE]) *)
+  config : Machine.config;
+}
+
+val default_options : options
+(** [Pct], 4000 executions, seed 1, depth 3, shrink on, accesses
+    recorded (coverage needs the access log) *)
+
+type outcome = {
+  scenario : string;
+  mode : mode;
+  seed : int;
+  jobs : int;
+  pct_depth : int;
+  execs : int;  (** performed (workers may stop early on violation) *)
+  distinct : int;  (** distinct execution fingerprints *)
+  pairs : int;  (** site pairs covered *)
+  new_pair_execs : int;
+  corpus_size : int;
+  corpus : Corpus.t;
+  violations : Explore.failure list;
+      (** oldest first; the first is shrunk when [options.shrink] *)
+  first_violation_exec : int option;  (** global execution index *)
+  shrink_stats : Shrink.stats option;
+  seconds : float;
+}
+
+val run : ?options:options -> (unit -> Explore.scenario) -> outcome
+(** fuzz one scenario; the thunk builds a fresh scenario per worker (so
+    scenario-closure statistics never race) *)
+
+val prefix_oracle : Random.State.t -> int array -> Oracle.t
+(** clamped prefix replay with a seeded-random tail (exposed for tests) *)
+
+val measure_sched_len :
+  config:Machine.config -> seed:int -> (unit -> Explore.scenario) -> int
+(** branching scheduling decisions of one pilot execution (>= 8) *)
+
+val fingerprint : outcome -> string
+(** canonical projection of everything deterministic (excludes wall-clock
+    time) — equal across repeated runs with equal options *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val outcome_to_json : outcome -> Compass_util.Jsonout.t

@@ -1,0 +1,68 @@
+open Compass_machine
+
+(* Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010),
+   adapted to the oracle interface.
+
+   Each thread gets a random distinct base priority above [depth], and
+   [depth] priority *change points* are sampled uniformly over the
+   scheduling steps of the execution.  At every scheduling decision the
+   highest-priority runnable thread runs; when the step counter hits a
+   change point, that thread's priority drops below every base priority
+   (to a strictly decreasing value, so later drops rank below earlier
+   ones).  A bug that needs [d] ordering constraints between specific
+   instructions is found with probability >= 1/(n * k^(d-1)) per run —
+   far better than uniform random for small-depth bugs.
+
+   Only scheduling choices are priority-driven: the machine tags them
+   [Oracle.Sched tids], and the tids let priorities follow threads, not
+   choice indices (the set of runnable threads shifts as threads block
+   and finish).  Data choices — which message a load reads, which
+   timestamp a write takes — stay seeded-uniform, because PCT's theory
+   covers scheduling only.
+
+   [sched_len] is the expected number of *branching* scheduling decisions
+   (the machine never consults the oracle when one thread is runnable);
+   the fuzz driver measures it with a pilot execution. *)
+
+let oracle ~seed ~depth ~sched_len =
+  let st = Random.State.make [| seed; 0x9c71 |] in
+  let sched_len = max sched_len 1 in
+  (* Change points, keyed by scheduling-step index (collisions merge,
+     which only lowers the effective depth — harmless). *)
+  let changes = Hashtbl.create 8 in
+  for _ = 1 to depth do
+    Hashtbl.replace changes (1 + Random.State.int st sched_len) ()
+  done;
+  (* Base priorities: assigned on first sight, distinct, above [depth] so
+     every change-point priority ranks below every base priority. *)
+  let prio = Hashtbl.create 8 in
+  let used = Hashtbl.create 8 in
+  let priority tid =
+    match Hashtbl.find_opt prio tid with
+    | Some p -> p
+    | None ->
+        let rec fresh () =
+          let p = depth + 1 + Random.State.int st 0x10000 in
+          if Hashtbl.mem used p then fresh () else p
+        in
+        let p = fresh () in
+        Hashtbl.replace used p ();
+        Hashtbl.replace prio tid p;
+        p
+  in
+  let step = ref 0 in
+  let low = ref depth in
+  Oracle.make (fun ~pos:_ ~arity ~kind ->
+      match kind with
+      | Oracle.Data -> Random.State.int st arity
+      | Oracle.Sched tids ->
+          incr step;
+          let best = ref 0 in
+          for i = 1 to Array.length tids - 1 do
+            if priority tids.(i) > priority tids.(!best) then best := i
+          done;
+          if Hashtbl.mem changes !step then (
+            Hashtbl.remove changes !step;
+            Hashtbl.replace prio tids.(!best) !low;
+            decr low);
+          !best)

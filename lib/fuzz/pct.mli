@@ -1,0 +1,11 @@
+open Compass_machine
+
+(** Probabilistic Concurrency Testing: priority-based random scheduling
+    with [depth] priority change points (Burckhardt et al.).  Scheduling
+    choices run the highest-priority runnable thread; data choices stay
+    seeded-uniform.  Deterministic per seed. *)
+
+val oracle : seed:int -> depth:int -> sched_len:int -> Oracle.t
+(** a fresh single-execution oracle; [sched_len] is the expected number
+    of branching scheduling decisions, over which the change points are
+    sampled uniformly (the fuzz driver measures it with a pilot run) *)

@@ -1,0 +1,9 @@
+(** Deterministic seed derivation.
+
+    One independent pseudo-random seed per (base seed, stream index)
+    pair, via the splitmix64 finalizer — how the fuzzer gives every
+    execution (and every worker) its own stream while staying
+    byte-identical across [--jobs] counts for a fixed base seed. *)
+
+val derive : int -> int -> int
+(** [derive seed i] is a well-mixed non-negative seed for stream [i] *)

@@ -1,0 +1,34 @@
+open Compass_machine
+
+(** Counterexample shrinking: delta-debug a violating decision script
+    down to a 1-minimal one that still produces a violation with the same
+    message.  Candidates replay clamped (never raise); results are
+    normalized logged decision vectors with trailing zeros stripped, so
+    they are valid strict scripts for [compass replay]. *)
+
+type stats = { replays : int; initial_len : int; final_len : int }
+
+val strip_trailing_zeros : int array -> int array
+(** drop trailing zeros (choice 0 is the past-the-end replay default, so
+    they are redundant in any script) *)
+
+val reproduces :
+  ?config:Machine.config ->
+  scenario:Explore.scenario ->
+  message:string ->
+  int array ->
+  bool
+(** does the script (replayed clamped) still violate with [message]? *)
+
+val minimize :
+  ?config:Machine.config ->
+  ?max_replays:int ->
+  scenario:Explore.scenario ->
+  message:string ->
+  int array ->
+  stats * int array
+(** chunk removal, per-choice zeroing, then a 1-minimality fixpoint of
+    single removals and single decrements.  Accepted candidates must
+    strictly shrink under the (length, sum) lexicographic measure, so the
+    search terminates; if the input does not reproduce at all, it is
+    returned unchanged. *)

@@ -33,6 +33,10 @@ type failure = { message : string; script : int array }
 type report = {
   name : string;
   executions : int;
+  distinct : int;
+      (** distinct decision vectors among the executions.  DFS enumerates,
+          so there it equals [executions]; random sampling revisits
+          decision vectors, and the gap is the sampling redundancy. *)
   passed : int;
   discarded : int;
   bounded : int;
@@ -44,9 +48,12 @@ type report = {
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>%s: %d executions (%s)@ passed %d, discarded %d (blocked %d, bounded %d)%s, violations %d%a@]"
+    "@[<v>%s: %d executions (%s)%s@ passed %d, discarded %d (blocked %d, bounded %d)%s, violations %d%a@]"
     r.name r.executions
     (if r.complete then "exhaustive" else "budget-limited")
+    (if r.distinct < r.executions then
+       Printf.sprintf ", %d distinct" r.distinct
+     else "")
     r.passed r.discarded r.blocked r.bounded
     (if r.pruned > 0 then Printf.sprintf ", pruned %d subtrees" r.pruned else "")
     (List.length r.violations)
@@ -58,6 +65,31 @@ let pp_report ppf r =
     r.violations
 
 let ok r = r.violations = []
+
+let report_to_json (r : report) =
+  let open Compass_util in
+  Jsonout.Obj
+    [
+      ("name", Jsonout.Str r.name);
+      ("executions", Jsonout.Int r.executions);
+      ("distinct", Jsonout.Int r.distinct);
+      ("passed", Jsonout.Int r.passed);
+      ("discarded", Jsonout.Int r.discarded);
+      ("bounded", Jsonout.Int r.bounded);
+      ("blocked", Jsonout.Int r.blocked);
+      ("pruned", Jsonout.Int r.pruned);
+      ("complete", Jsonout.Bool r.complete);
+      ( "violations",
+        Jsonout.List
+          (List.map
+             (fun (f : failure) ->
+               Jsonout.Obj
+                 [
+                   ("message", Jsonout.Str f.message);
+                   ("script", Jsonout.int_array f.script);
+                 ])
+             r.violations) );
+    ]
 
 let run_one ~config scenario script =
   let m = Machine.create ~config () in
@@ -115,10 +147,14 @@ let account st (outcome : Machine.outcome) verdict script =
         st.violations <- { message; script } :: st.violations
       end
 
-let to_report ~name ~complete st =
+(* [distinct]: only the random driver counts fingerprints; DFS enumerates
+   distinct scripts by construction, so it defaults to the execution
+   count. *)
+let to_report ?distinct ~name ~complete st =
   {
     name;
     executions = st.execs;
+    distinct = (match distinct with Some d -> d | None -> st.execs);
     passed = st.passed;
     discarded = st.discarded;
     bounded = st.bounded;
@@ -480,19 +516,26 @@ let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
       && not (Atomic.get stop))
     st
 
-(* Random sampling: [execs] seeded executions. *)
+(* Random sampling: [execs] seeded executions.  Decision vectors are
+   fingerprinted so the report can say how many *distinct* executions the
+   sample actually covered — the redundancy random exploration pays and
+   DFS does not. *)
 let random ?(execs = 1_000) ?(seed = 0) ?(config = Machine.default_config)
     scenario =
   let st = fresh_stats () in
+  let seen : (int array, unit) Hashtbl.t = Hashtbl.create 199 in
   for i = 0 to execs - 1 do
     let m = Machine.create ~config () in
     let judge = scenario.build m in
     let oracle = Oracle.random ~seed:(seed + i) in
     let outcome = Machine.run m oracle in
     let verdict = judge outcome in
-    account st outcome verdict (Array.of_list (Oracle.decisions oracle))
+    let ds = Array.of_list (Oracle.decisions oracle) in
+    Hashtbl.replace seen ds ();
+    account st outcome verdict ds
   done;
-  to_report ~name:scenario.name ~complete:false st
+  to_report ~distinct:(Hashtbl.length seen) ~name:scenario.name ~complete:false
+    st
 
 type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
 

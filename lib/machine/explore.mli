@@ -34,6 +34,10 @@ type failure = { message : string; script : int array }
 type report = {
   name : string;
   executions : int;
+  distinct : int;
+      (** distinct decision vectors among the executions — equals
+          [executions] under DFS (which enumerates); under random sampling
+          the gap is the sampling redundancy *)
   passed : int;
   discarded : int;
   bounded : int;
@@ -48,6 +52,10 @@ val pp_report : Format.formatter -> report -> unit
 
 val ok : report -> bool
 (** no violations *)
+
+val report_to_json : report -> Compass_util.Jsonout.t
+(** the report (including [distinct] and the kept violation scripts) as a
+    JSON object, for [--json] flags and CI artifacts *)
 
 val run_one :
   config:Machine.config ->

@@ -170,7 +170,8 @@ let record_fence m ~tid ?site fence =
 
 (* Choices with a single alternative consume no oracle decision: this keeps
    DFS decision scripts short. *)
-let choose oracle ~arity = if arity = 1 then 0 else Oracle.choose oracle ~arity
+let choose ?kind oracle ~arity =
+  if arity = 1 then 0 else Oracle.choose ?kind oracle ~arity
 
 (* -- commits ---------------------------------------------------------------- *)
 
@@ -611,7 +612,18 @@ let run ?(reduce = false) ?(resume = false) ?on_step ?on_sched m oracle =
          explorer's last chance to checkpoint the state this decision
          branches from. *)
       if arity > 1 then (match on_sched with Some f -> f () | None -> ());
-      let j = choose oracle ~arity in
+      let j =
+        if arity = 1 then 0
+        else
+          (* Tell schedule-directed oracles which threads this choice picks
+             between (forced steps never reach the oracle, which is also
+             what a priority scheduler would do with one runnable
+             thread). *)
+          let tids =
+            Array.of_list (List.map (fun (th : thread) -> th.tid) runnable)
+          in
+          Oracle.choose ~kind:(Oracle.Sched tids) oracle ~arity
+      in
       let th = List.nth runnable j in
       if reduce && List.mem_assq th.tid m.sleep then Pruned
       else begin

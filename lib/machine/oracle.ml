@@ -4,19 +4,30 @@
    load reads, which timestamp a write takes — is resolved by a sequence of
    bounded integer choices.  An oracle answers those choices and logs the
    branching factor of each, which is exactly what the stateless DFS
-   explorer needs to enumerate the decision tree. *)
+   explorer needs to enumerate the decision tree.
+
+   Each choice carries a [kind]: scheduling choices name the runnable
+   threads they pick between, everything else (read message, write
+   timestamp, await/RMW candidates) is [Data].  Enumeration and replay
+   ignore kinds; schedule-directed oracles (the PCT fuzzer) key on them. *)
+
+type kind =
+  | Sched of int array
+      (** a scheduling decision; element [i] is the tid that choice [i]
+          would run, so [Array.length tids = arity] *)
+  | Data  (** load / timestamp / await / RMW-candidate choice *)
 
 type t = {
   mutable pos : int;
   mutable log : (int * int) list;  (** (arity, choice), newest first *)
-  pick : pos:int -> arity:int -> int;
+  pick : pos:int -> arity:int -> kind:kind -> int;
 }
 
-let choose o ~arity =
+let choose ?(kind = Data) o ~arity =
   if arity <= 0 then invalid_arg "Oracle.choose: empty choice";
   let pos = o.pos in
   o.pos <- pos + 1;
-  let c = o.pick ~pos ~arity in
+  let c = o.pick ~pos ~arity ~kind in
   assert (0 <= c && c < arity);
   o.log <- (arity, c) :: o.log;
   c
@@ -46,19 +57,28 @@ let position o = o.pos
    checkpointing it is O(1). *)
 let raw_log o = o.log
 
+(* Custom pick function — how the fuzzing subsystem builds its PCT and
+   prefix-replay oracles without this module knowing about them. *)
+let make pick = { pos = 0; log = []; pick }
+
 (* Deterministic oracle: always the last alternative.  For loads the
    alternatives are in ascending timestamp order, so "last" reads the
    mo-maximal message — the right default for solo (setup) execution.
    Always a fresh value: a shared oracle would be mutable state leaking
    between executions (and between domains, under parallel exploration). *)
-let fresh_latest () = { pos = 0; log = []; pick = (fun ~pos:_ ~arity -> arity - 1) }
+let fresh_latest () =
+  { pos = 0; log = []; pick = (fun ~pos:_ ~arity ~kind:_ -> arity - 1) }
 
 (* Seeded pseudo-random oracle (deterministic per seed). *)
 let random ~seed =
   let st = Random.State.make [| seed; 0x5eed |] in
-  { pos = 0; log = []; pick = (fun ~pos:_ ~arity -> Random.State.int st arity) }
+  {
+    pos = 0;
+    log = [];
+    pick = (fun ~pos:_ ~arity ~kind:_ -> Random.State.int st arity);
+  }
 
-let script_pick choices ~pos ~arity =
+let script_pick choices ~pos ~arity ~kind:_ =
   if pos < Array.length choices then (
     let c = choices.(pos) in
     if c >= arity then
@@ -70,6 +90,20 @@ let script_pick choices ~pos ~arity =
 (* Replay [script] and fall back to choice 0 (the "first" alternative) past
    its end — the DFS explorer's workhorse. *)
 let script choices = { pos = 0; log = []; pick = script_pick choices }
+
+(* Tolerant replay: out-of-range choices clamp to the last alternative
+   instead of raising.  A shrinker or fuzzer mutating a valid script can
+   push a later position past its (path-dependent) arity; clamping keeps
+   every mutant runnable, and the run's *logged* decision vector is then a
+   valid script for strict replay. *)
+let script_clamped choices =
+  {
+    pos = 0;
+    log = [];
+    pick =
+      (fun ~pos ~arity ~kind:_ ->
+        if pos < Array.length choices then min choices.(pos) (arity - 1) else 0);
+  }
 
 (* Resume a scripted replay from a machine checkpoint: the first [pos]
    choices were already taken on the checkpointed path, and their

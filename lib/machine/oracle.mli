@@ -6,10 +6,18 @@
     factor, which is exactly what the stateless DFS explorer needs to
     enumerate the decision tree. *)
 
+type kind =
+  | Sched of int array
+      (** a scheduling decision; element [i] is the tid that choice [i]
+          would run ([Array.length tids = arity]) *)
+  | Data  (** load / timestamp / await / RMW-candidate choice *)
+
 type t
 
-val choose : t -> arity:int -> int
-(** pick a choice in [0 .. arity-1] and log it *)
+val choose : ?kind:kind -> t -> arity:int -> int
+(** pick a choice in [0 .. arity-1] and log it; [kind] (default [Data])
+    tells schedule-directed oracles what the choice means — enumeration
+    and replay oracles ignore it *)
 
 val decisions : t -> int list
 (** choices taken so far, earliest first *)
@@ -28,10 +36,21 @@ val fresh_latest : unit -> t
 
 val random : seed:int -> t
 
+val make : (pos:int -> arity:int -> kind:kind -> int) -> t
+(** an oracle answering with a custom pick function — the hook the
+    schedule-fuzzing subsystem's PCT and prefix-replay oracles plug into;
+    the pick must return a value in [0 .. arity-1] *)
+
 val script : int array -> t
 (** replay the given choices, falling back to choice 0 past the end; the
     DFS explorer's workhorse.
     @raise Invalid_argument if a scripted choice exceeds the arity *)
+
+val script_clamped : int array -> t
+(** tolerant replay: out-of-range choices clamp to the last alternative
+    and positions past the end take choice 0 — never raises.  The logged
+    decision vector of a clamped run is a valid script for {!script}.
+    What the shrinker and the corpus mutator replay candidates with. *)
 
 val position : t -> int
 (** number of choices taken so far (the current decision depth) *)

@@ -1,0 +1,8 @@
+(** Shared utilities with no dependency on the rest of the tree.
+
+    - {!Jsonout}: the minimal JSON emitter behind every [--json] flag and
+      benchmark artifact ([audit-*.json], [BENCH_*.json], [fuzz-*.json]) —
+      one copy, so analysis, fuzzing and the benches stop growing private
+      emitters. *)
+
+module Jsonout = Jsonout

@@ -5,9 +5,19 @@ type t =
   | Null
   | Bool of bool
   | Int of int
+  | Float of float
   | Str of string
   | List of t list
   | Obj of (string * t) list
+
+(* JSON has no inf/nan; map them to null rather than emit invalid text. *)
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else
+    (* Shortest representation that still round-trips enough precision for
+       benchmark numbers; %.17g would be exact but unreadable. *)
+    let s = Printf.sprintf "%.6g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
 
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -31,6 +41,7 @@ let rec emit buf ~indent ~level j =
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
   | Str s ->
       Buffer.add_char buf '"';
       Buffer.add_string buf (escape s);

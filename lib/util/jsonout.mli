@@ -1,11 +1,13 @@
-(** A minimal JSON emitter for the analysis reports ([compass analyze
-    ... --json]) that CI archives as artifacts.  Strings are escaped;
+(** A minimal JSON emitter for the reports the CLI and benches write for
+    CI artifacts ([compass analyze/fuzz ... --json], [BENCH_*.json]).
+    Strings are escaped; floats print as [%.6g] (non-finite as [null]);
     output is pretty-printed with a trailing newline. *)
 
 type t =
   | Null
   | Bool of bool
   | Int of int
+  | Float of float
   | Str of string
   | List of t list
   | Obj of (string * t) list

@@ -1,0 +1,249 @@
+open Compass_rmc
+open Compass_machine
+open Compass_dstruct
+open Compass_clients
+open Prog.Syntax
+module Fz = Compass_fuzz
+
+(* The schedule-fuzzing subsystem: the shrinker must preserve the exact
+   violation and emit a 1-minimal script; fuzz runs must be byte-identical
+   across repeated runs for a fixed seed (including parallel workers); a
+   small PCT budget must find the deliberately broken MS queue; corpus
+   mutants must never raise on replay; and the random explorer's distinct
+   statistic must behave. *)
+
+let vi n = Value.Int n
+
+(* Same shape as test_explore's seeded violation: MP over raw cells with
+   a relaxed flag (stale read = violation), plus a third thread hammering
+   an unrelated location so scripts have slack for the shrinker to
+   remove. *)
+let mp_rlx_scenario () =
+  {
+    Explore.name = "fuzz-mp-rlx";
+    build =
+      (fun m ->
+        let x = Machine.alloc m ~name:"x" ~init:(vi 0) 1 in
+        let y = Machine.alloc m ~name:"y" ~init:(vi 0) 1 in
+        let flag = Machine.alloc m ~name:"flag" ~init:(vi 0) 1 in
+        let t1 =
+          let* () = Prog.store x (vi 1) Mode.Rlx in
+          let* () = Prog.store flag (vi 1) Mode.Rlx in
+          Prog.return Value.Unit
+        in
+        let t2 =
+          let* _ = Prog.await flag Mode.Rlx (Value.equal (vi 1)) in
+          Prog.load x Mode.Rlx
+        in
+        let t3 =
+          let* () = Prog.store y (vi 1) Mode.Rlx in
+          let* () = Prog.store y (vi 2) Mode.Rlx in
+          Prog.return Value.Unit
+        in
+        Machine.spawn m [ t1; t2; t3 ];
+        function
+        | Machine.Finished [| _; r2; _ |] ->
+            if Value.equal r2 (vi 0) then Explore.Violation "stale read of x"
+            else Explore.Pass
+        | Machine.Finished _ -> Explore.Violation "arity"
+        | Machine.Fault s -> Explore.Violation ("fault: " ^ s)
+        | Machine.Blocked s -> Explore.Discard s
+        | Machine.Bounded -> Explore.Discard "bounded"
+        | Machine.Pruned -> Explore.Discard "pruned");
+  }
+
+let ms_weak () = Mp.make Msqueue_weak.instantiate (Mp.fresh_stats ())
+
+let find_violation mk =
+  let r = Explore.dfs ~until_violation:true ~max_execs:200_000 (mk ()) in
+  match r.Explore.violations with
+  | f :: _ -> f
+  | [] -> Alcotest.fail "expected the scenario to violate under DFS"
+
+(* -- shrinker ----------------------------------------------------------------- *)
+
+let test_shrink_preserves_violation () =
+  let f = find_violation mp_rlx_scenario in
+  let stats, small =
+    Fz.Shrink.minimize ~scenario:(mp_rlx_scenario ()) ~message:f.Explore.message
+      f.Explore.script
+  in
+  Alcotest.(check bool)
+    "shrunk script reproduces the same violation" true
+    (Fz.Shrink.reproduces ~scenario:(mp_rlx_scenario ())
+       ~message:f.Explore.message small);
+  Alcotest.(check bool)
+    "shrunk no longer than the original" true
+    (Array.length small <= Array.length f.Explore.script);
+  Alcotest.(check int) "stats record the final length" (Array.length small)
+    stats.Fz.Shrink.final_len;
+  (* the shrunk script must also be a *valid strict* script: the strict
+     replay path is what [compass replay] uses *)
+  let _, _, verdict = Explore.replay ~config:Machine.default_config
+      (mp_rlx_scenario ()) small
+  in
+  (match verdict with
+  | Explore.Violation m ->
+      Alcotest.(check string) "strict replay message" f.Explore.message m
+  | _ -> Alcotest.fail "strict replay of the shrunk script must violate")
+
+let test_shrink_one_minimal () =
+  let f = find_violation mp_rlx_scenario in
+  let _, small =
+    Fz.Shrink.minimize ~scenario:(mp_rlx_scenario ()) ~message:f.Explore.message
+      f.Explore.script
+  in
+  let reproduces s =
+    Fz.Shrink.reproduces ~scenario:(mp_rlx_scenario ())
+      ~message:f.Explore.message s
+  in
+  (* removing any single element must lose the violation *)
+  Array.iteri
+    (fun i _ ->
+      let cand =
+        Array.append (Array.sub small 0 i)
+          (Array.sub small (i + 1) (Array.length small - i - 1))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "removing position %d breaks reproduction" i)
+        false (reproduces cand))
+    small;
+  (* lowering any single choice must lose the violation too *)
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let cand = Array.copy small in
+        cand.(i) <- c - 1;
+        Alcotest.(check bool)
+          (Printf.sprintf "decrementing position %d breaks reproduction" i)
+          false (reproduces cand)
+      end)
+    small
+
+(* -- determinism -------------------------------------------------------------- *)
+
+let fuzz_opts ?(mode = Fz.Fuzz.Pct) ?(jobs = 1) ?(execs = 400) ~seed () =
+  { Fz.Fuzz.default_options with Fz.Fuzz.mode; jobs; execs; seed }
+
+let test_pct_deterministic () =
+  List.iter
+    (fun jobs ->
+      let opts = fuzz_opts ~jobs ~seed:11 () in
+      let a = Fz.Fuzz.run ~options:opts ms_weak in
+      let b = Fz.Fuzz.run ~options:opts ms_weak in
+      Alcotest.(check string)
+        (Printf.sprintf "pct fingerprint stable across runs (jobs %d)" jobs)
+        (Fz.Fuzz.fingerprint a) (Fz.Fuzz.fingerprint b))
+    [ 1; 2 ]
+
+let test_modes_deterministic () =
+  List.iter
+    (fun mode ->
+      let opts = fuzz_opts ~mode ~seed:5 () in
+      let a = Fz.Fuzz.run ~options:opts mp_rlx_scenario in
+      let b = Fz.Fuzz.run ~options:opts mp_rlx_scenario in
+      Alcotest.(check string)
+        (Fz.Fuzz.mode_name mode ^ " fingerprint stable across runs")
+        (Fz.Fuzz.fingerprint a) (Fz.Fuzz.fingerprint b))
+    [ Fz.Fuzz.Uniform; Fz.Fuzz.Pct; Fz.Fuzz.Guided ]
+
+(* -- finding the broken queue -------------------------------------------------- *)
+
+(* The seed the CI fuzz-smoke job documents: PCT at depth 3 finds the
+   Msqueue_weak violation well within 500 executions. *)
+let ci_seed = 1
+
+let test_pct_finds_ms_weak () =
+  let opts = fuzz_opts ~seed:ci_seed ~execs:500 () in
+  let o = Fz.Fuzz.run ~options:opts ms_weak in
+  (match o.Fz.Fuzz.first_violation_exec with
+  | Some _ -> ()
+  | None -> Alcotest.fail "PCT must find the ms-weak violation in 500 execs");
+  match o.Fz.Fuzz.violations with
+  | [] -> Alcotest.fail "a first violation implies a kept failure"
+  | f :: _ ->
+      (* the (shrunk) reported script replays to the same violation *)
+      let _, _, verdict =
+        Explore.replay ~config:opts.Fz.Fuzz.config (ms_weak ())
+          f.Explore.script
+      in
+      (match verdict with
+      | Explore.Violation m ->
+          Alcotest.(check string) "replayed message" f.Explore.message m
+      | _ -> Alcotest.fail "reported script must replay to a violation");
+      Alcotest.(check bool) "coverage counted distinct executions" true
+        (o.Fz.Fuzz.distinct > 0 && o.Fz.Fuzz.distinct <= o.Fz.Fuzz.execs);
+      Alcotest.(check bool) "site pairs covered" true (o.Fz.Fuzz.pairs > 0)
+
+(* -- corpus mutants ------------------------------------------------------------ *)
+
+let test_corpus_mutants_never_raise () =
+  (* collect some genuine decision vectors *)
+  let corpus = Fz.Corpus.create () in
+  let sc = mp_rlx_scenario () in
+  for seed = 0 to 9 do
+    let m = Machine.create () in
+    let judge = sc.Explore.build m in
+    let oracle = Oracle.random ~seed in
+    ignore (judge (Machine.run m oracle));
+    let ds, _ = Oracle.vectors oracle in
+    Fz.Corpus.add corpus (Fz.Shrink.strip_trailing_zeros ds)
+  done;
+  Alcotest.(check bool) "corpus non-empty" true (Fz.Corpus.size corpus > 0);
+  let st = Random.State.make [| 0xfeed |] in
+  for _ = 1 to 200 do
+    match Fz.Corpus.pick corpus st with
+    | None -> Alcotest.fail "pick on a non-empty corpus"
+    | Some base ->
+        let other = Fz.Corpus.pick corpus st in
+        let mutant = Fz.Corpus.mutate ?other st base in
+        (* clamped prefix replay must never raise, whatever the mutant *)
+        let m = Machine.create () in
+        let judge = (mp_rlx_scenario ()).Explore.build m in
+        let oracle = Fz.Fuzz.prefix_oracle st mutant in
+        ignore (judge (Machine.run m oracle))
+  done
+
+let test_corpus_roundtrip () =
+  let corpus = Fz.Corpus.create () in
+  Fz.Corpus.add corpus [| 1; 0; 2 |];
+  Fz.Corpus.add corpus [| 3 |];
+  let file = Filename.temp_file "compass" ".corpus" in
+  Fz.Corpus.save corpus file;
+  let back = Fz.Corpus.load file in
+  Sys.remove file;
+  Alcotest.(check (list (list int)))
+    "corpus survives save/load"
+    (List.map Array.to_list (Fz.Corpus.to_list corpus))
+    (List.map Array.to_list (Fz.Corpus.to_list back))
+
+(* -- Explore.random distinct statistics ---------------------------------------- *)
+
+let test_random_distinct () =
+  let r = Explore.random ~execs:500 ~seed:3 (mp_rlx_scenario ()) in
+  Alcotest.(check bool) "distinct positive" true (r.Explore.distinct > 0);
+  Alcotest.(check bool) "distinct <= executions" true
+    (r.Explore.distinct <= r.Explore.executions);
+  (* DFS enumerates: every execution is a distinct decision vector *)
+  let d = Explore.dfs ~max_execs:5_000 (mp_rlx_scenario ()) in
+  Alcotest.(check int) "DFS distinct = executions" d.Explore.executions
+    d.Explore.distinct
+
+let suite =
+  [
+    Alcotest.test_case "shrink preserves violation" `Slow
+      test_shrink_preserves_violation;
+    Alcotest.test_case "shrink is 1-minimal" `Slow test_shrink_one_minimal;
+    Alcotest.test_case "pct deterministic (jobs 1 and 2)" `Slow
+      test_pct_deterministic;
+    Alcotest.test_case "all modes deterministic" `Slow
+      test_modes_deterministic;
+    Alcotest.test_case "pct finds ms-weak violation (seed 1)" `Slow
+      test_pct_finds_ms_weak;
+    Alcotest.test_case "corpus mutants never raise" `Slow
+      test_corpus_mutants_never_raise;
+    Alcotest.test_case "corpus save/load roundtrip" `Quick
+      test_corpus_roundtrip;
+    Alcotest.test_case "random explorer distinct stats" `Slow
+      test_random_distinct;
+  ]
