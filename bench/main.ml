@@ -22,6 +22,17 @@ module Fz = Compass_fuzz
 
 let vi n = Value.Int n
 
+(* Structures resolve through the central spec registry, like the CLI. *)
+let queue_factory key =
+  match Specreg.find key with
+  | Some { Compass_spec.Libspec.impl = Specreg.Queue f; _ } -> f
+  | _ -> failwith ("no registered queue implementation: " ^ key)
+
+let stack_factory key =
+  match Specreg.find key with
+  | Some { Compass_spec.Libspec.impl = Specreg.Stack f; _ } -> f
+  | _ -> failwith ("no registered stack implementation: " ^ key)
+
 (* -- graph sampling: one representative finished execution ------------------- *)
 
 let sample_queue_graph (factory : Iface.queue_factory) ~enqers ~deqers ~ops
@@ -312,7 +323,7 @@ let scaling =
    any scenario: the CI perf-smoke gate. *)
 
 let write_json_file file json =
-  let s = Jsonout.to_string json in
+  let s = Report.to_string ~tool:"bench" json in
   let oc = open_out file in
   output_string oc s;
   close_out oc;
@@ -328,15 +339,16 @@ let bench_explore ~quick ~check =
   let max_execs = if quick then 2_000 else 20_000 in
   let scenarios =
     [
-      ("mp-queue", fun () -> Mp.make Msqueue.instantiate (Mp.fresh_stats ()));
+      ( "mp-queue",
+        fun () -> Mp.make (queue_factory "ms") (Mp.fresh_stats ()) );
       ( "hw-queue",
         fun () ->
-          Harness.queue_workload Hwqueue.instantiate ~enqers:2 ~deqers:1 ~ops:1
-            () );
+          Harness.queue_workload (queue_factory "hw") ~enqers:2 ~deqers:1
+            ~ops:1 () );
       ( "treiber",
         fun () ->
-          Harness.stack_workload Treiber.instantiate ~pushers:2 ~poppers:1
-            ~ops:2 () );
+          Harness.stack_workload (stack_factory "treiber") ~pushers:2
+            ~poppers:1 ~ops:2 () );
     ]
   in
   let domains = Domain.recommended_domain_count () in
@@ -462,7 +474,7 @@ let bench_fuzz ~quick ~check =
   let targets =
     [
       ( "ms-weak",
-        fun () -> Mp.make Msqueue_weak.instantiate (Mp.fresh_stats ()) );
+        fun () -> Mp.make (queue_factory "ms-weak") (Mp.fresh_stats ()) );
       ("litmus-sb", hunt "sb-hunt" (fun () -> Litmus.sb ()));
       ( "litmus-mp-rlx",
         hunt "mp-rlx-hunt" (fun () -> Litmus.mp ~rmode:Mode.Rlx ()) );

@@ -3,24 +3,28 @@
 
      compass litmus [--gap]
      compass client (mp / mp-weak / spsc / pipeline / resource / es) [--queue ms/hw]
-     compass check (ms / hw / treiber / es) [--style STYLE]
+     compass specs
+     compass check --struct KEY [--style STYLE]   (or legacy: check ms/hw/treiber/es)
+     compass refine --struct KEY [--json FILE] [--expect-violation]
      compass matrix
      compass dot (ms / hw / treiber / es / exchanger / chaselev)
      compass axioms
-     compass analyze races --struct (ms / ms-weak / ...) [--json FILE]
-     compass analyze modes --struct (ms / ms-fences / ...) [--json FILE]
-     compass replay [--script N,N,...] [--weaken SITE=MODE] [--probe KEY]
-     compass fuzz --struct (ms-weak / ...) [--mode uniform/pct/guided]
+     compass analyze races --struct KEY [--json FILE]
+     compass analyze modes --struct KEY [--json FILE]
+     compass replay [--script N,N,...] [--weaken SITE=MODE] [--struct KEY]
+                    [--refine-client I]
+     compass fuzz --struct KEY [--mode uniform/pct/guided]
                   [--pct-depth D] [--execs N] [--seed S] [--jobs N]
                   [--corpus FILE] [--json FILE] [--expect-violation]
-     compass shrink --script N,N,... [--probe KEY] [--weaken SITE=MODE]
+     compass shrink --script N,N,... [--struct KEY] [--weaken SITE=MODE]
      compass report [--quick]
 
-   Every exploring subcommand also takes [--jobs N] (shard the DFS
-   across N domains), [--reduce] (sleep-set partial-order reduction),
-   [--incremental BOOL] (checkpoint/restore exploration, default on;
-   false = replay-from-root oracle) and [--stride N] (checkpoint
-   spacing).
+   Structure keys ([--struct]) resolve through the central spec registry
+   (Specreg; [compass specs] lists them).  Every exploring subcommand
+   also takes [--jobs N] (shard the DFS across N domains), [--reduce]
+   (sleep-set partial-order reduction), [--incremental BOOL]
+   (checkpoint/restore exploration, default on; false = replay-from-root
+   oracle) and [--stride N] (checkpoint spacing).
 *)
 
 open Cmdliner
@@ -110,6 +114,35 @@ let run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride sc =
 let finish report =
   Format.printf "%a@." Explore.pp_report report;
   if Explore.ok report then 0 else 1
+
+(* Structure keys resolve through the central spec registry. *)
+
+let struct_arg =
+  let doc =
+    Printf.sprintf "Registered structure ($(b,compass specs) lists them): %s."
+      (String.concat ", "
+         (List.map (fun k -> Printf.sprintf "$(b,%s)" k) (Specreg.keys ())))
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "struct" ] ~docv:"KEY" ~doc)
+
+let json_arg =
+  let doc = "Also write the analysis report as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let write_json ?seed ~tool path json =
+  Compass_util.Report.write ?seed ~tool ~file:path json;
+  Format.printf "JSON report written to %s@." path
+
+let with_entry key f =
+  match Specreg.find key with
+  | Some e -> f e
+  | None ->
+      Format.eprintf "unknown structure %s (try: %s)@." key
+        (String.concat ", " (Specreg.keys ()));
+      2
 
 (* -- litmus -------------------------------------------------------------------- *)
 
@@ -276,9 +309,12 @@ let client_cmd =
 
 let check_cmd =
   let which =
-    let doc = "Implementation: $(b,ms), $(b,hw), $(b,treiber), or $(b,es)." in
+    let doc =
+      "Implementation (legacy positional form; prefer $(b,--struct)): \
+       $(b,ms), $(b,hw), $(b,treiber), or $(b,es)."
+    in
     Arg.(
-      required
+      value
       & pos 0 (some (enum
                        [
                          ("ms", `Q Msqueue.instantiate);
@@ -289,6 +325,15 @@ let check_cmd =
           None
       & info [] ~docv:"IMPL" ~doc)
   in
+  let struct_key =
+    let doc =
+      Printf.sprintf
+        "Registered structure to check ($(b,compass specs) lists them): %s."
+        (String.concat ", "
+           (List.map (fun k -> Printf.sprintf "$(b,%s)" k) (Specreg.keys ())))
+    in
+    Arg.(value & opt (some string) None & info [ "struct" ] ~docv:"KEY" ~doc)
+  in
   let threads =
     Arg.(value & opt int 2 & info [ "threads"; "t" ] ~docv:"N"
            ~doc:"Producer and consumer threads (each).")
@@ -297,22 +342,143 @@ let check_cmd =
     Arg.(value & opt int 1 & info [ "ops"; "o" ] ~docv:"N"
            ~doc:"Operations per thread.")
   in
-  let run which style threads ops random execs seed jobs reduce incremental stride =
-    let sc =
-      match which with
-      | `Q f -> Harness.queue_workload ~style f ~enqers:threads ~deqers:threads ~ops ()
-      | `S f -> Harness.stack_workload ~style f ~pushers:threads ~poppers:threads ~ops ()
+  let run which struct_key style threads ops random execs seed jobs reduce
+      incremental stride =
+    let impl =
+      match (struct_key, which) with
+      | Some key, _ -> (
+          match Specreg.find key with
+          | None ->
+              Error
+                (Printf.sprintf "unknown structure %s (try: %s)" key
+                   (String.concat ", " (Specreg.keys ())))
+          | Some e -> (
+              match e.Libspec.impl with
+              | Specreg.Queue f -> Ok (`Q f)
+              | Specreg.Stack f -> Ok (`S f)
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "%s has no generic workload factory — run its \
+                        registered clients via compass analyze/fuzz"
+                       key)))
+      | None, Some w -> Ok w
+      | None, None -> Error "give --struct KEY (or a positional IMPL)"
     in
-    finish (run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride sc)
+    match impl with
+    | Error msg ->
+        Format.eprintf "%s@." msg;
+        2
+    | Ok w ->
+        let sc =
+          match w with
+          | `Q f ->
+              Harness.queue_workload ~style f ~enqers:threads ~deqers:threads
+                ~ops ()
+          | `S f ->
+              Harness.stack_workload ~style f ~pushers:threads ~poppers:threads
+                ~ops ()
+        in
+        finish
+          (run_mode ~random ~execs ~seed ~jobs ~reduce ~incremental ~stride sc)
   in
   let doc =
-    "Explore a workload on an implementation and check a spec style on \
-     every execution."
+    "Explore a workload on an implementation (resolved through the spec \
+     registry with $(b,--struct)) and check a spec style on every \
+     execution."
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ which $ style_arg $ threads $ ops $ random_mode $ execs $ seed
-      $ jobs $ reduce $ incremental $ stride)
+      const run $ which $ struct_key $ style_arg $ threads $ ops $ random_mode
+      $ execs $ seed $ jobs $ reduce $ incremental $ stride)
+
+(* -- specs --------------------------------------------------------------------- *)
+
+let specs_cmd =
+  let run () =
+    Format.printf "%-10s %-16s %-9s %-14s %-8s %s@." "key" "impl" "spec"
+      "sites" "clients" "ladder (expected)";
+    List.iter
+      (fun (e : Libspec.entry) ->
+        let ladder =
+          match e.Libspec.ladder with
+          | [] -> "-"
+          | l ->
+              String.concat " "
+                (List.map
+                   (fun (s, sat) ->
+                     Printf.sprintf "%s:%s" (Libspec.style_name s)
+                       (if sat then "sat" else "fail"))
+                   l)
+        in
+        let flags =
+          (if e.Libspec.expect_violation then " [expect-violation]" else "")
+          ^ if e.Libspec.refinable then " [refinable]" else ""
+        in
+        Format.printf "%-10s %-16s %-9s %-14s %-8d %s%s@." e.Libspec.key
+          e.Libspec.struct_name e.Libspec.spec.Libspec.name
+          (match e.Libspec.site_prefix with Some p -> p ^ "*" | None -> "-")
+          (List.length e.Libspec.scenarios)
+          ladder flags)
+      (Specreg.all ());
+    0
+  in
+  let doc =
+    "List the spec registry: every structure with its spec, instrumented \
+     sites, registered clients, and expected spec-style ladder."
+  in
+  Cmd.v (Cmd.info "specs" ~doc) Term.(const run $ const ())
+
+(* -- refine -------------------------------------------------------------------- *)
+
+let refine_cmd =
+  let expect_violation =
+    let doc =
+      "Invert the exit code: succeed only if refinement fails (for \
+       known-broken fixtures in CI)."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let run struct_key execs jobs reduce json expect =
+    with_entry struct_key (fun e ->
+        if not e.Libspec.refinable then begin
+          Format.eprintf "structure %s is not refinable@." struct_key;
+          2
+        end
+        else begin
+          let options =
+            { Refine.default_options with max_execs = execs; jobs; reduce }
+          in
+          let r = Refine.run ~options e in
+          Format.printf "%a@." Refine.pp r;
+          (match r.Refine.counterexample with
+          | Some (i, f) ->
+              Format.printf
+                "replay it: compass replay --struct %s --refine-client %d \
+                 --script %s@."
+                struct_key i
+                (String.concat ","
+                   (List.map string_of_int (Array.to_list f.Explore.script)))
+          | None -> ());
+          Option.iter
+            (fun file -> write_json ~tool:"refine" file (Refine.to_json r))
+            json;
+          if expect then if r.Refine.ok then 1 else 0
+          else if r.Refine.ok then 0
+          else 1
+        end)
+  in
+  let doc =
+    "Check refinement of an implementation against its spec object \
+     (spec-as-implementation): for each observation client, every \
+     implementation outcome must be admitted by the exhaustively explored \
+     spec object, and no execution may fault.  Violations come with \
+     replayable counterexample scripts."
+  in
+  Cmd.v (Cmd.info "refine" ~doc)
+    Term.(
+      const run $ struct_arg $ execs $ jobs $ reduce $ json_arg
+      $ expect_violation)
 
 (* -- matrix --------------------------------------------------------------------- *)
 
@@ -463,21 +629,6 @@ let axioms_cmd =
 
 (* -- analyze ----------------------------------------------------------------------- *)
 
-let struct_arg =
-  let doc =
-    Printf.sprintf "Structure probe to analyze: %s."
-      (String.concat ", "
-         (List.map (fun k -> Printf.sprintf "$(b,%s)" k) (Probes.keys ())))
-  in
-  Arg.(
-    required
-    & opt (some string) None
-    & info [ "struct" ] ~docv:"IMPL" ~doc)
-
-let json_arg =
-  let doc = "Also write the analysis report as JSON to $(docv)." in
-  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-
 (* Unlike the exploring subcommands, analysis defaults to sleep-set
    reduction: the audit needs *complete* explorations to call a mode
    over-strong, and reduction keeps them small without losing
@@ -489,20 +640,6 @@ let analyze_reduce =
   in
   Arg.(value & opt bool true & info [ "reduce" ] ~docv:"BOOL" ~doc)
 
-let write_json path json =
-  let oc = open_out path in
-  output_string oc (Jsonout.to_string json);
-  close_out oc;
-  Format.printf "JSON report written to %s@." path
-
-let with_probe key f =
-  match Probes.find key with
-  | Some p -> f p
-  | None ->
-      Format.eprintf "unknown structure %s (try: %s)@." key
-        (String.concat ", " (Probes.keys ()));
-      2
-
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
@@ -510,7 +647,7 @@ let contains ~sub s =
 
 let analyze_races_cmd =
   let run struct_key execs reduce incremental stride json =
-    with_probe struct_key (fun p ->
+    with_entry struct_key (fun e ->
         let agg = Races.agg_create () in
         let config =
           { Machine.default_config with record_accesses = true }
@@ -527,14 +664,16 @@ let analyze_races_cmd =
             in
             Format.printf "%-38s %7d executions analysed@." r.Explore.name
               r.Explore.executions)
-          p.Probes.scenarios;
+          e.Libspec.scenarios;
         let s = Races.summary agg in
         Format.printf "@.%a@." Races.pp_summary s;
-        Option.iter (fun f -> write_json f (Races.summary_to_json s)) json;
+        Option.iter
+          (fun f -> write_json ~tool:"analyze-races" f (Races.summary_to_json s))
+          json;
         if s.Races.mismatch_count > 0 then 1 else 0)
   in
   let doc =
-    "Explore a structure's probe clients with access recording on, detect \
+    "Explore a structure's registered clients with access recording on, detect \
      data races per execution with the vector-clock detector, aggregate \
      them by site pair, and differentially check every execution's race \
      set against the RC11 checker's race clause.  (Sequential driver \
@@ -551,7 +690,7 @@ let analyze_modes_cmd =
     Arg.(value & opt (some string) None & info [ "site" ] ~docv:"SUBSTR" ~doc)
   in
   let run struct_key execs jobs reduce site json =
-    with_probe struct_key (fun p ->
+    with_entry struct_key (fun e ->
         let options = { Audit.default_options with execs; jobs; reduce } in
         let site_filter =
           match site with
@@ -561,15 +700,17 @@ let analyze_modes_cmd =
         let report =
           Audit.run ~options ~site_filter
             ~log:(fun line -> Format.printf "%s@." line)
-            ~probe:p.Probes.key p.Probes.scenarios
+            ~probe:e.Libspec.key e.Libspec.scenarios
         in
         Format.printf "@.%a@." Audit.pp_report report;
-        Option.iter (fun f -> write_json f (Audit.report_to_json report)) json;
+        Option.iter
+          (fun f -> write_json ~tool:"analyze-modes" f (Audit.report_to_json report))
+          json;
         if report.Audit.baseline_ok then 0 else 1)
   in
   let doc =
     "The mode-necessity audit: for every labeled atomic site (and fence) \
-     the probe exercises, run strictly weaker mutants via mode overrides \
+     the registered clients exercise, run strictly weaker mutants via mode overrides \
      and classify the site necessary (violation witnessed, with a \
      replayable counterexample script), over-strong (exploration \
      exhausted with no violation), or unknown (budget ran out)."
@@ -607,16 +748,30 @@ let replay_cmd =
   in
   let probe_arg =
     let doc =
-      "Replay against a probe's client scenario instead of the plain MP \
-       client (same scenarios the audit runs; see $(b,compass analyze))."
+      "Replay against a registered structure's client scenario instead of \
+       the plain MP client (same scenarios the audit runs; see \
+       $(b,compass analyze))."
     in
-    Arg.(value & opt (some string) None & info [ "probe" ] ~docv:"KEY" ~doc)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "struct"; "probe" ] ~docv:"KEY" ~doc)
   in
   let scenario_arg =
-    let doc = "Scenario index within the probe (default 0, the MP client)." in
+    let doc = "Scenario index within the structure's registered clients \
+               (default 0, the MP client)." in
     Arg.(value & opt int 0 & info [ "scenario" ] ~docv:"I" ~doc)
   in
-  let run factory script_str weaken probe scenario_idx =
+  let refine_client_arg =
+    let doc =
+      "Replay against the structure's $(docv)-th refinement observation \
+       client (judged by spec-object outcome membership) instead of its \
+       registered scenarios — for $(b,compass refine) counterexamples."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "refine-client" ] ~docv:"I" ~doc)
+  in
+  let run factory script_str weaken probe scenario_idx refine_client =
     let script =
       if script_str = "" then [||]
       else
@@ -629,20 +784,24 @@ let replay_cmd =
         2
     | Ok overrides -> (
         let sc =
-          match probe with
-          | None -> Some (Mp.make factory (Mp.fresh_stats ()))
-          | Some key -> (
-              match Probes.find key with
-              | Some p -> (
-                  match List.nth_opt p.Probes.scenarios scenario_idx with
+          match (probe, refine_client) with
+          | None, _ -> Some (Mp.make factory (Mp.fresh_stats ()))
+          | Some key, Some i -> (
+              match Specreg.find key with
+              | Some e -> Refine.client_scenario e i
+              | None -> None)
+          | Some key, None -> (
+              match Specreg.find key with
+              | Some e -> (
+                  match Specreg.scenario e scenario_idx with
                   | Some mk -> Some (mk ())
                   | None -> None)
               | None -> None)
         in
         match sc with
         | None ->
-            Format.eprintf "unknown probe/scenario (try: %s)@."
-              (String.concat ", " (Probes.keys ()));
+            Format.eprintf "unknown structure/scenario (try: %s)@."
+              (String.concat ", " (Specreg.keys ()));
             2
         | Some sc ->
             if not (Override.is_empty overrides) then
@@ -667,12 +826,13 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
       const run $ queue_arg $ script_arg $ weaken_arg $ probe_arg
-      $ scenario_arg)
+      $ scenario_arg $ refine_client_arg)
 
 (* -- fuzz ---------------------------------------------------------------------- *)
 
 let scenario_idx_arg =
-  let doc = "Scenario index within the probe (default 0)." in
+  let doc = "Scenario index within the structure's registered clients \
+             (default 0)." in
   Arg.(value & opt int 0 & info [ "scenario" ] ~docv:"I" ~doc)
 
 let fuzz_cmd =
@@ -729,10 +889,10 @@ let fuzz_cmd =
   in
   let run struct_key scenario_idx mode depth len execs seed jobs corpus shrink
       json expect =
-    with_probe struct_key (fun p ->
-        match List.nth_opt p.Probes.scenarios scenario_idx with
+    with_entry struct_key (fun e ->
+        match Specreg.scenario e scenario_idx with
         | None ->
-            Format.eprintf "probe %s has no scenario %d@." struct_key
+            Format.eprintf "structure %s has no scenario %d@." struct_key
               scenario_idx;
             2
         | Some mk ->
@@ -779,7 +939,8 @@ let fuzz_cmd =
                   file)
               corpus;
             Option.iter
-              (fun file -> write_json file (Fz.Fuzz.outcome_to_json o))
+              (fun file ->
+                write_json ~tool:"fuzz" ~seed file (Fz.Fuzz.outcome_to_json o))
               json;
             if expect then if confirmed then 0 else 1
             else if o.Fz.Fuzz.violations = [] then 0
@@ -817,10 +978,13 @@ let shrink_cmd =
   in
   let probe_arg =
     let doc =
-      "Shrink against a probe's client scenario instead of the plain MP \
-       client."
+      "Shrink against a registered structure's client scenario instead of \
+       the plain MP client."
     in
-    Arg.(value & opt (some string) None & info [ "probe" ] ~docv:"KEY" ~doc)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "struct"; "probe" ] ~docv:"KEY" ~doc)
   in
   let max_replays =
     let doc = "Replay budget for the shrinker." in
@@ -841,14 +1005,14 @@ let shrink_cmd =
           match probe with
           | None -> Some (fun () -> Mp.make factory (Mp.fresh_stats ()))
           | Some key -> (
-              match Probes.find key with
-              | Some p -> List.nth_opt p.Probes.scenarios scenario_idx
+              match Specreg.find key with
+              | Some e -> Specreg.scenario e scenario_idx
               | None -> None)
         in
         match mk with
         | None ->
-            Format.eprintf "unknown probe/scenario (try: %s)@."
-              (String.concat ", " (Probes.keys ()));
+            Format.eprintf "unknown structure/scenario (try: %s)@."
+              (String.concat ", " (Specreg.keys ()));
             2
         | Some mk -> (
             let config = { Machine.default_config with overrides } in
@@ -899,13 +1063,13 @@ let report_cmd =
       Experiments.e7_paper_numbers;
     (* One-line synchronization-audit summary (full run: compass analyze
        modes --struct ms). *)
-    let p = Option.get (Probes.find "ms") in
+    let e = Option.get (Specreg.find "ms") in
     let options =
       (* reduction always: the summary needs complete explorations to
          tell over-strong from unknown within a sane budget *)
       { Audit.default_options with execs = 12_000; jobs; reduce = true }
     in
-    let ar = Audit.run ~options ~probe:p.Probes.key p.Probes.scenarios in
+    let ar = Audit.run ~options ~probe:e.Libspec.key e.Libspec.scenarios in
     let n, o, u, mi = Audit.counts ar in
     Format.printf
       "@.sync audit (ms-queue): %d sites audited — %d necessary, %d \
@@ -931,6 +1095,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            litmus_cmd; client_cmd; check_cmd; matrix_cmd; dot_cmd; axioms_cmd;
-            analyze_cmd; replay_cmd; fuzz_cmd; shrink_cmd; report_cmd;
+            litmus_cmd; client_cmd; specs_cmd; check_cmd; refine_cmd;
+            matrix_cmd; dot_cmd; axioms_cmd; analyze_cmd; replay_cmd;
+            fuzz_cmd; shrink_cmd; report_cmd;
           ]))

@@ -6,7 +6,6 @@
     - {!Audit}: the mode-necessity audit — weakened mutants of each
       labeled site run as {!Compass_machine.Override}s, classified
       necessary / over-strong / unknown with replayable counterexamples;
-    - {!Probes}: per-structure client scenarios the audit runs against;
     - {!Instrument}: scenario wrapping that hands each execution's
       access log to a collector;
     - {!Jsonout}: re-export of {!Compass_util.Jsonout}, the shared JSON
@@ -16,4 +15,3 @@ module Jsonout = Compass_util.Jsonout
 module Instrument = Instrument
 module Races = Races
 module Audit = Audit
-module Probes = Probes

@@ -18,7 +18,11 @@
       (experiment E8), with the weak-fence ablation;
     - {!Litmus}: the substrate's litmus battery;
     - {!Experiments}: the E1-E8 paper-vs-measured battery;
-    - {!Harness}: shared scenario plumbing and parametric workloads. *)
+    - {!Harness}: shared scenario plumbing and parametric workloads;
+    - {!Specreg}: the populated spec registry — every structure bound to
+      its spec, factory, default workloads and ladder expectations;
+    - {!Refine}: the refinement driver — implementation outcome sets
+      included in the spec object's ("spec-as-implementation"). *)
 
 module Harness = Harness
 module Litmus = Litmus
@@ -31,3 +35,5 @@ module Pipeline = Pipeline
 module Resource_exchange = Resource_exchange
 module Es_compose = Es_compose
 module Ws_client = Ws_client
+module Specreg = Specreg
+module Refine = Refine

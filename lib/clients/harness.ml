@@ -30,15 +30,11 @@ let scenario ~name build =
           | Machine.Pruned -> Explore.Discard "pruned");
   }
 
-let first_violation = function
-  | [] -> Explore.Pass
-  | v :: _ -> Explore.Violation (Format.asprintf "%a" Check.pp_violation v)
-
-(* Combine judges: first violation wins. *)
-let ( &&& ) j1 j2 vs =
-  match j1 vs with Explore.Pass -> j2 vs | other -> other
-
-let graph_judge style kind g _ = first_violation (Styles.check style kind g)
+(* The verdict/judge glue lives once in {!Libspec}; these are the
+   kind-indexed convenience aliases clients are written against. *)
+let first_violation = Libspec.first_violation
+let ( &&& ) = Libspec.( &&& )
+let graph_judge style kind g = Libspec.graph_judge style (Libspec.of_kind kind) g
 
 (* -- parametric workloads ----------------------------------------------------
 

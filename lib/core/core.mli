@@ -18,14 +18,18 @@
       utilities (Section 3.1).
     - {!Spec}: the consistency conditions (QueueConsistent, StackConsistent,
       ExchangerConsistent), commit-point abstract states, linearisable
-      histories, and the LAT spec-style hierarchy (Sections 2.3-3.3, 4.2).
+      histories, the LAT spec-style hierarchy (Sections 2.3-3.3, 4.2), and
+      the first-class specification registry ({!Spec.Libspec}).
     - {!Dstruct}: the paper's implementations — Michael-Scott queue,
       Herlihy-Wing queue, Treiber stack, exchanger, elimination stack —
-      instrumented to commit events at their commit points.
+      instrumented to commit events at their commit points, plus the
+      spec-as-implementation reference objects ({!Dstruct.Specobj}).
     - {!Clients}: the paper's client verifications — Message-Passing
       (Figures 1 and 3), SPSC, a two-queue pipeline, resource exchange, and
       the elimination-stack composition (Section 4) — as model-checked
-      scenarios.
+      scenarios, the populated registry ({!Clients.Specreg}), and the
+      refinement driver ({!Clients.Refine}).
+    - {!Util}: dependency-free utilities (JSON emission, stamped reports).
 
     Quick start: see [examples/quickstart.ml]. *)
 
@@ -35,10 +39,10 @@ module Event = Compass_event
 module Spec = Compass_spec
 module Dstruct = Compass_dstruct
 module Clients = Compass_clients
-
 module Util = Compass_util
 
-(* Kept so the original scaffold keeps compiling. *)
-let placeholder () = ()
+val placeholder : unit -> unit
+(** kept so the original scaffold keeps compiling *)
 
-let version = Compass_util.Report.version
+val version : string
+(** the toolkit version (= {!Util.Report.version}) *)

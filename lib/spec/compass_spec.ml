@@ -1,10 +1,13 @@
 (** The COMPASS specification framework, operationalised: consistency
     conditions for queues ({!Queue_spec}), stacks ({!Stack_spec}) and
     exchangers ({!Exchanger_spec}); linearisable histories ({!Linearize},
-    the LAThist style of Section 3.3); and the spec-style hierarchy
-    ({!Styles}) tying them together. *)
+    the LAThist style of Section 3.3); the spec-style hierarchy
+    ({!Styles}); and {!Libspec} — first-class spec objects, the generic
+    style checker, the executable abstract machine behind
+    spec-as-implementation, and the central structure registry. *)
 
 module Check = Check
+module Libspec = Libspec
 module Queue_spec = Queue_spec
 module Stack_spec = Stack_spec
 module Exchanger_spec = Exchanger_spec

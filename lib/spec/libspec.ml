@@ -1,0 +1,193 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+
+(* First-class library specifications: the common signature, the generic
+   style checker, the executable abstract machine, and the central
+   registry binding structures to specs.  See libspec.mli. *)
+
+(* -- the spec-style ladder ---------------------------------------------------- *)
+
+type style = So_abs | Hb_abs | Hb | Hist | Sc_abs
+
+let style_name = function
+  | So_abs -> "LATso-abs"
+  | Hb_abs -> "LAThb-abs"
+  | Hb -> "LAThb"
+  | Hist -> "LAThist"
+  | Sc_abs -> "SC-abs"
+
+let style_of_string = function
+  | "so-abs" | "LATso-abs" -> Some So_abs
+  | "hb-abs" | "LAThb-abs" -> Some Hb_abs
+  | "hb" | "LAThb" -> Some Hb
+  | "hist" | "LAThist" -> Some Hist
+  | "sc-abs" | "SC-abs" -> Some Sc_abs
+  | _ -> None
+
+let all_styles = [ Hb; So_abs; Hb_abs; Hist; Sc_abs ]
+
+type kind = Linearize.kind = Queue | Stack | Deque
+
+(* -- the common specification signature --------------------------------------- *)
+
+type t = {
+  name : string;
+  kind : kind option;
+  consistent : Graph.t -> Check.violation list;
+  abstract : (?require_empty:bool -> Graph.t -> Check.violation list) option;
+}
+
+let queue =
+  {
+    name = "queue";
+    kind = Some Queue;
+    consistent = Queue_spec.consistent;
+    abstract = Some Queue_spec.abstract_state;
+  }
+
+let stack =
+  {
+    name = "stack";
+    kind = Some Stack;
+    consistent = Stack_spec.consistent;
+    abstract = Some Stack_spec.abstract_state;
+  }
+
+let deque =
+  {
+    name = "ws-deque";
+    kind = Some Deque;
+    consistent = Ws_spec.consistent;
+    abstract = Some Ws_spec.abstract_state;
+  }
+
+let exchanger =
+  {
+    name = "exchanger";
+    kind = None;
+    consistent = Exchanger_spec.consistent;
+    abstract = None;
+  }
+
+let spsc =
+  {
+    name = "spsc-queue";
+    kind = Some Queue;
+    consistent = Spsc_spec.consistent;
+    abstract = Some Queue_spec.abstract_state;
+  }
+
+let of_kind = function Queue -> queue | Stack -> stack | Deque -> deque
+
+(* The one generic checker.  Styles a spec has no machinery for are
+   vacuous: an exchanger has no abstract-sequence styles, so [So_abs]
+   checks nothing rather than failing spuriously. *)
+let check ?(max_nodes = 200_000) style spec g : Check.violation list =
+  let abs ?require_empty () =
+    match spec.abstract with
+    | Some f -> f ?require_empty g
+    | None -> []
+  in
+  match style with
+  | So_abs -> abs ()
+  | Sc_abs -> abs ~require_empty:true ()
+  | Hb -> spec.consistent g
+  | Hb_abs -> spec.consistent g @ abs ()
+  | Hist -> (
+      spec.consistent g
+      @
+      match spec.kind with
+      | None -> []
+      | Some kind ->
+          if Linearize.commit_order_valid kind g then []
+          else (
+            match Linearize.search ~max_nodes kind g with
+            | Linearize.Linearizable _ -> []
+            | Linearize.Not_linearizable ->
+                [ Check.v "lathist" "no linearisable total order exists" ]
+            | Linearize.Gave_up ->
+                [ Check.v "lathist-budget" "linearisation search gave up" ]))
+
+(* -- judge glue ---------------------------------------------------------------- *)
+
+let first_violation = function
+  | [] -> Explore.Pass
+  | v :: _ -> Explore.Violation (Format.asprintf "%a" Check.pp_violation v)
+
+let ( &&& ) j1 j2 vs =
+  match j1 vs with Explore.Pass -> j2 vs | other -> other
+
+let graph_judge ?max_nodes style spec g _ =
+  first_violation (check ?max_nodes style spec g)
+
+(* -- the abstract machine, executable ------------------------------------------ *)
+
+type astate = (Value.t * int) list
+
+type op_req = Insert of Value.t | Remove
+
+(* One atomic transition of the sequential object.  Queues insert at the
+   back and remove at the front; stacks insert and remove at the front;
+   deques (owner view) insert at the front like stacks.  Removal from the
+   empty state commits the kind's empty event — the SC-strength empty
+   condition, which puts the spec object at the very top of the ladder. *)
+let transition kind st ~id req =
+  match (kind, req) with
+  | Queue, Insert v -> (st @ [ (v, id) ], Event.Enq v, [])
+  | Stack, Insert v -> ((v, id) :: st, Event.Push v, [])
+  | Deque, Insert v -> ((v, id) :: st, Event.Push v, [])
+  | Queue, Remove -> (
+      match st with
+      | [] -> ([], Event.EmpDeq, [])
+      | (v, e) :: rest -> (rest, Event.Deq v, [ (e, id) ]))
+  | Stack, Remove | Deque, Remove -> (
+      match st with
+      | [] -> ([], Event.EmpPop, [])
+      | (v, e) :: rest -> (rest, Event.Pop v, [ (e, id) ]))
+
+(* Reconstruct the abstract state by replaying commit order.  On a graph
+   the spec object populated, every committed event is an abstract
+   transition, so the replay below inverts [transition] exactly. *)
+let replay kind g : astate =
+  let step st (e : Event.data) =
+    match (kind, e.Event.typ) with
+    | Queue, Event.Enq v -> st @ [ (v, e.id) ]
+    | (Stack | Deque), Event.Push v -> (v, e.id) :: st
+    | Queue, Event.Deq _ | (Stack | Deque), Event.Pop _ -> (
+        match st with [] -> [] | _ :: rest -> rest)
+    | _ -> st
+  in
+  List.fold_left step [] (Graph.events_by_cix g)
+
+(* -- the registry -------------------------------------------------------------- *)
+
+type impl = ..
+type impl += No_impl
+
+type entry = {
+  key : string;
+  struct_name : string;
+  descr : string;
+  spec : t;
+  impl : impl;
+  ladder : (style * bool) list;
+  site_prefix : string option;
+  scenarios : (unit -> Explore.scenario) list;
+  smoke : unit -> Explore.scenario;
+  expect_violation : bool;
+  refinable : bool;
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+
+let register e =
+  if Hashtbl.mem table e.key then
+    invalid_arg (Printf.sprintf "Libspec.register: duplicate key %s" e.key);
+  Hashtbl.add table e.key e;
+  order := e.key :: !order
+
+let find key = Hashtbl.find_opt table key
+let all () = List.rev_map (Hashtbl.find table) !order
+let keys () = List.map (fun e -> e.key) (all ())

@@ -3,68 +3,29 @@
      LATso-abs  ⊑  LAThb-abs  ⊒  LAThb          LAThb-abs ⊑ LAThist
      (Cosmo)       (+ graphs)    (- abs state)   (+ linearisable history)
 
-   As checkable predicates on one execution:
+   The style type and the generic checker now live in {!Libspec} — one
+   spec object per library, checked by one generic checker.  This module
+   remains the per-kind convenience view (and keeps the cross-execution
+   tallies used by experiment E2). *)
 
-   - [Hb]      graph consistency only (lhb/so conditions);
-   - [So_abs]  commit-point abstract state only (what Cosmo's abstract
-               state demands; no graph conditions are available to
-               clients);
-   - [Hb_abs]  both;
-   - [Hist]    both, plus existence of a linearisable [to];
-   - [Sc_abs]  the SC spec of Figure 2: abstract state *including* the
-               truly-empty condition on failing dequeues/pops.  No relaxed
-               implementation satisfies it — its failures quantify exactly
-               how far each implementation is from SC strength
-               (Section 2.3's "an RMC spec cannot be quite as strong as
-               the SC spec").
+type style = Libspec.style = So_abs | Hb_abs | Hb | Hist | Sc_abs
 
-   An implementation "satisfies" a style when every explored execution
-   passes its predicate — the checking counterpart of the paper's per-style
-   verification results, reproduced as experiment E2's matrix. *)
-
-type style = So_abs | Hb_abs | Hb | Hist | Sc_abs
-
-let style_name = function
-  | So_abs -> "LATso-abs"
-  | Hb_abs -> "LAThb-abs"
-  | Hb -> "LAThb"
-  | Hist -> "LAThist"
-  | Sc_abs -> "SC-abs"
-
-let all_styles = [ Hb; So_abs; Hb_abs; Hist; Sc_abs ]
+let style_name = Libspec.style_name
+let all_styles = Libspec.all_styles
 
 type kind = Linearize.kind = Queue | Stack | Deque
 
-let graph_consistent kind g =
-  match kind with
-  | Queue -> Queue_spec.consistent g
-  | Stack -> Stack_spec.consistent g
-  | Deque -> Ws_spec.consistent g
+let graph_consistent kind g = (Libspec.of_kind kind).Libspec.consistent g
 
 let abs_consistent ?require_empty kind g =
-  match kind with
-  | Queue -> Queue_spec.abstract_state ?require_empty g
-  | Stack -> Stack_spec.abstract_state ?require_empty g
-  | Deque -> Ws_spec.abstract_state ?require_empty g
+  match (Libspec.of_kind kind).Libspec.abstract with
+  | Some f -> f ?require_empty g
+  | None -> []
 
-(* Check one style on one execution's graph. *)
-let check ?(max_nodes = 200_000) style kind g : Check.violation list =
-  match style with
-  | So_abs -> abs_consistent kind g
-  | Sc_abs -> abs_consistent ~require_empty:true kind g
-  | Hb -> graph_consistent kind g
-  | Hb_abs -> graph_consistent kind g @ abs_consistent kind g
-  | Hist -> (
-      graph_consistent kind g
-      @
-      if Linearize.commit_order_valid kind g then []
-      else
-        match Linearize.search ~max_nodes kind g with
-        | Linearize.Linearizable _ -> []
-        | Linearize.Not_linearizable ->
-            [ Check.v "lathist" "no linearisable total order exists" ]
-        | Linearize.Gave_up ->
-            [ Check.v "lathist-budget" "linearisation search gave up" ])
+(* Check one style on one execution's graph — the generic checker applied
+   to the kind's spec instance. *)
+let check ?max_nodes style kind g : Check.violation list =
+  Libspec.check ?max_nodes style (Libspec.of_kind kind) g
 
 (* Aggregated satisfaction counts across many executions (experiment E2). *)
 type tally = {

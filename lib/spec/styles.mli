@@ -16,7 +16,7 @@ open Compass_event
     passes — the checking counterpart of the paper's per-style
     verification results (experiment E2's matrix). *)
 
-type style = So_abs | Hb_abs | Hb | Hist | Sc_abs
+type style = Libspec.style = So_abs | Hb_abs | Hb | Hist | Sc_abs
 
 val style_name : style -> string
 val all_styles : style list

@@ -3,6 +3,10 @@
     - {!Jsonout}: the minimal JSON emitter behind every [--json] flag and
       benchmark artifact ([audit-*.json], [BENCH_*.json], [fuzz-*.json]) —
       one copy, so analysis, fuzzing and the benches stop growing private
-      emitters. *)
+      emitters;
+    - {!Report}: stamped report emission — every JSON artifact carries
+      [schema_version], the emitting tool, the toolkit version, and the
+      run seed. *)
 
 module Jsonout = Jsonout
+module Report = Report

@@ -1,0 +1,27 @@
+(* Stamped JSON report emission (see report.mli). *)
+
+let schema_version = 1
+let version = "1.1.0"
+
+let stamp ?seed ~tool json =
+  let payload =
+    match json with
+    | Jsonout.Obj fields -> fields
+    | other -> [ ("payload", other) ]
+  in
+  let header =
+    [
+      ("schema_version", Jsonout.Int schema_version);
+      ("tool", Jsonout.Str tool);
+      ("version", Jsonout.Str version);
+    ]
+    @ match seed with None -> [] | Some s -> [ ("seed", Jsonout.Int s) ]
+  in
+  Jsonout.Obj (header @ payload)
+
+let to_string ?seed ~tool json = Jsonout.to_string (stamp ?seed ~tool json)
+
+let write ?seed ~tool ~file json =
+  let oc = open_out file in
+  output_string oc (to_string ?seed ~tool json);
+  close_out oc

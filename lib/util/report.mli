@@ -1,0 +1,22 @@
+(** Stamped JSON report emission — the one place every [--json] flag and
+    benchmark artifact goes through.
+
+    Each emitted object carries a provenance header: the report
+    [schema_version] (bumped on breaking shape changes), the emitting
+    [tool] (a subcommand name like ["analyze-modes"]), the toolkit
+    [version], and the run [seed] when the producing exploration was
+    seeded.  Consumers (CI trend scripts) can then reject shapes they do
+    not understand instead of misparsing them. *)
+
+val schema_version : int
+val version : string
+(** the toolkit version ({!Core.version} re-exports this) *)
+
+val stamp : ?seed:int -> tool:string -> Jsonout.t -> Jsonout.t
+(** prepend the provenance header to an [Obj] (other payloads are
+    wrapped as [{"payload": ...}] first) *)
+
+val write : ?seed:int -> tool:string -> file:string -> Jsonout.t -> unit
+(** [stamp] then write to [file] (with trailing newline) *)
+
+val to_string : ?seed:int -> tool:string -> Jsonout.t -> string

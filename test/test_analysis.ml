@@ -12,9 +12,9 @@ open Compass_analysis
 let config = { Machine.default_config with record_accesses = true }
 
 let probe key =
-  match Probes.find key with
-  | Some p -> p
-  | None -> Alcotest.failf "no probe named %s" key
+  match Specreg.find key with
+  | Some e -> e
+  | None -> Alcotest.failf "no registered structure named %s" key
 
 (* Collect, per execution, whatever [f] extracts from the access log. *)
 let collect ?(max_execs = 20_000) ?(incremental = true) sc f =
@@ -93,7 +93,7 @@ let test_incremental_logs_litmus () =
     [ Litmus.sb (); Litmus.mp (); Litmus.wrc () ]
 
 let test_incremental_logs_queue () =
-  let mk = List.hd (probe "ms").Probes.scenarios in
+  let mk = List.hd (probe "ms").Compass_spec.Libspec.scenarios in
   log_differential "ms mp probe" (mk ())
 
 (* --- the weakened-mutant regression fixture (satellite b) ---------- *)
@@ -102,7 +102,7 @@ let weak_opts =
   { Audit.default_options with execs = 12_000; jobs = 1; reduce = true }
 
 let test_msqueue_weak_violates () =
-  let mk = List.hd (probe "ms-weak").Probes.scenarios in
+  let mk = List.hd (probe "ms-weak").Compass_spec.Libspec.scenarios in
   let r =
     Explore.dfs ~max_execs:12_000 ~reduce:true
       ~config:Machine.default_config (mk ())
@@ -112,7 +112,8 @@ let test_msqueue_weak_violates () =
 let test_msqueue_weak_baseline_fails () =
   let probe = probe "ms-weak" in
   let r =
-    Audit.run ~options:weak_opts ~probe:probe.Probes.key probe.Probes.scenarios
+    Audit.run ~options:weak_opts ~probe:probe.Compass_spec.Libspec.key
+      probe.Compass_spec.Libspec.scenarios
   in
   Alcotest.(check bool) "baseline fails" false r.Audit.baseline_ok;
   Alcotest.(check bool) "failure witnessed" true
@@ -126,7 +127,7 @@ let audit_site site =
   let r =
     Audit.run ~options:weak_opts
       ~site_filter:(fun s -> s = site)
-      ~probe:probe.Probes.key probe.Probes.scenarios
+      ~probe:probe.Compass_spec.Libspec.key probe.Compass_spec.Libspec.scenarios
   in
   Alcotest.(check bool) "baseline ok" true r.Audit.baseline_ok;
   match r.Audit.sites with
@@ -179,7 +180,7 @@ let test_audit_witness_replays () =
             (fun mk ->
               let sc = (mk () : Explore.scenario) in
               if sc.Explore.name = sc_name then Some sc else None)
-            probe.Probes.scenarios
+            probe.Compass_spec.Libspec.scenarios
         with
         | sc :: _ -> sc
         | [] -> Alcotest.failf "no probe scenario named %s" sc_name

@@ -24,6 +24,7 @@ let () =
       ("spsc-spec", Test_spsc_spec.suite);
       ("conformance", Test_conformance.suite);
       ("rc11", Test_rc11.suite);
+      ("registry", Test_registry.suite);
       ("analysis", Test_analysis.suite);
       ("prefix", Test_prefix.suite);
       ("dstruct", Test_dstruct.suite);

@@ -1,0 +1,324 @@
+open Compass_event
+open Compass_machine
+open Compass_spec
+open Compass_dstruct
+open Compass_clients
+
+(* The spec registry and the refinement layer:
+
+   - completeness: every Iface-exposed factory is registered, keys are
+     unique, payloads match their declared names, duplicates are
+     rejected;
+   - the generic [Libspec.check] is byte-identical to the legacy per-kind
+     checker compositions on explored executions (differential);
+   - every entry's smoke workload explores cleanly — or violates, for
+     the checked-in broken fixtures;
+   - the spec object sits at the top of the ladder (SC-abs on every
+     execution);
+   - refinement: ms/treiber/hw outcome sets are included in their spec
+     object's; ms-weak is not, with a replayable counterexample. *)
+
+let entry key =
+  match Specreg.find key with
+  | Some e -> e
+  | None -> Alcotest.failf "no registered structure named %s" key
+
+(* --- completeness -------------------------------------------------- *)
+
+let impl_name (e : Libspec.entry) =
+  match e.Libspec.impl with
+  | Specreg.Queue f -> Some f.Iface.q_name
+  | Specreg.Stack f -> Some f.Iface.s_name
+  | _ -> None
+
+let test_all_factories_registered () =
+  let registered = List.map (fun e -> e.Libspec.struct_name) (Specreg.all ()) in
+  let queue_factories =
+    [
+      Msqueue.instantiate; Msqueue_fences.instantiate; Msqueue_weak.instantiate;
+      Hwqueue.instantiate; Lockqueue.instantiate;
+    ]
+  in
+  let stack_factories =
+    [ Treiber.instantiate; Lockstack.instantiate; Elimination.instantiate ]
+  in
+  List.iter
+    (fun (f : Iface.queue_factory) ->
+      Alcotest.(check bool)
+        (f.Iface.q_name ^ " registered")
+        true
+        (List.mem f.Iface.q_name registered))
+    queue_factories;
+  List.iter
+    (fun (f : Iface.stack_factory) ->
+      Alcotest.(check bool)
+        (f.Iface.s_name ^ " registered")
+        true
+        (List.mem f.Iface.s_name registered))
+    stack_factories
+
+let test_keys_unique_and_consistent () =
+  let keys = Specreg.keys () in
+  Alcotest.(check int) "keys unique" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun (e : Libspec.entry) ->
+      (match impl_name e with
+      | Some n ->
+          Alcotest.(check string)
+            (e.Libspec.key ^ " impl name matches")
+            e.Libspec.struct_name n
+      | None -> ());
+      Alcotest.(check bool)
+        (e.Libspec.key ^ " has a default client")
+        true
+        (e.Libspec.scenarios <> []);
+      (* refinable entries must expose a factory the driver can pair
+         with a spec object *)
+      if e.Libspec.refinable then
+        Alcotest.(check bool)
+          (e.Libspec.key ^ " refinable implies factory")
+          true
+          (impl_name e <> None))
+    (Specreg.all ())
+
+let test_duplicate_key_rejected () =
+  let e = entry "ms" in
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Libspec.register: duplicate key ms") (fun () ->
+      Libspec.register e)
+
+let test_style_names_round_trip () =
+  List.iter
+    (fun s ->
+      match Libspec.style_of_string (Libspec.style_name s) with
+      | Some s' -> Alcotest.(check bool) "round trip" true (s = s')
+      | None -> Alcotest.failf "style %s does not parse" (Libspec.style_name s))
+    Libspec.all_styles
+
+(* --- differential: generic checker vs the legacy compositions ------ *)
+
+(* The per-kind dispatch [Styles.check] used to hand-compose: replicate
+   it here from the primitive spec modules and demand byte-identical
+   violation lists from the generic [Libspec.check] on every explored
+   execution. *)
+let legacy_check style kind g =
+  let consistent, abstract =
+    match (kind : Libspec.kind) with
+    | Libspec.Queue -> (Queue_spec.consistent, Queue_spec.abstract_state)
+    | Libspec.Stack -> (Stack_spec.consistent, Stack_spec.abstract_state)
+    | Libspec.Deque -> (Ws_spec.consistent, Ws_spec.abstract_state)
+  in
+  match (style : Libspec.style) with
+  | Libspec.So_abs -> abstract g
+  | Libspec.Sc_abs -> abstract ~require_empty:true g
+  | Libspec.Hb -> consistent g
+  | Libspec.Hb_abs -> consistent g @ abstract g
+  | Libspec.Hist -> (
+      consistent g
+      @
+      let lkind =
+        match kind with
+        | Libspec.Queue -> Linearize.Queue
+        | Libspec.Stack -> Linearize.Stack
+        | Libspec.Deque -> Linearize.Deque
+      in
+      if Linearize.commit_order_valid lkind g then []
+      else
+        match Linearize.search lkind g with
+        | Linearize.Linearizable _ -> []
+        | Linearize.Not_linearizable ->
+            [ Check.v "lathist" "no linearisable total order exists" ]
+        | Linearize.Gave_up ->
+            [ Check.v "lathist-budget" "linearisation search gave up" ])
+
+let render vs = List.map (fun v -> Format.asprintf "%a" Check.pp_violation v) vs
+
+let differential_battery name kind graph_of sc =
+  let execs = ref 0 in
+  let sc =
+    {
+      sc with
+      Explore.build =
+        (fun m ->
+          let judge = sc.Explore.build m in
+          fun outcome ->
+            (match outcome with
+            | Machine.Finished _ ->
+                incr execs;
+                let g = graph_of () in
+                List.iter
+                  (fun style ->
+                    Alcotest.(check (list string))
+                      (Printf.sprintf "%s exec %d style %s" name !execs
+                         (Libspec.style_name style))
+                      (render (legacy_check style kind g))
+                      (render
+                         (Libspec.check style (Libspec.of_kind kind) g)))
+                  Libspec.all_styles
+            | _ -> ());
+            judge outcome);
+    }
+  in
+  let r = Explore.dfs ~max_execs:6_000 ~reduce:true sc in
+  Alcotest.(check bool) (name ^ " explored") true (r.Explore.executions > 0);
+  Alcotest.(check bool) (name ^ " checked") true (!execs > 0)
+
+let test_differential_queue () =
+  (* a graph handle that outlives the scenario build *)
+  let g = ref None in
+  let factory =
+    {
+      Iface.q_name = "ms-queue";
+      make_queue =
+        (fun m ~name ->
+          let q = Msqueue.instantiate.Iface.make_queue m ~name in
+          g := Some q.Iface.q_graph;
+          q);
+    }
+  in
+  differential_battery "ms wl" Libspec.Queue
+    (fun () -> Option.get !g)
+    (Harness.queue_workload factory ~enqers:2 ~deqers:1 ~ops:1 ())
+
+let test_differential_stack () =
+  let g = ref None in
+  let factory =
+    {
+      Iface.s_name = "treiber";
+      make_stack =
+        (fun m ~name ->
+          let s = Treiber.instantiate.Iface.make_stack m ~name in
+          g := Some s.Iface.s_graph;
+          s);
+    }
+  in
+  differential_battery "treiber wl" Libspec.Stack
+    (fun () -> Option.get !g)
+    (Harness.stack_workload factory ~pushers:2 ~poppers:1 ~ops:1 ())
+
+let test_styles_shim_agrees () =
+  (* the [Styles] compatibility shim must agree with [Libspec.check] on
+     an empty graph for every kind and style (the full agreement is the
+     differential above — this pins the re-export wiring) *)
+  let g = Graph.create ~obj:0 ~name:"empty" in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun style ->
+          Alcotest.(check (list string))
+            "shim agrees"
+            (render (Libspec.check style (Libspec.of_kind kind) g))
+            (render (Styles.check style kind g)))
+        Libspec.all_styles)
+    [ Libspec.Queue; Libspec.Stack; Libspec.Deque ]
+
+(* --- registry smoke ------------------------------------------------ *)
+
+let test_smoke_all_entries () =
+  List.iter
+    (fun (e : Libspec.entry) ->
+      let r = Explore.dfs ~max_execs:8_000 ~reduce:true (e.Libspec.smoke ()) in
+      Alcotest.(check bool)
+        (e.Libspec.key ^ " explored")
+        true
+        (r.Explore.executions > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s smoke %s" e.Libspec.key
+           (if e.Libspec.expect_violation then "violates" else "clean"))
+        e.Libspec.expect_violation
+        (r.Explore.violations <> []))
+    (Specreg.all ())
+
+(* --- the spec object tops the ladder ------------------------------- *)
+
+let test_spec_object_sc_queue () =
+  let sc =
+    Harness.queue_workload ~style:Styles.Sc_abs (Specobj.queue ()) ~enqers:2
+      ~deqers:1 ~ops:1 ()
+  in
+  let r = Explore.dfs ~max_execs:100_000 sc in
+  Alcotest.(check bool) "explored" true r.Explore.complete;
+  Alcotest.(check (list string)) "SC-abs holds" []
+    (List.map
+       (fun (f : Explore.failure) -> f.Explore.message)
+       r.Explore.violations)
+
+let test_spec_object_sc_stack () =
+  let sc =
+    Harness.stack_workload ~style:Styles.Sc_abs (Specobj.stack ()) ~pushers:2
+      ~poppers:1 ~ops:1 ()
+  in
+  let r = Explore.dfs ~max_execs:100_000 sc in
+  Alcotest.(check bool) "explored" true r.Explore.complete;
+  Alcotest.(check (list string)) "SC-abs holds" []
+    (List.map
+       (fun (f : Explore.failure) -> f.Explore.message)
+       r.Explore.violations)
+
+(* --- refinement ----------------------------------------------------- *)
+
+let refine_options =
+  { Refine.default_options with max_execs = 120_000; reduce = true }
+
+let test_refine_passes () =
+  List.iter
+    (fun key ->
+      let r = Refine.run ~options:refine_options (entry key) in
+      Alcotest.(check bool) (key ^ " refines") true r.Refine.ok;
+      List.iter
+        (fun (c : Refine.client_result) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s spec side exhaustive (%s)" key c.Refine.client)
+            true c.Refine.spec_complete)
+        r.Refine.clients)
+    [ "ms"; "treiber"; "hw" ]
+
+let test_refine_msweak_fails_replayably () =
+  let e = entry "ms-weak" in
+  let r = Refine.run ~options:refine_options e in
+  Alcotest.(check bool) "ms-weak does not refine" false r.Refine.ok;
+  match r.Refine.counterexample with
+  | None -> Alcotest.fail "no counterexample recorded"
+  | Some (i, f) -> (
+      match Refine.client_scenario e i with
+      | None -> Alcotest.failf "no refinement client %d" i
+      | Some sc -> (
+          let _, _, verdict =
+            Explore.replay ~config:Machine.default_config sc f.Explore.script
+          in
+          match verdict with
+          | Explore.Violation m ->
+              Alcotest.(check string) "replay reproduces the violation"
+                f.Explore.message m
+          | Explore.Pass -> Alcotest.fail "counterexample replayed to Pass"
+          | Explore.Discard d ->
+              Alcotest.failf "counterexample discarded: %s" d))
+
+let suite =
+  [
+    Alcotest.test_case "registry: every factory registered" `Quick
+      test_all_factories_registered;
+    Alcotest.test_case "registry: keys unique, payloads consistent" `Quick
+      test_keys_unique_and_consistent;
+    Alcotest.test_case "registry: duplicate keys rejected" `Quick
+      test_duplicate_key_rejected;
+    Alcotest.test_case "registry: style names round-trip" `Quick
+      test_style_names_round_trip;
+    Alcotest.test_case "check: generic = legacy on ms executions" `Slow
+      test_differential_queue;
+    Alcotest.test_case "check: generic = legacy on treiber executions" `Slow
+      test_differential_stack;
+    Alcotest.test_case "check: Styles shim agrees with Libspec" `Quick
+      test_styles_shim_agrees;
+    Alcotest.test_case "registry: smoke workloads (broken fixtures violate)"
+      `Slow test_smoke_all_entries;
+    Alcotest.test_case "specobj: queue satisfies SC-abs" `Slow
+      test_spec_object_sc_queue;
+    Alcotest.test_case "specobj: stack satisfies SC-abs" `Slow
+      test_spec_object_sc_stack;
+    Alcotest.test_case "refine: ms/treiber/hw included in spec object" `Slow
+      test_refine_passes;
+    Alcotest.test_case "refine: ms-weak fails with replayable script" `Slow
+      test_refine_msweak_fails_replayably;
+  ]
