@@ -87,7 +87,7 @@ type outcome = {
 (* A prefix-replay oracle: scripted (clamped) for the prefix, seeded
    random past it — how corpus mutants run. *)
 let prefix_oracle st prefix =
-  Oracle.make (fun ~pos ~arity ~kind:_ ->
+  Oracle.make ~sched_aware:false (fun ~pos ~arity ~kind:_ ->
       if pos < Array.length prefix then min prefix.(pos) (arity - 1)
       else Random.State.int st arity)
 

@@ -313,9 +313,9 @@ let make_runner ~incremental ~stride ~config ~reduce scenario =
   else fun st ~count script -> run_tree ~config ~reduce ~count scenario st script
 
 (* Deepest position [i] with [lo <= i < min hi (length ds)] holding an
-   untried alternative; the bumped script locks everything above it.  [lo]
-   pins a shard's decision prefix; [hi] caps the frontier pass at the
-   split depth. *)
+   untried alternative; the bumped script locks everything above it.
+   Sequential [dfs] uses the full range; [pdfs] does not bump at all — it
+   splits the same alternatives into work-stealing tasks (below). *)
 let bump ~lo ~hi ds ars =
   let len = Array.length ds in
   let rec find i =
@@ -350,28 +350,34 @@ let dfs ?(max_execs = 100_000) ?(reduce = false) ?(incremental = true)
   let complete = go [||] in
   to_report ~name:scenario.name ~complete st
 
-(* -- parallel sharded DFS -----------------------------------------------------
+(* -- parallel DFS: work-stealing frontier ------------------------------------
 
-   Phase 1 (sequential): enumerate the decision tree bumping only the
-   first [split_depth] positions.  Every run contributes one shard — its
-   decision prefix of length <= split_depth — and distinct shards root
-   disjoint subtrees whose union is the whole tree.  Runs in this phase
-   are not accounted (and judges are not consulted): the shard's worker
-   re-runs its first execution, so each execution is counted exactly once
-   and the merged report matches sequential [dfs] field for field.
+   The decision tree is partitioned into *tasks*.  A task [(script, lock)]
+   owns the subtree of executions whose decision vectors extend [script]
+   with positions below [lock] frozen.  Running the task's script yields
+   one leaf [(ds, ars)]; the rest of its subtree is exactly the disjoint
+   union of the child tasks
 
-   Phase 2 (parallel): [jobs] domains pull shards from a shared queue (an
-   atomic index) and DFS each shard with its prefix locked, accumulating
-   into per-domain stats merged at join.  Executions are machine-local by
-   construction — the domain-safety audit for this is what makes
-   [Machine.create] per run truly isolated — so workers share nothing but
-   the shard queue and the execution budget. *)
+     (ds[0..i) ++ [ds.(i)+1], i)     for lock <= i < |ds|, ds.(i)+1 < ars.(i)
 
-let default_split_depth = 4
+   — child [i] covers every execution that agrees with the leaf below
+   position [i] and diverges at [i].  Children are pushed shallow-first
+   onto the worker's Chase-Lev deque ({!Wsdeque}, the native analogue of
+   the modelled lib/dstruct/chaselev.ml), so the owner's LIFO pop
+   continues with the *deepest* divergence — at [jobs = 1] this replays
+   sequential [dfs]'s bump order execution for execution — while thieves
+   steal the *shallowest* pending task, i.e. the largest unexplored
+   subtree, which keeps steals rare.
 
-(* Cap on the frontier pass: each shard costs one unaccounted run, so never
-   enumerate more shards than the budget could explore anyway. *)
-let max_shards = 65_536
+   Because tasks partition the tree, each execution is run and accounted
+   exactly once (no unaccounted shard-enumeration pass), and on a
+   complete search the merged report matches sequential [dfs] field for
+   field; kept violations are re-sorted into script order to erase the
+   worker schedule.  Termination is an atomic count of tasks created but
+   not yet finished.  Workers share only the deque array, that counter,
+   the execution budget and the stop flags — the machine, engine and
+   stats are domain-local, which is what the per-run isolation audit of
+   [Machine.create] guarantees. *)
 
 let merge_stats into from =
   into.execs <- into.execs + from.execs;
@@ -402,42 +408,30 @@ let compare_failure (a : failure) (b : failure) =
    as the dominant cost of [pdfs] once executions got cheap. *)
 let budget_batch = 64
 
-let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
-    ?(reduce = false) ?(incremental = true) ?(stride = default_stride)
+let pdfs ?jobs ?split_depth ?(max_execs = 100_000) ?(reduce = false)
+    ?(incremental = true) ?(stride = default_stride)
     ?(until_violation = false) ?(config = Machine.default_config) scenario =
+  (* [split_depth] parameterised the retired two-phase sharding scheme;
+     the work-stealing frontier adapts the split depth dynamically, so the
+     parameter is accepted for compatibility and ignored. *)
+  ignore (split_depth : int option);
   let jobs =
     match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
   in
-  if split_depth < 1 then invalid_arg "Explore.pdfs: split_depth < 1";
-  (* Phase 1: shard frontier. *)
-  let scratch = fresh_stats () in
-  let frun = make_runner ~incremental ~stride ~config ~reduce scenario in
-  let shards = ref [] and n_shards = ref 0 and frontier_complete = ref true in
-  let rec enumerate script =
-    let _, ds, ars = frun scratch ~count:false script in
-    let prefix = Array.sub ds 0 (min split_depth (Array.length ds)) in
-    shards := prefix :: !shards;
-    incr n_shards;
-    if !n_shards >= min max_shards max_execs then frontier_complete := false
-    else
-      match bump ~lo:0 ~hi:split_depth ds ars with
-      | None -> ()
-      | Some script -> enumerate script
-  in
-  enumerate [||];
-  let shards = Array.of_list (List.rev !shards) in
-  (* Phase 2: fan out.  Workers share the shard cursor and the global
-     execution budget; everything else — including the worker's single
-     reused machine — is domain-local. *)
-  let cursor = Atomic.make 0 in
+  let deques = Array.init jobs (fun _ -> Wsdeque.create ()) in
+  (* Tasks created but not yet finished; the search is over when it hits
+     zero.  Seeded with the root task before any worker starts. *)
+  let pending = Atomic.make 1 in
+  Wsdeque.push deques.(0) ([||], 0);
   let spent = Atomic.make 0 in
   let budget_hit = Atomic.make false in
   (* [until_violation]: the first worker to keep a violation raises this
-     flag; the others stop at their next shard/run boundary. *)
+     flag; the others stop at their next task boundary. *)
   let stop = Atomic.make false in
-  let worker () =
+  let worker k () =
     let st = fresh_stats () in
     let run = make_runner ~incremental ~stride ~config ~reduce scenario in
+    let dq = deques.(k) in
     (* Locally cached budget slots (claimed, not yet used). *)
     let local = ref 0 in
     let take_slot () =
@@ -460,44 +454,59 @@ let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
         end
       end
     in
-    let rec shard_loop () =
-      let i = Atomic.fetch_and_add cursor 1 in
-      if
-        i < Array.length shards
-        && not (Atomic.get budget_hit)
-        && not (Atomic.get stop)
-      then begin
-        let prefix = shards.(i) in
-        let lock = Array.length prefix in
-        let rec go script =
-          if Atomic.get stop then ()
-          else if not (take_slot ()) then ()
-          else begin
-            let outcome, ds, ars = run st ~count:true script in
-            (* Pruned runs are not executions: refund the budget slot so the
-               parallel budget counts what sequential [dfs] counts. *)
-            if outcome = Machine.Pruned then incr local;
-            if until_violation && st.viol_count > 0 then Atomic.set stop true
-            else
-              match bump ~lo:lock ~hi:max_int ds ars with
-              | None -> ()
-              | Some script -> go script
-          end
-        in
-        go prefix;
-        shard_loop ()
-      end
+    let exec_task (script, lock) =
+      (if Atomic.get stop then ()
+       else if not (take_slot ()) then ()
+       else begin
+         let outcome, ds, ars = run st ~count:true script in
+         (* Pruned runs are not executions: refund the budget slot so the
+            parallel budget counts what sequential [dfs] counts. *)
+         if outcome = Machine.Pruned then incr local;
+         if until_violation && st.viol_count > 0 then Atomic.set stop true
+         else
+           (* Split the remainder of this task's subtree into children,
+              shallow-first so the owner's LIFO pop takes the deepest. *)
+           for i = lock to Array.length ds - 1 do
+             if ds.(i) + 1 < ars.(i) then begin
+               Atomic.incr pending;
+               Wsdeque.push dq (Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |], i)
+             end
+           done
+       end);
+      Atomic.decr pending
     in
-    shard_loop ();
+    let rec loop () =
+      if Atomic.get budget_hit || Atomic.get stop then ()
+      else
+        match Wsdeque.pop dq with
+        | Some t -> exec_task t; loop ()
+        | None ->
+            if Atomic.get pending = 0 then ()
+            else begin
+              (* Out of local work but the search isn't over: scan the
+                 other deques for the shallowest stealable task. *)
+              let stolen = ref None in
+              let o = ref 1 in
+              while !stolen = None && !o < jobs do
+                stolen := Wsdeque.steal deques.((k + !o) mod jobs);
+                incr o
+              done;
+              (match !stolen with
+              | Some t -> exec_task t
+              | None -> Domain.cpu_relax ());
+              loop ()
+            end
+    in
+    loop ();
     (* Return unused cached slots to the shared budget. *)
     ignore (Atomic.fetch_and_add spent (- !local));
     local := 0;
     st
   in
   let stats =
-    if jobs = 1 then [ worker () ]
+    if jobs = 1 then [ worker 0 () ]
     else begin
-      let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+      let domains = Array.init jobs (fun k -> Domain.spawn (worker k)) in
       Array.to_list (Array.map Domain.join domains)
     end
   in
@@ -510,10 +519,7 @@ let pdfs ?jobs ?(split_depth = default_split_depth) ?(max_execs = 100_000)
     |> List.filteri (fun i _ -> i < max_violations)
     |> List.rev;
   to_report ~name:scenario.name
-    ~complete:
-      (!frontier_complete
-      && (not (Atomic.get budget_hit))
-      && not (Atomic.get stop))
+    ~complete:((not (Atomic.get budget_hit)) && not (Atomic.get stop))
     st
 
 (* Random sampling: [execs] seeded executions.  Decision vectors are

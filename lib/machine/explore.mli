@@ -4,8 +4,8 @@
     the decision tree exhaustively: after each run it takes the logged
     (arity, choice) pairs, finds the deepest position with an untried
     alternative, and restarts with the bumped prefix.  The parallel
-    driver {!pdfs} carves that tree into disjoint decision-prefix shards
-    and fans them out across OCaml 5 domains; [~reduce] switches on
+    driver {!pdfs} splits that tree into disjoint decision-prefix tasks
+    balanced across OCaml 5 domains by work stealing; [~reduce] switches on
     sleep-set partial-order reduction in the scheduler (see
     {!Machine.run}).  The random driver samples seeded executions.  Where
     the paper {e proves} a property of all executions, we {e enumerate}
@@ -114,17 +114,23 @@ val pdfs :
   ?config:Machine.config ->
   scenario ->
   report
-(** parallel sharded DFS: enumerate the decision tree to [split_depth]
-    (default 4), producing disjoint decision-prefix shards, then explore
-    the shards on [jobs] domains (default
-    [Domain.recommended_domain_count ()]) with per-domain statistics
-    merged into one report.  With the same budget and tree,
-    [pdfs ~jobs] and {!dfs} agree on every report field; kept violations
-    are the lexicographically first scripts, so they agree on those too
-    whenever at most 16 violations exist.  Each worker keeps one
-    incremental engine (machine + checkpoint stack) for its whole
-    lifetime, and claims execution budget in batches rather than one
-    atomic per run. *)
+(** parallel DFS by work stealing: each of the [jobs] domains (default
+    [Domain.recommended_domain_count ()]) owns a Chase-Lev deque
+    ({!Wsdeque}) of decision-prefix tasks that partition the tree.  After
+    each run a worker pushes one child task per untried alternative,
+    shallow-first: its own LIFO pops continue with the deepest divergence
+    (sequential [dfs] order), idle workers steal the shallowest — the
+    largest — pending subtree.  Per-domain statistics are merged into one
+    report, with kept violations re-sorted into script order.  On a
+    complete search, [pdfs ~jobs] and {!dfs} agree on every report field;
+    kept violations are the lexicographically first scripts, so they
+    agree on those too whenever at most 16 violations exist.  (When the
+    budget truncates the search, the two drivers explore the same
+    {e number} of executions but not necessarily the same subset.)  Each
+    worker keeps one incremental engine (machine + checkpoint stack) for
+    its whole lifetime, and claims execution budget in batches rather
+    than one atomic per run.  [split_depth] parameterised the retired
+    two-phase sharding scheme and is now accepted and ignored. *)
 
 val random : ?execs:int -> ?seed:int -> ?config:Machine.config -> scenario -> report
 

@@ -18,6 +18,9 @@ open Compass_event
 type config = {
   max_steps : int;  (** per concurrent phase; exceeding yields [Bounded] *)
   policy : Memory.policy;
+  backend : Memory.backend;
+      (** history representation; [`Flat] is the fast path, [`Map] the
+          differential oracle ([`Gap] policy forces [`Map]) *)
   record_trace : bool;
   record_accesses : bool;
       (** record memory accesses for the axiomatic differential check
@@ -32,6 +35,7 @@ let default_config =
   {
     max_steps = 10_000;
     policy = `Append;
+    backend = `Flat;
     record_trace = false;
     record_accesses = false;
     overrides = Override.empty;
@@ -125,7 +129,7 @@ type t = {
 let create ?(config = default_config) () =
   {
     config;
-    mem = Memory.create ~policy:config.policy ();
+    mem = Memory.create ~policy:config.policy ~backend:config.backend ();
     reg = Registry.create ();
     setup_tv = Tview.init;
     threads = [||];
@@ -206,7 +210,8 @@ let run_commits m (th : thread) ~(written : Msg.t ref option)
           in
           incr sub;
           Graph.commit g data;
-          record m ~tid:th.tid (fun () ->
+          if m.config.record_trace then
+            record m ~tid:th.tid (fun () ->
               Format.asprintf "commit %a to %s" Event.pp data (Graph.name g));
           if es.absorb then begin
             th.tv <- Tview.observe_event th.tv es.eid;
@@ -250,6 +255,9 @@ let do_write m (th : thread) oracle ?site ~l ~value ~mode ?rmw_read () =
              raise e);
           Memory.max_ts m.mem l + 1
         end
+        else if m.config.policy = `Append then
+          (* Single candidate, no oracle decision and no choice list. *)
+          Memory.append_ts m.mem l ~above
         else begin
           let choices = Memory.write_ts_choices m.mem l ~above in
           List.nth choices (choose oracle ~arity:(List.length choices))
@@ -259,16 +267,22 @@ let do_write m (th : thread) oracle ?site ~l ~value ~mode ?rmw_read () =
   th.tv <- tv';
   let msg = Msg.make ~loc:l ~ts ~value ~view ~lview ~wtid:th.tid in
   Memory.add_msg m.mem msg;
-  (* Fetch the ref just inserted so commits can patch it. *)
-  let mref = Option.get (History.find_opt (Memory.hist m.mem l) ts) in
+  (* Fetch the ref just inserted so commits can patch it: a new mo-maximal
+     write is [latest]; only a [`Gap] midpoint needs the search. *)
+  let mref =
+    if Memory.max_ts m.mem l = ts then Memory.latest m.mem l
+    else Option.get (History.find_opt (Memory.hist m.mem l) ts)
+  in
   mref
 
-(* Read choice for an atomic load. *)
+(* Read choice for an atomic load: count, decide, index — no choice list
+   is ever built (on the flat backend the readable set is an index
+   range). *)
 let pick_read m (th : thread) oracle l =
   let from = View.get th.tv.Tview.cur l in
-  let choices = Memory.read_choices m.mem l ~from in
-  assert (choices <> []);
-  List.nth choices (choose oracle ~arity:(List.length choices))
+  let arity = Memory.read_arity m.mem l ~from in
+  assert (arity > 0);
+  Memory.read_nth m.mem l ~from (choose oracle ~arity)
 
 (* Execute one operation of thread [th].  Returns the continuation's next
    program.  Raises [Memory.Error] on races and whatever the program raises
@@ -293,7 +307,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
       in
       let msg = !mref in
       th.tv <- Tview.read th.tv msg mode;
-      record m ~tid:th.tid (fun () ->
+      if m.config.record_trace then
+        record m ~tid:th.tid (fun () ->
           Format.asprintf "load_%a %a -> %a" Mode.pp_access mode Loc.pp l
             Value.pp msg.Msg.value);
       record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Load ~mode
@@ -308,16 +323,15 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
   | Prog.Await (l, mode, pred, commit) ->
       let mode = Override.access m.config.overrides ~site mode in
       let from = View.get th.tv.Tview.cur l in
-      let sat =
-        Memory.read_choices m.mem l ~from
-        |> List.filter (fun mref -> pred !mref.Msg.value)
-      in
+      let sat (mref : Msg.t ref) = pred !mref.Msg.value in
+      let arity = Memory.sat_arity m.mem l ~from ~sat in
       (* The scheduler only runs an await when it is enabled. *)
-      assert (sat <> []);
-      let mref = List.nth sat (choose oracle ~arity:(List.length sat)) in
+      assert (arity > 0);
+      let mref = Memory.sat_nth m.mem l ~from ~sat (choose oracle ~arity) in
       let msg = !mref in
       th.tv <- Tview.read th.tv msg mode;
-      record m ~tid:th.tid (fun () ->
+      if m.config.record_trace then
+        record m ~tid:th.tid (fun () ->
           Format.asprintf "await_%a %a -> %a" Mode.pp_access mode Loc.pp l
             Value.pp msg.Msg.value);
       record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Load ~mode
@@ -332,7 +346,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
   | Prog.Store (l, v, mode, commit) ->
       let mode = Override.access m.config.overrides ~site mode in
       let mref = do_write m th oracle ?site ~l ~value:v ~mode () in
-      record m ~tid:th.tid (fun () ->
+      if m.config.record_trace then
+        record m ~tid:th.tid (fun () ->
           Format.asprintf "store_%a %a := %a" Mode.pp_access mode Loc.pp l
             Value.pp v);
       record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Store ~mode
@@ -358,25 +373,25 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
       in
       let from = View.get th.tv.Tview.cur l in
       let latest_ts = Memory.max_ts m.mem l in
-      let readable = Memory.read_choices m.mem l ~from in
-      let candidates =
+      let mref =
         match kind with
         | Prog.Cas (expected, _) ->
             (* A strong CAS must succeed whenever it reads [expected]; a
                successful RMW must read the mo-maximal message.  Hence: the
                latest message is always a candidate; an older message is a
                candidate (a genuine failure) only if its value differs. *)
-            List.filter
-              (fun mref ->
-                !mref.Msg.ts = latest_ts
-                || not (Value.equal !mref.Msg.value expected))
-              readable
+            let sat (mref : Msg.t ref) =
+              !mref.Msg.ts = latest_ts
+              || not (Value.equal !mref.Msg.value expected)
+            in
+            let arity = Memory.sat_arity m.mem l ~from ~sat in
+            assert (arity > 0);
+            Memory.sat_nth m.mem l ~from ~sat (choose oracle ~arity)
         | Prog.Faa _ | Prog.Xchg _ ->
-            (* Unconditional RMWs always succeed: only the latest. *)
-            List.filter (fun mref -> !mref.Msg.ts = latest_ts) readable
+            (* Unconditional RMWs always succeed: only the latest, which
+               is readable because views never run ahead of mo. *)
+            Memory.latest m.mem l
       in
-      assert (candidates <> []);
-      let mref = List.nth candidates (choose oracle ~arity:(List.length candidates)) in
       let msg = !mref in
       let success, new_value =
         match kind with
@@ -393,7 +408,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
         | Some v -> Some (do_write m th oracle ~l ~value:v ~mode:wmode ~rmw_read:msg ())
         | None -> None
       in
-      record m ~tid:th.tid (fun () ->
+      if m.config.record_trace then
+        record m ~tid:th.tid (fun () ->
           Format.asprintf "rmw_%a %a: read %a%s" Mode.pp_access mode Loc.pp l
             Value.pp msg.Msg.value
             (match new_value with
@@ -416,7 +432,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
       | None ->
           (* Dropped by an override: the op degenerates to a yield (still
              one machine step, so decision scripts keep their shape). *)
-          record m ~tid:th.tid (fun () ->
+          if m.config.record_trace then
+            record m ~tid:th.tid (fun () ->
               Format.asprintf "%a (dropped)" Mode.pp_fence f0);
           k (mk_res ~value:Value.Unit ~view:th.tv.Tview.cur
                ~lview:th.tv.Tview.cur_l ())
@@ -440,7 +457,8 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
              rel_l = cur_l;
            }
        end);
-      record m ~tid:th.tid (fun () -> Format.asprintf "%a" Mode.pp_fence f);
+      if m.config.record_trace then
+        record m ~tid:th.tid (fun () -> Format.asprintf "%a" Mode.pp_fence f);
       record_fence m ~tid:th.tid ?site f;
       k (mk_res ~value:Value.Unit ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ()))
   | Prog.Alloc { name; size; init } ->
@@ -460,11 +478,13 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
           ~mode:Mode.Na ~read_ts:None ~write_ts:(Some Timestamp.init) ()
       done;
       th.tv <- !tv;
-      record m ~tid:th.tid (fun () ->
+      if m.config.record_trace then
+        record m ~tid:th.tid (fun () ->
           Format.asprintf "alloc %s[%d] = %a" name size Loc.pp loc);
       k (mk_res ~value:(Value.Ptr loc) ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ())
   | Prog.Yield ->
-      record m ~tid:th.tid (fun () -> "yield");
+      if m.config.record_trace then
+        record m ~tid:th.tid (fun () -> "yield");
       k (mk_res ~value:Value.Unit ~view:th.tv.Tview.cur ~lview:th.tv.Tview.cur_l ())
   | Prog.Tid ->
       k (mk_res ~value:(Value.Int th.tid) ~view:th.tv.Tview.cur
@@ -485,8 +505,7 @@ let enabled m (th : thread) =
   match th.prog with
   | Prog.Op ({ Prog.instr = Prog.Await (l, _, pred, _); _ }, _) ->
       let from = View.get th.tv.Tview.cur l in
-      Memory.read_choices m.mem l ~from
-      |> List.exists (fun mref -> pred !mref.Msg.value)
+      Memory.sat_exists m.mem l ~from ~sat:(fun mref -> pred !mref.Msg.value)
   | _ -> true
 
 let step_thread m (th : thread) oracle =
@@ -594,19 +613,29 @@ let run ?(reduce = false) ?(resume = false) ?on_step ?on_sched m oracle =
   let n = Array.length m.threads in
   if n = 0 then invalid_arg "Machine.run: no threads (call spawn)";
   if not resume then prime m;
+  (* Scratch for the per-step runnable scan: indices into [m.threads],
+     filled in array order.  One small array per [run], none per step. *)
+  let runnable = Array.make n 0 in
   let rec loop () =
-    Array.iter (fun th -> settle m th) m.threads;
-    let runnable =
-      Array.to_list m.threads
-      |> List.filter (fun th -> th.finished = None && enabled m th)
-    in
-    let unfinished = Array.exists (fun th -> th.finished = None) m.threads in
-    if not unfinished then
-      Finished (Array.map (fun th -> Option.get th.finished) m.threads)
-    else if runnable = [] then Blocked "deadlock: all unfinished threads await"
+    let threads = m.threads in
+    let n_run = ref 0 and unfinished = ref false in
+    for i = 0 to n - 1 do
+      let th = threads.(i) in
+      settle m th;
+      if th.finished = None then begin
+        unfinished := true;
+        if enabled m th then begin
+          runnable.(!n_run) <- i;
+          incr n_run
+        end
+      end
+    done;
+    if not !unfinished then
+      Finished (Array.map (fun th -> Option.get th.finished) threads)
+    else if !n_run = 0 then Blocked "deadlock: all unfinished threads await"
     else if m.step >= m.run_deadline then Bounded
     else begin
-      let arity = List.length runnable in
+      let arity = !n_run in
       (* A scheduling *decision* (arity > 1) is about to be consumed and
          the machine is at a settled step boundary: the incremental
          explorer's last chance to checkpoint the state this decision
@@ -614,29 +643,29 @@ let run ?(reduce = false) ?(resume = false) ?on_step ?on_sched m oracle =
       if arity > 1 then (match on_sched with Some f -> f () | None -> ());
       let j =
         if arity = 1 then 0
-        else
+        else if Oracle.sched_aware oracle then
           (* Tell schedule-directed oracles which threads this choice picks
              between (forced steps never reach the oracle, which is also
              what a priority scheduler would do with one runnable
              thread). *)
-          let tids =
-            Array.of_list (List.map (fun (th : thread) -> th.tid) runnable)
-          in
+          let tids = Array.init arity (fun k -> threads.(runnable.(k)).tid) in
           Oracle.choose ~kind:(Oracle.Sched tids) oracle ~arity
+        else Oracle.choose oracle ~arity
       in
-      let th = List.nth runnable j in
+      let th = threads.(runnable.(j)) in
       if reduce && List.mem_assq th.tid m.sleep then Pruned
       else begin
         if reduce then begin
           (* Earlier siblings fall asleep; survivors are the sleepers
              whose pending step is independent of the one now taken. *)
           let fp = footprint th in
-          let explored =
-            List.filteri (fun i _ -> i < j) runnable
-            |> List.map (fun (u : thread) -> (u.tid, footprint u))
-          in
+          let explored = ref [] in
+          for k = j - 1 downto 0 do
+            let u = threads.(runnable.(k)) in
+            explored := (u.tid, footprint u) :: !explored
+          done;
           m.sleep <-
-            List.filter (fun (_, fu) -> independent fu fp) (m.sleep @ explored)
+            List.filter (fun (_, fu) -> independent fu fp) (m.sleep @ !explored)
         end;
         step_thread m th oracle;
         (match on_step with Some f -> f () | None -> ());

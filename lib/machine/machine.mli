@@ -18,6 +18,9 @@ open Compass_event
 type config = {
   max_steps : int;  (** per concurrent phase; exceeding yields [Bounded] *)
   policy : Memory.policy;
+  backend : Memory.backend;
+      (** history representation; [`Flat] (default) is the fast path,
+          [`Map] the differential oracle ([`Gap] policy forces [`Map]) *)
   record_trace : bool;
   record_accesses : bool;
       (** record memory accesses for the axiomatic differential check

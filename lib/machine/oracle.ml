@@ -21,6 +21,9 @@ type t = {
   mutable pos : int;
   mutable log : (int * int) list;  (** (arity, choice), newest first *)
   pick : pos:int -> arity:int -> kind:kind -> int;
+  sched_aware : bool;
+      (** whether [pick] inspects scheduling kinds; when false the machine
+          skips building the runnable-tid array for [Sched] choices *)
 }
 
 let choose ?(kind = Data) o ~arity =
@@ -52,6 +55,7 @@ let vectors o =
   (ds, ars)
 
 let position o = o.pos
+let sched_aware o = o.sched_aware
 
 (* Raw (arity, choice) log, newest first — the persistent list itself, so
    checkpointing it is O(1). *)
@@ -59,7 +63,7 @@ let raw_log o = o.log
 
 (* Custom pick function — how the fuzzing subsystem builds its PCT and
    prefix-replay oracles without this module knowing about them. *)
-let make pick = { pos = 0; log = []; pick }
+let make ?(sched_aware = true) pick = { pos = 0; log = []; pick; sched_aware }
 
 (* Deterministic oracle: always the last alternative.  For loads the
    alternatives are in ascending timestamp order, so "last" reads the
@@ -67,7 +71,12 @@ let make pick = { pos = 0; log = []; pick }
    Always a fresh value: a shared oracle would be mutable state leaking
    between executions (and between domains, under parallel exploration). *)
 let fresh_latest () =
-  { pos = 0; log = []; pick = (fun ~pos:_ ~arity ~kind:_ -> arity - 1) }
+  {
+    pos = 0;
+    log = [];
+    pick = (fun ~pos:_ ~arity ~kind:_ -> arity - 1);
+    sched_aware = false;
+  }
 
 (* Seeded pseudo-random oracle (deterministic per seed). *)
 let random ~seed =
@@ -76,6 +85,7 @@ let random ~seed =
     pos = 0;
     log = [];
     pick = (fun ~pos:_ ~arity ~kind:_ -> Random.State.int st arity);
+    sched_aware = false;
   }
 
 let script_pick choices ~pos ~arity ~kind:_ =
@@ -89,7 +99,8 @@ let script_pick choices ~pos ~arity ~kind:_ =
 
 (* Replay [script] and fall back to choice 0 (the "first" alternative) past
    its end — the DFS explorer's workhorse. *)
-let script choices = { pos = 0; log = []; pick = script_pick choices }
+let script choices =
+  { pos = 0; log = []; pick = script_pick choices; sched_aware = false }
 
 (* Tolerant replay: out-of-range choices clamp to the last alternative
    instead of raising.  A shrinker or fuzzer mutating a valid script can
@@ -103,6 +114,7 @@ let script_clamped choices =
     pick =
       (fun ~pos ~arity ~kind:_ ->
         if pos < Array.length choices then min choices.(pos) (arity - 1) else 0);
+    sched_aware = false;
   }
 
 (* Resume a scripted replay from a machine checkpoint: the first [pos]
@@ -114,4 +126,4 @@ let script_clamped choices =
    positions (the explorer guarantees this by construction). *)
 let resume_script ~pos ~log choices =
   assert (List.length log = pos);
-  { pos; log; pick = script_pick choices }
+  { pos; log; pick = script_pick choices; sched_aware = false }

@@ -36,10 +36,13 @@ val fresh_latest : unit -> t
 
 val random : seed:int -> t
 
-val make : (pos:int -> arity:int -> kind:kind -> int) -> t
+val make : ?sched_aware:bool -> (pos:int -> arity:int -> kind:kind -> int) -> t
 (** an oracle answering with a custom pick function — the hook the
     schedule-fuzzing subsystem's PCT and prefix-replay oracles plug into;
-    the pick must return a value in [0 .. arity-1] *)
+    the pick must return a value in [0 .. arity-1].  [sched_aware]
+    (default true) declares whether the pick inspects [Sched] kinds; pass
+    [false] for picks that ignore [kind] so the machine can skip building
+    the runnable-tid array at every scheduling choice *)
 
 val script : int array -> t
 (** replay the given choices, falling back to choice 0 past the end; the
@@ -54,6 +57,11 @@ val script_clamped : int array -> t
 
 val position : t -> int
 (** number of choices taken so far (the current decision depth) *)
+
+val sched_aware : t -> bool
+(** whether this oracle's pick inspects {!kind} — enumeration and replay
+    oracles don't, letting the machine pass [Data] for scheduling choices
+    without materialising the tid array *)
 
 val raw_log : t -> (int * int) list
 (** the (arity, choice) log, newest first; a persistent value, so

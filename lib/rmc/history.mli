@@ -1,10 +1,20 @@
 (** Per-location write histories: the set of a location's write messages,
     keyed by timestamp — its modification order.  This is the [h] of the
-    paper's atomic points-to assertion (Section 2.3). *)
+    paper's atomic points-to assertion (Section 2.3).
+
+    Two backends share the interface.  [`Flat] (the default) stores the
+    history as growable parallel arrays in ascending timestamp order:
+    append-only, O(1) length-snapshots, truncating restores, and
+    allocation-free readable-message enumeration — the exploration hot
+    path.  [`Map] is the original persistent map: it additionally supports
+    mid-history insertion (required by the [`Gap] timestamp policy) and
+    serves as the differential oracle for the flat backend. *)
 
 type t
 
-val create : loc:Loc.t -> init_value:Value.t -> t
+val create :
+  ?backend:[ `Flat | `Map ] -> loc:Loc.t -> init_value:Value.t -> unit -> t
+
 val max_ts : t -> Timestamp.t
 val latest : t -> Msg.t ref
 val find_opt : t -> Timestamp.t -> Msg.t ref option
@@ -12,20 +22,52 @@ val mem : t -> Timestamp.t -> bool
 val cardinal : t -> int
 
 val add : t -> Msg.t -> unit
-(** insert a message at a fresh timestamp *)
+(** insert a message at a fresh timestamp.  The [`Flat] backend is
+    append-only: the timestamp must be strictly above {!max_ts} (the
+    [`Append] policy guarantees this); use the [`Map] backend for [`Gap]
+    midpoint insertion. *)
 
 type snapshot
-(** an O(1) value-copy of the history (the timestamp map is persistent;
-    message refs are shared — they are immutable after the machine step
-    that inserts them) *)
+(** an O(1) capture of the history: the live length ([`Flat] — restore
+    truncates) or the persistent map pointer ([`Map]).  Message refs are
+    shared — they are immutable after the machine step that inserts
+    them. *)
 
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
+
+val flat_length : t -> int
+(** the live length of a [`Flat] history — its entire rollback state, so
+    stores of flat histories can checkpoint as plain int arrays.
+    @raise Invalid_argument on the [`Map] backend *)
+
+val truncate : t -> int -> unit
+(** roll a [`Flat] history back to a length captured by {!flat_length}.
+    @raise Invalid_argument on the [`Map] backend *)
 
 val readable : t -> from:Timestamp.t -> Msg.t ref list
 (** all messages a thread whose view of this location is [from] may read
     (coherence forbids reading below the view); ascending timestamp
     order *)
+
+val readable_arity : t -> from:Timestamp.t -> int
+(** [List.length (readable h ~from)], without building the list — on the
+    flat backend this is a binary search *)
+
+val readable_nth : t -> from:Timestamp.t -> int -> Msg.t ref
+(** [List.nth (readable h ~from) n], without building the list — on the
+    flat backend this is an array index *)
+
+val sat_arity : t -> from:Timestamp.t -> sat:(Msg.t ref -> bool) -> int
+(** number of readable messages satisfying [sat], without materialising
+    the filtered list (await / RMW read steps) *)
+
+val sat_exists : t -> from:Timestamp.t -> sat:(Msg.t ref -> bool) -> bool
+(** [sat_arity h ~from ~sat > 0], with early exit (await enabledness) *)
+
+val sat_nth : t -> from:Timestamp.t -> sat:(Msg.t ref -> bool) -> int -> Msg.t ref
+(** [n]th readable message satisfying [sat] (ascending timestamps);
+    [n] must be below the corresponding {!sat_arity} *)
 
 val to_list : t -> Msg.t ref list
 

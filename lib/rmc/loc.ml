@@ -17,29 +17,47 @@ let make ~base ~off = { base; off }
 let base l = l.base
 let off l = l.off
 
+(* Packed integer key, used by the flat view representation: lexicographic
+   on (base, off) exactly like {!compare}, provided [0 <= off < 2^16] —
+   which the allocator guarantees (block sizes are tiny).  Keys sort the
+   same way locations do, so flat views enumerate entries in the same
+   order {!Map}-based code did. *)
+let off_bits = 16
+let off_mask = (1 lsl off_bits) - 1
+let key l = (l.base lsl off_bits) lor l.off
+let of_key k = { base = k lsr off_bits; off = k land off_mask }
+
 (* Pointer arithmetic within a block: [shift l i] is the cell [i] slots past
    [l].  Blocks are bounds-checked by the allocator, not here. *)
 let shift l i = { l with off = l.off + i }
 
 (* Human-readable names for allocated blocks, for trace output only.  The
    registry is global and append-only; it does not affect semantics.  It is
-   the one piece of process-global mutable state the machine touches, so it
-   is guarded by a mutex: the parallel explorer ({!Explore.pdfs}) runs one
-   machine per execution on several domains at once, and unsynchronised
-   [Hashtbl] writes can corrupt the table during a resize. *)
-let names : (int, string) Hashtbl.t = Hashtbl.create 64
+   the one piece of process-global mutable state the machine touches, so
+   reads must be safe from every domain at once: the work-stealing
+   exploration frontier runs one machine per worker on several domains,
+   and each execution's setup re-registers the same (base, name) pairs.
+
+   The table is therefore kept as an immutable map behind an [Atomic]:
+   lookups are a single atomic load (no lock, no contention), and the
+   write path first checks — again lock-free — whether the binding is
+   already present, so steady-state re-registration by every domain costs
+   one read and takes the mutex only for genuinely new names.  Writers
+   serialise on the mutex to make read-modify-write of the map atomic. *)
+module Imap = Map.Make (Int)
+
+let names : string Imap.t Atomic.t = Atomic.make Imap.empty
 let names_mutex = Mutex.create ()
 
-let register_name ~base ~name =
-  Mutex.lock names_mutex;
-  Hashtbl.replace names base name;
-  Mutex.unlock names_mutex
+let find_name base = Imap.find_opt base (Atomic.get names)
 
-let find_name base =
-  Mutex.lock names_mutex;
-  let n = Hashtbl.find_opt names base in
-  Mutex.unlock names_mutex;
-  n
+let register_name ~base ~name =
+  match find_name base with
+  | Some n when String.equal n name -> ()  (* interned already: lock-free *)
+  | _ ->
+      Mutex.lock names_mutex;
+      Atomic.set names (Imap.add base name (Atomic.get names));
+      Mutex.unlock names_mutex
 
 let pp ppf l =
   let name =

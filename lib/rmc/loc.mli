@@ -15,6 +15,14 @@ val make : base:int -> off:int -> t
 val base : t -> int
 val off : t -> int
 
+val key : t -> int
+(** packed integer key, ordered like {!compare} (requires
+    [0 <= off < 2^16], which the allocator guarantees) — the index type of
+    the flat view representation *)
+
+val of_key : int -> t
+(** inverse of {!key} *)
+
 val shift : t -> int -> t
 (** [shift l i] is the cell [i] slots past [l] within the same block.
     Bounds are the allocator's concern, not checked here. *)

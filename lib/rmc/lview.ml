@@ -11,18 +11,154 @@
    writer's current logical view, acquire reads join the message's logical
    view into the reader's.  This is what makes *external* synchronisation
    (e.g. the MP client's flag) transfer library-event observations — the
-   operational counterpart of the paper's [SeenQueue(q, G, M)] assertions. *)
+   operational counterpart of the paper's [SeenQueue(q, G, M)] assertions.
 
-include Set.Make (Int)
+   Representation: a sorted int array of distinct event ids, immutable
+   after construction — the same flat shape as {!View}, for the same
+   reason: joins on the machine's hot path are O(n+m) merge sweeps over
+   unboxed ints, and every operation returns its *argument* unchanged
+   when the result would equal it, so views that stabilise flow through
+   by pointer and [a == b] short-circuits the lattice operations. *)
 
-let join = union
-let leq = subset
+type t = int array
+
+let empty : t = [||]
+let is_empty (s : t) = Array.length s = 0
+let cardinal (s : t) = Array.length s
+let singleton e : t = [| e |]
+
+let mem e (s : t) =
+  let n = Array.length s in
+  let rec go i =
+    if i >= n then false
+    else
+      let x = Array.unsafe_get s i in
+      if x < e then go (i + 1) else x = e
+  in
+  go 0
+
+let add e (s : t) : t =
+  if mem e s then s
+  else begin
+    let n = Array.length s in
+    let r = Array.make (n + 1) e in
+    let rec pos i = if i < n && s.(i) < e then pos (i + 1) else i in
+    let p = pos 0 in
+    Array.blit s 0 r 0 p;
+    Array.blit s p r (p + 1) (n - p);
+    r.(p) <- e;
+    r
+  end
+
+(* Union with subset fast paths: returns the dominant argument unchanged
+   when one side contains the other. *)
+let join (a : t) (b : t) : t =
+  if a == b then a
+  else
+    let na = Array.length a and nb = Array.length b in
+    if na = 0 then b
+    else if nb = 0 then a
+    else begin
+      let n = ref 0 and a_dom = ref true and b_dom = ref true in
+      let i = ref 0 and j = ref 0 in
+      while !i < na && !j < nb do
+        incr n;
+        let x = a.(!i) and y = b.(!j) in
+        if x < y then begin
+          b_dom := false;
+          incr i
+        end
+        else if y < x then begin
+          a_dom := false;
+          incr j
+        end
+        else begin
+          incr i;
+          incr j
+        end
+      done;
+      if !i < na then begin
+        b_dom := false;
+        n := !n + na - !i
+      end;
+      if !j < nb then begin
+        a_dom := false;
+        n := !n + nb - !j
+      end;
+      if !a_dom then a
+      else if !b_dom then b
+      else begin
+        let r = Array.make !n 0 in
+        let i = ref 0 and j = ref 0 and o = ref 0 in
+        while !i < na && !j < nb do
+          let x = a.(!i) and y = b.(!j) in
+          if x < y then begin
+            r.(!o) <- x;
+            incr i
+          end
+          else if y < x then begin
+            r.(!o) <- y;
+            incr j
+          end
+          else begin
+            r.(!o) <- x;
+            incr i;
+            incr j
+          end;
+          incr o
+        done;
+        while !i < na do
+          r.(!o) <- a.(!i);
+          incr i;
+          incr o
+        done;
+        while !j < nb do
+          r.(!o) <- b.(!j);
+          incr j;
+          incr o
+        done;
+        r
+      end
+    end
+
+let union = join
+
+let leq (a : t) (b : t) =
+  a == b
+  ||
+  let na = Array.length a and nb = Array.length b in
+  let rec go i j =
+    if i >= na then true
+    else if j >= nb then false
+    else
+      let x = a.(i) and y = b.(j) in
+      if y < x then go i (j + 1) else if x = y then go (i + 1) (j + 1) else false
+  in
+  go 0 0
+
+let subset = leq
+
+let equal (a : t) (b : t) =
+  a == b
+  || (Array.length a = Array.length b
+     &&
+     let n = Array.length a in
+     let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+     go 0)
+
+let iter f (s : t) = Array.iter f s
+let fold f (s : t) acc = Array.fold_left (fun acc e -> f e acc) acc s
+let elements (s : t) = Array.to_list s
+let to_seq (s : t) = Array.to_seq s
+let of_list l : t = Array.of_list (List.sort_uniq Int.compare l)
 
 let pp ppf (s : t) =
-  Format.fprintf ppf "{@[%a@]}"
-    (Format.pp_print_seq
-       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
-       (fun ppf e -> Format.fprintf ppf "e%d" e))
-    (to_seq s)
+  Format.fprintf ppf "{@[";
+  Array.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "e%d" e)
+    s;
+  Format.fprintf ppf "@]}"
 
 let to_string s = Format.asprintf "%a" pp s

@@ -11,11 +11,33 @@
     views — release writes attach them to messages, acquire reads join
     them — which is what lets {e external} synchronisation (the MP
     client's flag) transfer library-event observations: the operational
-    content of the paper's [SeenQueue(q, G, M)]. *)
+    content of the paper's [SeenQueue(q, G, M)].
 
-include Set.S with type elt = int
+    Represented as flat sorted int arrays (like {!View}): joins are merge
+    sweeps over unboxed ints, and operations return their argument
+    physically unchanged when the result equals it, so stabilised views
+    share structure across the whole execution. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
 
 val join : t -> t -> t
+(** set union — the lattice join *)
+
+val union : t -> t -> t
 val leq : t -> t -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val to_seq : t -> int Seq.t
+val of_list : int list -> t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

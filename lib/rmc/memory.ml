@@ -2,26 +2,45 @@
 
    Memory is mutable and created fresh for every execution (the model
    checker is stateless: it re-runs executions from decision scripts rather
-   than snapshotting state). *)
+   than snapshotting state).
+
+   Locations get *dense ids*: blocks are numbered in allocation order and a
+   block's cells occupy a contiguous id range, so [loc -> history] is two
+   array reads and a bounds check — no hashing on the hot path, and a
+   snapshot walk is an array sweep.  Deallocation only happens via
+   [restore], which rolls the allocator back to a prefix, so the id space
+   truncates exactly like everything else.
+
+   The [backend] selects the {!History} representation: [`Flat] (default)
+   is the append-only array form with O(1) truncating restores; [`Map] is
+   the persistent-map oracle.  The [`Gap] timestamp policy inserts
+   midpoint timestamps *between* existing writes, which the flat form
+   cannot restore by truncation — so [`Gap] forces the [`Map] backend. *)
 
 type policy = [ `Append | `Gap ]
+type backend = [ `Flat | `Map ]
+
+type hist_snaps =
+  | S_flat of int array
+      (** flat backend: the live length of each history — unboxed, one
+          int array for the whole store *)
+  | S_gen of History.snapshot array  (** map backend: per-history snapshots *)
 
 type snapshot = {
   s_version : int;
-  s_next_base : int;
+  s_n_blocks : int;
   s_n_locs : int;
-  s_hists : History.snapshot array;
-      (** aligned with {!t.order} (newest first) *)
+  s_hists : hist_snaps;  (** aligned with {!t.hists} *)
 }
 
 type t = {
-  mutable next_base : int;
-  hists : (Loc.t, History.t) Hashtbl.t;
-  mutable order : (Loc.t * History.t) list;
-      (** allocation order, newest first — the snapshot walk order, so
-          snapshots need no [Hashtbl.fold] *)
+  mutable block_start : int array;  (** id of block [b]'s first cell *)
+  mutable block_size : int array;
+  mutable n_blocks : int;
+  mutable hists : History.t array;  (** indexed by dense location id *)
   mutable n_locs : int;
   policy : policy;
+  backend : backend;
   mutable version : int;
       (** identifies the store's content: fresh after every mutation, set
           back to the snapshot's version on restore — so an unchanged
@@ -46,47 +65,93 @@ let pp_error ppf = function
 exception Error of error
 
 let error e = raise (Error e)
-let create ?(policy = `Append) () =
+
+let create ?(policy = `Append) ?backend () =
+  let backend =
+    match (policy, backend) with
+    | `Gap, _ -> `Map (* midpoint insertion: truncating restore unsound *)
+    | `Append, Some b -> b
+    | `Append, None -> `Flat
+  in
   {
-    next_base = 0;
-    hists = Hashtbl.create 256;
-    order = [];
+    block_start = [||];
+    block_size = [||];
+    n_blocks = 0;
+    hists = [||];
     n_locs = 0;
     policy;
+    backend;
     version = 0;
     vnext = 1;
     snap_cache = None;
   }
 
+let backend mem = mem.backend
+
 let touch mem =
   mem.version <- mem.vnext;
   mem.vnext <- mem.vnext + 1
 
+let grow_int_array a len =
+  let cap = Array.length a in
+  if len < cap then a
+  else begin
+    let r = Array.make (if cap = 0 then 16 else 2 * cap) 0 in
+    Array.blit a 0 r 0 cap;
+    r
+  end
+
 let alloc mem ~name ~size ~init_value =
   touch mem;
-  let base = mem.next_base in
-  mem.next_base <- base + 1;
+  let base = mem.n_blocks in
+  mem.block_start <- grow_int_array mem.block_start base;
+  mem.block_size <- grow_int_array mem.block_size base;
+  mem.block_start.(base) <- mem.n_locs;
+  mem.block_size.(base) <- size;
+  mem.n_blocks <- base + 1;
   Loc.register_name ~base ~name;
   for off = 0 to size - 1 do
     let loc = Loc.make ~base ~off in
-    let h = History.create ~loc ~init_value in
-    Hashtbl.replace mem.hists loc h;
-    mem.order <- (loc, h) :: mem.order;
+    let h = History.create ~backend:mem.backend ~loc ~init_value () in
+    let cap = Array.length mem.hists in
+    if mem.n_locs >= cap then begin
+      let r = Array.make (if cap = 0 then 16 else 2 * cap) h in
+      Array.blit mem.hists 0 r 0 cap;
+      mem.hists <- r
+    end;
+    mem.hists.(mem.n_locs) <- h;
     mem.n_locs <- mem.n_locs + 1
   done;
   Loc.make ~base ~off:0
 
-let hist mem l =
-  match Hashtbl.find_opt mem.hists l with
-  | Some h -> h
-  | None -> error (Unallocated l)
+(* Dense id of [l], or a raised [Unallocated]: two array reads and two
+   bounds checks, no hashing. *)
+let loc_id mem (l : Loc.t) =
+  let b = l.Loc.base in
+  if b < 0 || b >= mem.n_blocks || l.Loc.off < 0
+     || l.Loc.off >= mem.block_size.(b)
+  then error (Unallocated l);
+  mem.block_start.(b) + l.Loc.off
+
+let hist mem l = mem.hists.(loc_id mem l)
 
 (* All messages a thread with view-of-[l] [from] may read.  Non-atomic reads
    are handled separately in [na_read]. *)
 let read_choices mem l ~from = History.readable (hist mem l) ~from
 
+(* Allocation-free variants of [read_choices] — the machine's hot path
+   counts choices and indexes into them without building lists. *)
+let read_arity mem l ~from = History.readable_arity (hist mem l) ~from
+let read_nth mem l ~from n = History.readable_nth (hist mem l) ~from n
+let sat_arity mem l ~from ~sat = History.sat_arity (hist mem l) ~from ~sat
+let sat_exists mem l ~from ~sat = History.sat_exists (hist mem l) ~from ~sat
+let sat_nth mem l ~from ~sat n = History.sat_nth (hist mem l) ~from ~sat n
 let latest mem l = History.latest (hist mem l)
 let max_ts mem l = History.max_ts (hist mem l)
+
+(* The [`Append] policy admits exactly one fresh timestamp: one past the
+   end — computed without consing the singleton choice list. *)
+let append_ts mem l ~above = Timestamp.max (max_ts mem l) above + 1
 
 (* Non-atomic access check: the accessing thread must have observed the
    mo-maximal write to the location, otherwise the access races with that
@@ -118,47 +183,35 @@ let add_msg mem (m : Msg.t) =
 (* -- snapshot / restore ------------------------------------------------------
 
    A snapshot captures the allocator position plus one {!History.snapshot}
-   per location — O(#locations) pointer copies; the per-location maps are
-   persistent, so nothing message-level is duplicated.  The snapshot array
-   is aligned with the [order] list (allocation order, newest first), so
-   taking one is a plain list walk: no hashing and no tuple allocation —
-   it is on the model checker's per-step checkpoint path.
+   per location — an array sweep of O(#locations) O(1) captures (a length
+   for flat histories, a persistent-map pointer for the oracle); nothing
+   message-level is duplicated.
 
    [restore] mutates the existing {!History.t} records in place (callers
-   may hold handles to them) and removes locations allocated after the
-   snapshot was taken, so re-executing the suffix re-allocates them at
-   the same bases.  Restore targets are always states along the current
-   execution's prefix, so the snapshotted locations are exactly the
-   oldest [s_n_locs] entries of [order].
+   may hold handles to them) and truncates the allocator, dropping
+   locations allocated after the snapshot; re-executing the suffix
+   re-allocates them at the same bases and ids.  Restore targets are
+   always states along the current execution's prefix, so the snapshotted
+   locations are exactly the first [s_n_locs] ids.
 
    Snapshots are version-cached: reads don't [touch] the store, so the
    checkpoint-per-step explorer reuses one snapshot across read-only
    steps instead of rebuilding the array. *)
 
 let build_snapshot mem =
-  match mem.order with
-  | [] ->
-      {
-        s_version = mem.version;
-        s_next_base = mem.next_base;
-        s_n_locs = 0;
-        s_hists = [||];
-      }
-  | (_, h0) :: tl ->
-      let a = Array.make mem.n_locs (History.snapshot h0) in
-      let rec fill i = function
-        | [] -> ()
-        | (_, h) :: tl ->
-            a.(i) <- History.snapshot h;
-            fill (i + 1) tl
-      in
-      fill 1 tl;
-      {
-        s_version = mem.version;
-        s_next_base = mem.next_base;
-        s_n_locs = mem.n_locs;
-        s_hists = a;
-      }
+  let s_hists =
+    match mem.backend with
+    | `Flat ->
+        S_flat (Array.init mem.n_locs (fun i -> History.flat_length mem.hists.(i)))
+    | `Map ->
+        S_gen (Array.init mem.n_locs (fun i -> History.snapshot mem.hists.(i)))
+  in
+  {
+    s_version = mem.version;
+    s_n_blocks = mem.n_blocks;
+    s_n_locs = mem.n_locs;
+    s_hists;
+  }
 
 let snapshot mem =
   match mem.snap_cache with
@@ -169,32 +222,28 @@ let snapshot mem =
       s
 
 let restore mem s =
-  mem.next_base <- s.s_next_base;
-  (* Locations allocated after the snapshot sit at the front of [order]. *)
-  let rec drop n l =
-    if n = 0 then l
-    else
-      match l with
-      | (loc, _) :: tl ->
-          Hashtbl.remove mem.hists loc;
-          drop (n - 1) tl
-      | [] -> invalid_arg "Memory.restore: snapshot from a different store"
-  in
-  let order = drop (mem.n_locs - s.s_n_locs) mem.order in
-  mem.order <- order;
+  if s.s_n_locs > mem.n_locs then
+    invalid_arg "Memory.restore: snapshot from a different store";
+  mem.n_blocks <- s.s_n_blocks;
   mem.n_locs <- s.s_n_locs;
-  let rec fill i = function
-    | [] -> ()
-    | (_, h) :: tl ->
-        History.restore h s.s_hists.(i);
-        fill (i + 1) tl
-  in
-  fill 0 order;
+  (match s.s_hists with
+  | S_flat lens ->
+      for i = 0 to s.s_n_locs - 1 do
+        History.truncate mem.hists.(i) lens.(i)
+      done
+  | S_gen snaps ->
+      for i = 0 to s.s_n_locs - 1 do
+        History.restore mem.hists.(i) snaps.(i)
+      done);
   (* The store's content is now exactly what [s] captured. *)
   mem.version <- s.s_version;
   mem.snap_cache <- Some s
 
 let pp ppf mem =
-  Hashtbl.iter
-    (fun l h -> Format.fprintf ppf "%a: %a@." Loc.pp l History.pp h)
-    mem.hists
+  for b = 0 to mem.n_blocks - 1 do
+    for off = 0 to mem.block_size.(b) - 1 do
+      let l = Loc.make ~base:b ~off in
+      Format.fprintf ppf "%a: %a@." Loc.pp l History.pp
+        mem.hists.(mem.block_start.(b) + off)
+    done
+  done

@@ -2,10 +2,18 @@
     location, with race detection for non-atomic accesses.
 
     Memory is mutable and created fresh per execution: the model checker
-    is stateless (it replays executions from decision scripts). *)
+    is stateless (it replays executions from decision scripts).
+
+    Locations get dense ids — blocks are numbered in allocation order and
+    a block's cells occupy a contiguous id range — so location lookup is
+    two array reads and a bounds check, and store snapshots are array
+    sweeps.  The [backend] picks the history representation: [`Flat]
+    (default) append-only arrays with O(1) truncating restores, [`Map]
+    the persistent-map differential oracle.  The [`Gap] timestamp policy
+    requires mid-history insertion and therefore forces [`Map]. *)
 
 type policy = [ `Append | `Gap ]
-
+type backend = [ `Flat | `Map ]
 type t
 
 type error =
@@ -17,7 +25,13 @@ val pp_error : Format.formatter -> error -> unit
 
 exception Error of error
 
-val create : ?policy:policy -> unit -> t
+val create : ?policy:policy -> ?backend:backend -> unit -> t
+(** [backend] defaults to [`Flat]; [~policy:`Gap] overrides it to
+    [`Map] (midpoint timestamps are incompatible with truncating
+    restores) *)
+
+val backend : t -> backend
+(** the history representation actually in use *)
 
 val alloc : t -> name:string -> size:int -> init_value:Value.t -> Loc.t
 (** allocate a block of [size] cells, each with an initialisation write
@@ -28,6 +42,28 @@ val hist : t -> Loc.t -> History.t
 
 val read_choices : t -> Loc.t -> from:Timestamp.t -> Msg.t ref list
 (** the messages an atomic load may read (coherence-filtered, ascending) *)
+
+val read_arity : t -> Loc.t -> from:Timestamp.t -> int
+(** [List.length (read_choices ...)] without building the list *)
+
+val read_nth : t -> Loc.t -> from:Timestamp.t -> int -> Msg.t ref
+(** [List.nth (read_choices ...) n] without building the list *)
+
+val sat_arity : t -> Loc.t -> from:Timestamp.t -> sat:(Msg.t ref -> bool) -> int
+(** readable messages satisfying [sat], counted without materialising
+    the filtered list (await / RMW steps) *)
+
+val sat_exists : t -> Loc.t -> from:Timestamp.t -> sat:(Msg.t ref -> bool) -> bool
+(** [sat_arity ... > 0] with early exit (await enabledness) *)
+
+val sat_nth :
+  t -> Loc.t -> from:Timestamp.t -> sat:(Msg.t ref -> bool) -> int -> Msg.t ref
+(** [n]th readable message satisfying [sat] (ascending timestamps) *)
+
+val append_ts : t -> Loc.t -> above:Timestamp.t -> Timestamp.t
+(** the unique fresh timestamp under the [`Append] policy (one past the
+    maximum of the history top and [above]), without building the
+    choice list *)
 
 val latest : t -> Loc.t -> Msg.t ref
 val max_ts : t -> Loc.t -> Timestamp.t
@@ -46,13 +82,13 @@ val add_msg : t -> Msg.t -> unit
 
 type snapshot
 (** allocator position plus one {!History.snapshot} per location:
-    O(#locations) pointer copies *)
+    an O(#locations) sweep of O(1) captures *)
 
 val snapshot : t -> snapshot
 
 val restore : t -> snapshot -> unit
 (** roll the store back to [snapshot]: existing histories are mutated in
     place (handles stay valid) and locations allocated after the snapshot
-    are removed *)
+    are dropped by truncating the allocator *)
 
 val pp : Format.formatter -> t -> unit

@@ -12,7 +12,14 @@
    semantics / iRC11's race detector), restricted to the fragment ORC11
    needs.  The logical components mirror the physical ones exactly, which is
    the whole point: library-event observations flow wherever physical
-   synchronisation flows. *)
+   synchronisation flows.
+
+   Views are flat shared arrays ({!View}, {!Lview}) whose operations
+   return their argument physically unchanged whenever the result equals
+   it, so [cur == acq] is the steady state (no relaxed read pending
+   acquisition).  The transitions below exploit that: when two components
+   are pointer-equal, the lattice work is done once and the result shared
+   — which also *preserves* the pointer equality for the next step. *)
 
 type t = {
   cur : View.t;
@@ -52,23 +59,24 @@ let join a b =
 (* Effect of reading message [m] with access mode [mode] (the paper's
    Acq-Read rule and its relaxed/non-atomic weakenings). *)
 let read tv (m : Msg.t) (mode : Mode.access) =
-  let obs v = View.extend v m.loc m.ts in
-  let tv = { tv with cur = obs tv.cur; acq = obs tv.acq } in
+  let cur = View.extend tv.cur m.loc m.ts in
+  let acq = if tv.acq == tv.cur then cur else View.extend tv.acq m.loc m.ts in
   if Mode.acquires mode then
-    {
-      tv with
-      cur = View.join tv.cur m.view;
-      acq = View.join tv.acq m.view;
-      cur_l = Lview.join tv.cur_l m.lview;
-      acq_l = Lview.join tv.acq_l m.lview;
-    }
+    let cur' = View.join cur m.view in
+    let acq' = if acq == cur then cur' else View.join acq m.view in
+    let cur_l = Lview.join tv.cur_l m.lview in
+    let acq_l =
+      if tv.acq_l == tv.cur_l then cur_l else Lview.join tv.acq_l m.lview
+    in
+    { tv with cur = cur'; acq = acq'; cur_l; acq_l }
   else if mode = Mode.Rlx then
     {
       tv with
-      acq = View.join tv.acq m.view;
+      cur;
+      acq = View.join acq m.view;
       acq_l = Lview.join tv.acq_l m.lview;
     }
-  else tv
+  else { tv with cur; acq }
 
 (* Effect of writing to [l] at timestamp [ts] with mode [mode]: returns the
    new thread state and the (physical, logical) release views to attach to
@@ -79,8 +87,9 @@ let read tv (m : Msg.t) (mode : Mode.access) =
    propagating the head release. *)
 let write tv ~(l : Loc.t) ~(ts : Timestamp.t) ~(mode : Mode.access)
     ?(rmw_read : Msg.t option) () =
-  let obs v = View.extend v l ts in
-  let tv = { tv with cur = obs tv.cur; acq = obs tv.acq } in
+  let cur = View.extend tv.cur l ts in
+  let acq = if tv.acq == tv.cur then cur else View.extend tv.acq l ts in
+  let tv = { tv with cur; acq } in
   let base_view, base_lview =
     if Mode.releases mode then (tv.cur, tv.cur_l)
     else if mode = Mode.Rlx then
@@ -110,11 +119,11 @@ let fence tv (f : Mode.fence) =
 (* Record that the thread has observed library event [e] — the operational
    step behind "SeenQueue now contains e" after a commit. *)
 let observe_event tv e =
-  {
-    tv with
-    cur_l = Lview.add e tv.cur_l;
-    acq_l = Lview.add e tv.acq_l;
-  }
+  let cur_l = Lview.add e tv.cur_l in
+  let acq_l =
+    if tv.acq_l == tv.cur_l then cur_l else Lview.add e tv.acq_l
+  in
+  { tv with cur_l; acq_l }
 
 let pp ppf tv =
   Format.fprintf ppf "@[<v>cur=%a@ cur_l=%a@]" View.pp tv.cur Lview.pp tv.cur_l

@@ -2,43 +2,206 @@
 
    A thread's view records, per location, the latest write it has observed
    (the paper's [View ::= Loc -> Time], Section 2.3).  A location absent from
-   the map has never been observed at all — this is strictly below the
+   the view has never been observed at all — this is strictly below the
    initialisation timestamp, so that non-atomic accesses by threads that have
-   not even synchronised with the allocation are flagged as races. *)
+   not even synchronised with the allocation are flagged as races.
 
-type t = Timestamp.t Loc.Map.t
+   Representation: two parallel int arrays sorted by packed location key
+   ({!Loc.key} orders exactly like [Loc.compare]), immutable after
+   construction.  Views are tiny (one entry per location the thread has
+   seen), so join and leq are single O(n+m) merge sweeps over unboxed
+   ints — no balanced-tree nodes, no per-entry allocation.
 
-let bot : t = Loc.Map.empty
+   Sharing is the point: every operation returns its *argument* when the
+   result would be equal to it ([extend] of an already-dominated entry,
+   [join] with a subsumed view), so in the machine's steady state views
+   flow through operations by pointer and [a == b] short-circuits the
+   lattice operations.  This is hash-consing by construction: instead of a
+   global intern table (which the multi-domain explorer would have to
+   lock), equal views become pointer-equal because they are never re-built
+   in the first place. *)
+
+type t = { ks : int array; ts : int array }
+
+let bot : t = { ks = [||]; ts = [||] }
 
 (* [unseen] is returned for locations the view has no entry for; it is below
    [Timestamp.init] so "observed the initialisation write" is expressible. *)
 let unseen : Timestamp.t = -1
-let get (v : t) (l : Loc.t) = match Loc.Map.find_opt l v with Some t -> t | None -> unseen
-let observed v l = get v l >= Timestamp.init
-let singleton l t : t = Loc.Map.singleton l t
-let set (v : t) l t : t = Loc.Map.add l t v
 
-(* Record an observation, keeping the view monotone: the entry only grows. *)
+(* Index of key [k] in [v.ks], or [-1].  Views are small; a linear scan
+   with early exit beats binary search dispatch for the common sizes. *)
+let find (v : t) k =
+  let ks = v.ks in
+  let n = Array.length ks in
+  let rec go i =
+    if i >= n then -1
+    else
+      let ki = Array.unsafe_get ks i in
+      if ki < k then go (i + 1) else if ki = k then i else -1
+  in
+  go 0
+
+let get (v : t) (l : Loc.t) =
+  let i = find v (Loc.key l) in
+  if i >= 0 then v.ts.(i) else unseen
+
+let observed v l = get v l >= Timestamp.init
+let singleton l t : t = { ks = [| Loc.key l |]; ts = [| t |] }
+let cardinal (v : t) = Array.length v.ks
+
+(* Insert or overwrite entry [k -> t]. *)
+let put (v : t) k t : t =
+  let i = find v k in
+  if i >= 0 then
+    if v.ts.(i) = t then v
+    else begin
+      let ts = Array.copy v.ts in
+      ts.(i) <- t;
+      { ks = v.ks; ts }
+    end
+  else begin
+    let n = Array.length v.ks in
+    let ks = Array.make (n + 1) k and ts = Array.make (n + 1) t in
+    (* insertion position: first index with key > k *)
+    let rec pos i = if i < n && v.ks.(i) < k then pos (i + 1) else i in
+    let p = pos 0 in
+    Array.blit v.ks 0 ks 0 p;
+    Array.blit v.ts 0 ts 0 p;
+    Array.blit v.ks p ks (p + 1) (n - p);
+    Array.blit v.ts p ts (p + 1) (n - p);
+    ks.(p) <- k;
+    ts.(p) <- t;
+    { ks; ts }
+  end
+
+let set (v : t) l t : t = put v (Loc.key l) t
+
+(* Record an observation, keeping the view monotone: the entry only grows —
+   and the view is returned unchanged (physically) when it already
+   dominates. *)
 let extend (v : t) l t : t =
-  Loc.Map.update l
-    (function None -> Some t | Some t' -> Some (Timestamp.max t t'))
-    v
+  let k = Loc.key l in
+  let i = find v k in
+  if i >= 0 && v.ts.(i) >= t then v else put v k t
 
 let join (a : t) (b : t) : t =
-  Loc.Map.union (fun _ x y -> Some (Timestamp.max x y)) a b
+  if a == b then a
+  else
+    let na = Array.length a.ks and nb = Array.length b.ks in
+    if na = 0 then b
+    else if nb = 0 then a
+    else begin
+      (* Pass 1: union size, and whether either input already IS the
+         union (pointwise dominant with every key of the other). *)
+      let n = ref 0 and a_dom = ref true and b_dom = ref true in
+      let i = ref 0 and j = ref 0 in
+      while !i < na && !j < nb do
+        incr n;
+        let ka = a.ks.(!i) and kb = b.ks.(!j) in
+        if ka < kb then begin
+          b_dom := false;
+          incr i
+        end
+        else if kb < ka then begin
+          a_dom := false;
+          incr j
+        end
+        else begin
+          let ta = a.ts.(!i) and tb = b.ts.(!j) in
+          if ta < tb then a_dom := false else if tb < ta then b_dom := false;
+          incr i;
+          incr j
+        end
+      done;
+      if !i < na then begin
+        b_dom := false;
+        n := !n + na - !i
+      end;
+      if !j < nb then begin
+        a_dom := false;
+        n := !n + nb - !j
+      end;
+      if !a_dom then a
+      else if !b_dom then b
+      else begin
+        let ks = Array.make !n 0 and ts = Array.make !n 0 in
+        let i = ref 0 and j = ref 0 and o = ref 0 in
+        while !i < na && !j < nb do
+          let ka = a.ks.(!i) and kb = b.ks.(!j) in
+          if ka < kb then begin
+            ks.(!o) <- ka;
+            ts.(!o) <- a.ts.(!i);
+            incr i
+          end
+          else if kb < ka then begin
+            ks.(!o) <- kb;
+            ts.(!o) <- b.ts.(!j);
+            incr j
+          end
+          else begin
+            ks.(!o) <- ka;
+            ts.(!o) <- (if a.ts.(!i) >= b.ts.(!j) then a.ts.(!i) else b.ts.(!j));
+            incr i;
+            incr j
+          end;
+          incr o
+        done;
+        while !i < na do
+          ks.(!o) <- a.ks.(!i);
+          ts.(!o) <- a.ts.(!i);
+          incr i;
+          incr o
+        done;
+        while !j < nb do
+          ks.(!o) <- b.ks.(!j);
+          ts.(!o) <- b.ts.(!j);
+          incr j;
+          incr o
+        done;
+        { ks; ts }
+      end
+    end
 
 let leq (a : t) (b : t) =
-  Loc.Map.for_all (fun l t -> Timestamp.leq t (get b l)) a
+  a == b
+  ||
+  let na = Array.length a.ks and nb = Array.length b.ks in
+  let rec go i j =
+    if i >= na then true
+    else if j >= nb then false
+    else
+      let ka = a.ks.(i) and kb = b.ks.(j) in
+      if kb < ka then go i (j + 1)
+      else if ka = kb then a.ts.(i) <= b.ts.(j) && go (i + 1) (j + 1)
+      else false (* ka only in a: b has no entry, i.e. b's value is unseen *)
+  in
+  go 0 0
 
-let equal (a : t) (b : t) = Loc.Map.equal Timestamp.equal a b
+let equal (a : t) (b : t) =
+  a == b
+  || (Array.length a.ks = Array.length b.ks
+     &&
+     let n = Array.length a.ks in
+     let rec go i =
+       i >= n || (a.ks.(i) = b.ks.(i) && a.ts.(i) = b.ts.(i) && go (i + 1))
+     in
+     go 0)
+
+let fold f (v : t) acc =
+  let n = Array.length v.ks in
+  let rec go i acc =
+    if i >= n then acc else go (i + 1) (f (Loc.of_key v.ks.(i)) v.ts.(i) acc)
+  in
+  go 0 acc
 
 let pp ppf (v : t) =
-  Format.fprintf ppf "{@[%a@]}"
-    (Format.pp_print_seq
-       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
-       (fun ppf (l, t) -> Format.fprintf ppf "%a@@%a" Loc.pp l Timestamp.pp t))
-    (Loc.Map.to_seq v)
+  Format.fprintf ppf "{@[";
+  Array.iteri
+    (fun i k ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%a@@%a" Loc.pp (Loc.of_key k) Timestamp.pp v.ts.(i))
+    v.ks;
+  Format.fprintf ppf "@]}"
 
 let to_string v = Format.asprintf "%a" pp v
-let cardinal (v : t) = Loc.Map.cardinal v
-let fold f (v : t) acc = Loc.Map.fold f v acc

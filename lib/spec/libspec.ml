@@ -179,6 +179,10 @@ type entry = {
   refinable : bool;
 }
 
+(* Domain-safety: all [register] calls happen at module-initialisation
+   time (the dstruct/client modules' top level), strictly before any
+   worker domain is spawned; exploration only ever reads.  A read-only
+   Hashtbl is safe to share across domains, so no lock is needed. *)
 let table : (string, entry) Hashtbl.t = Hashtbl.create 16
 let order : string list ref = ref []
 

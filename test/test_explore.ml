@@ -237,6 +237,75 @@ let test_pdfs_reduce () =
   let par = Explore.pdfs ~jobs:4 ~split_depth:3 ~reduce:true (seeded_mp_violation ()) in
   report_eq ~name:"reduced pdfs vs reduced dfs" seq par
 
+(* -- flat vs map backend differential suite ----------------------------------
+
+   The flat array store (growable write-history arrays, truncating
+   restores) must be observationally identical to the persistent-map
+   oracle.  Both backends feed the same machine the same choices in the
+   same order, so the comparison is exact — every report field including
+   the kept violation scripts — with and without sleep-set reduction,
+   replaying from the root or from checkpoints at any stride, and under
+   the work-stealing parallel driver at any job count. *)
+
+let map_config = { Machine.default_config with Machine.backend = `Map }
+
+let backend_cases () =
+  ("hw-queue", false, fun () -> Mp.make Hwqueue.instantiate (Mp.fresh_stats ()))
+  :: equivalence_cases ()
+
+let test_backend_equivalence () =
+  List.iter
+    (fun (name, _, mk) ->
+      List.iter
+        (fun reduce ->
+          (* Same enumeration order on both sides, so a budget-capped run
+             compares exactly too — the big trees need not exhaust. *)
+          let oracle =
+            Explore.dfs ~config:map_config ~incremental:false ~reduce
+              ~max_execs:60_000 (mk ())
+          in
+          let replay =
+            Explore.dfs ~incremental:false ~reduce ~max_execs:60_000 (mk ())
+          in
+          report_eq_strict
+            ~name:(Printf.sprintf "%s (map vs flat replay, reduce %b)" name reduce)
+            oracle replay;
+          List.iter
+            (fun stride ->
+              let inc =
+                Explore.dfs ~incremental:true ~stride ~reduce ~max_execs:60_000
+                  (mk ())
+              in
+              report_eq_strict
+                ~name:
+                  (Printf.sprintf "%s (map vs flat stride %d, reduce %b)" name
+                     stride reduce)
+                oracle inc)
+            [ 1; 2; 5 ])
+        [ false; true ])
+    (backend_cases ())
+
+let test_backend_pdfs () =
+  (* Parallel flat exploration vs the sequential map oracle: on a
+     complete search the work-stealing partition covers exactly the same
+     executions whatever the job count. *)
+  List.iter
+    (fun (name, reduce, mk) ->
+      let oracle =
+        Explore.dfs ~config:map_config ~reduce ~max_execs:200_000 (mk ())
+      in
+      Alcotest.(check bool)
+        (name ^ ": map oracle exhausts")
+        true oracle.Explore.complete;
+      List.iter
+        (fun jobs ->
+          let par = Explore.pdfs ~jobs ~reduce ~max_execs:200_000 (mk ()) in
+          report_eq
+            ~name:(Printf.sprintf "%s (flat pdfs jobs %d vs map dfs)" name jobs)
+            oracle par)
+        [ 1; 2; 4 ])
+    (backend_cases ())
+
 let test_domain_isolation () =
   (* Hammer two domains with allocation-heavy exploration concurrently;
      every per-execution machine must be isolated (the shared block-name
@@ -263,6 +332,10 @@ let suite =
     Alcotest.test_case "sleep sets keep seeded violations" `Quick
       test_reduce_keeps_violations;
     Alcotest.test_case "reduced pdfs == reduced dfs" `Quick test_pdfs_reduce;
+    Alcotest.test_case "flat == map oracle (±reduce, strides 1/2/5)" `Slow
+      test_backend_equivalence;
+    Alcotest.test_case "flat pdfs (jobs 1/2/4) == map dfs" `Slow
+      test_backend_pdfs;
     Alcotest.test_case "two domains explore concurrently" `Slow
       test_domain_isolation;
   ]

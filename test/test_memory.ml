@@ -6,7 +6,7 @@ open Helpers
 
 let test_history_basics () =
   let l = loc ~base:9 ~off:0 in
-  let h = History.create ~loc:l ~init_value:(vi 0) in
+  let h = History.create ~loc:l ~init_value:(vi 0) () in
   Alcotest.(check int) "init ts" Timestamp.init (History.max_ts h);
   History.add h (Msg.make ~loc:l ~ts:3 ~value:(vi 1) ~view:View.bot ~lview:Lview.empty ~wtid:0);
   History.add h (Msg.make ~loc:l ~ts:7 ~value:(vi 2) ~view:View.bot ~lview:Lview.empty ~wtid:0);
@@ -20,7 +20,7 @@ let test_history_basics () =
 
 let test_fresh_ts_append () =
   let l = loc ~base:9 ~off:1 in
-  let h = History.create ~loc:l ~init_value:(vi 0) in
+  let h = History.create ~loc:l ~init_value:(vi 0) () in
   Alcotest.(check (list int)) "append" [ 1 ] (History.fresh_ts h ~policy:`Append ~above:0);
   History.add h (Msg.make ~loc:l ~ts:1 ~value:(vi 1) ~view:View.bot ~lview:Lview.empty ~wtid:0);
   Alcotest.(check (list int)) "append after" [ 2 ]
@@ -28,7 +28,7 @@ let test_fresh_ts_append () =
 
 let test_fresh_ts_gap () =
   let l = loc ~base:9 ~off:2 in
-  let h = History.create ~loc:l ~init_value:(vi 0) in
+  let h = History.create ~loc:l ~init_value:(vi 0) () in
   let stride = Timestamp.stride in
   History.add h
     (Msg.make ~loc:l ~ts:stride ~value:(vi 1) ~view:View.bot ~lview:Lview.empty ~wtid:0);
