@@ -311,9 +311,15 @@ let scaling =
                              the differential-testing oracle;
    - "incremental"         — the default checkpoint/restore engine;
    - "incremental_reduced" — the same engine with sleep-set reduction;
+   - "incremental_dpor"    — the same engine under source-DPOR with
+                             wakeup sequences (strictly fewer executions
+                             than sleep sets on a complete search);
    - "pdfs"                — the sharded parallel driver at 1/2/4 domains
                              (each worker owns a per-domain incremental
                              engine).
+
+   Both reduction rows carry a "reduction_factor" column: full-tree
+   executions over reduced executions (higher = stronger reduction).
 
    The report fields are exact whatever the mode; wall-clock speedups
    depend on the host.  Multi-domain pdfs rows are skipped (and marked as
@@ -373,6 +379,7 @@ let bench_explore ~quick ~check ~force_jobs =
   let slow = ref []
   and inc_speedups = ref []
   and flat_ratios = ref []
+  and reduction_gaps = ref []
   and scale4 = ref [] in
   let run_row (r : Explore.report) (t, minor, majors) extra =
     let per_exec x = x /. float_of_int (max 1 r.Explore.executions) in
@@ -448,7 +455,29 @@ let bench_explore ~quick ~check ~force_jobs =
     in
     let pdfs_rows = List.map pdfs_row [ 1; 2; 4 ] in
     let red, red_t, red_mw, red_mc =
-      time_gc (fun () -> Explore.dfs ~reduce:true ~max_execs (mk ()))
+      time_gc (fun () ->
+          Explore.dfs ~reduce:Machine.RSleep ~max_execs (mk ()))
+    in
+    let dpor, dpor_t, dpor_mw, dpor_mc =
+      time_gc (fun () ->
+          Explore.dfs ~reduce:Machine.RDpor ~max_execs (mk ()))
+    in
+    (* reduction_factor: full-tree executions per reduced execution —
+       the measure the dpor >= sleep gate compares. *)
+    let factor (r : Explore.report) =
+      float_of_int (max 1 seq.Explore.executions)
+      /. float_of_int (max 1 r.Explore.executions)
+    in
+    reduction_gaps := (name, factor red, factor dpor) :: !reduction_gaps;
+    let reduced_extra r rt =
+      [
+        ( "execs_vs_full",
+          Jsonout.Float
+            (float_of_int r.Explore.executions
+            /. float_of_int (max 1 seq.Explore.executions)) );
+        ("reduction_factor", Jsonout.Float (factor r));
+        speedup rt;
+      ]
     in
     Jsonout.Obj
       [
@@ -461,14 +490,12 @@ let bench_explore ~quick ~check ~force_jobs =
         ("pdfs", Jsonout.List pdfs_rows);
         ( "incremental_reduced",
           run_row red (red_t, red_mw, red_mc)
-            [
-              ("pruned", Jsonout.Int red.Explore.pruned);
-              ( "execs_vs_full",
-                Jsonout.Float
-                  (float_of_int red.Explore.executions
-                  /. float_of_int (max 1 seq.Explore.executions)) );
-              speedup red_t;
-            ] );
+            (("pruned", Jsonout.Int red.Explore.pruned)
+            :: reduced_extra red red_t) );
+        ( "incremental_dpor",
+          run_row dpor (dpor_t, dpor_mw, dpor_mc)
+            (("dpor_pruned", Jsonout.Int dpor.Explore.dpor_pruned)
+            :: reduced_extra dpor dpor_t) );
       ]
   in
   let json =
@@ -548,6 +575,24 @@ let bench_explore ~quick ~check ~force_jobs =
           Format.printf "perf-smoke: flat backend %.2fx the map oracle on %s@."
             r name)
       (List.rev !flat_ratios);
+    (* DPOR must reduce at least as hard as sleep sets on the mp-queue
+       battery (on a complete search it explores a subset of the
+       sleep-set representatives, so equality is the worst legal case). *)
+    List.iter
+      (fun (name, sleep_f, dpor_f) ->
+        if name = "mp-queue" then
+          if dpor_f < sleep_f then begin
+            Format.printf
+              "perf-smoke FAILED: dpor reduction %.2fx below sleep-set %.2fx \
+               on %s@."
+              dpor_f sleep_f name;
+            failed := true
+          end
+          else
+            Format.printf
+              "perf-smoke: dpor reduction %.2fx >= sleep-set %.2fx on %s@."
+              dpor_f sleep_f name)
+      (List.rev !reduction_gaps);
     (* Multi-domain scaling gates only where the host can express it. *)
     if domains >= 4 then
       List.iter

@@ -21,10 +21,12 @@
 
    Structure keys ([--struct]) resolve through the central spec registry
    (Specreg; [compass specs] lists them).  Every exploring subcommand
-   also takes [--jobs N] (shard the DFS across N domains), [--reduce]
-   (sleep-set partial-order reduction), [--incremental BOOL]
-   (checkpoint/restore exploration, default on; false = replay-from-root
-   oracle) and [--stride N] (checkpoint spacing).
+   also takes [--jobs N] (shard the DFS across N domains),
+   [--reduce[=sleep|dpor|none]] (partial-order reduction: sleep sets or
+   source-DPOR with wakeup sequences; bare [--reduce] means sleep),
+   [--incremental BOOL] (checkpoint/restore exploration, default on;
+   false = replay-from-root oracle) and [--stride N] (checkpoint
+   spacing).
 *)
 
 open Cmdliner
@@ -58,12 +60,59 @@ let jobs =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* [--reduce] history: it began life as a plain flag meaning sleep sets,
+   so the converter keeps [true]/[false] as aliases and a bare
+   [--reduce] still means [sleep]. *)
+let reduction_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "sleep" | "true" | "on" -> Ok Machine.RSleep
+    | "dpor" -> Ok Machine.RDpor
+    | "none" | "false" | "off" -> Ok Machine.RNone
+    | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "invalid reduction %S (expected 'sleep', 'dpor' or 'none')"
+                s))
+  in
+  let print ppf r =
+    Format.pp_print_string ppf
+      (match r with
+      | Machine.RNone -> "none"
+      | Machine.RSleep -> "sleep"
+      | Machine.RDpor -> "dpor")
+  in
+  Arg.conv (parse, print)
+
 let reduce =
   let doc =
-    "Sleep-set partial-order reduction: skip interleavings that only \
-     reorder independent steps (same verdicts, fewer executions)."
+    "Partial-order reduction: $(b,sleep) (sleep sets: skip interleavings \
+     that only reorder independent steps), $(b,dpor) (source-DPOR with \
+     wakeup sequences: near one execution per Mazurkiewicz trace) or \
+     $(b,none).  Bare $(b,--reduce) means $(b,sleep).  Verdicts and \
+     violations are the same under all three; only the execution count \
+     shrinks."
   in
-  Arg.(value & flag & info [ "reduce" ] ~doc)
+  Arg.(
+    value
+    & opt ~vopt:Machine.RSleep reduction_conv Machine.RNone
+    & info [ "reduce" ] ~docv:"RED" ~doc)
+
+let split_depth =
+  let doc =
+    "Deprecated and ignored: the two-phase sharding scheme this \
+     parameterised is retired (work stealing balances the tree)."
+  in
+  Arg.(value & opt (some int) None & info [ "split-depth" ] ~docv:"N" ~doc)
+
+let warn_split_depth = function
+  | None -> ()
+  | Some _ ->
+      prerr_endline
+        "compass: warning: --split-depth is deprecated and ignored (the \
+         two-phase sharding scheme was retired; work stealing balances \
+         the tree)"
 
 let incremental =
   let doc =
@@ -151,7 +200,8 @@ let litmus_cmd =
     let doc = "Use the Gap timestamp policy (enables mo-middle insertion, e.g. 2+2W)." in
     Arg.(value & flag & info [ "gap" ] ~doc)
   in
-  let run gap execs jobs reduce incremental stride =
+  let run gap execs jobs reduce incremental stride split_depth =
+    warn_split_depth split_depth;
     let config =
       { Machine.default_config with policy = (if gap then `Gap else `Append) }
     in
@@ -177,7 +227,9 @@ let litmus_cmd =
   in
   let doc = "Run the litmus-test battery against the ORC11 substrate." in
   Cmd.v (Cmd.info "litmus" ~doc)
-    Term.(const run $ gap $ execs $ jobs $ reduce $ incremental $ stride)
+    Term.(
+      const run $ gap $ execs $ jobs $ reduce $ incremental $ stride
+      $ split_depth)
 
 (* -- client -------------------------------------------------------------------- *)
 
@@ -206,7 +258,9 @@ let client_cmd =
           None
       & info [] ~docv:"CLIENT" ~doc)
   in
-  let run which factory random execs seed jobs reduce incremental stride =
+  let run which factory random execs seed jobs reduce incremental stride
+      split_depth =
+    warn_split_depth split_depth;
     match which with
     | `Mp ->
         let st = Mp.fresh_stats () in
@@ -303,7 +357,7 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run $ which $ queue_arg $ random_mode $ execs $ seed $ jobs $ reduce
-      $ incremental $ stride)
+      $ incremental $ stride $ split_depth)
 
 (* -- check --------------------------------------------------------------------- *)
 
@@ -343,7 +397,8 @@ let check_cmd =
            ~doc:"Operations per thread.")
   in
   let run which struct_key style threads ops random execs seed jobs reduce
-      incremental stride =
+      incremental stride split_depth =
+    warn_split_depth split_depth;
     let impl =
       match (struct_key, which) with
       | Some key, _ -> (
@@ -390,7 +445,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ which $ struct_key $ style_arg $ threads $ ops $ random_mode
-      $ execs $ seed $ jobs $ reduce $ incremental $ stride)
+      $ execs $ seed $ jobs $ reduce $ incremental $ stride $ split_depth)
 
 (* -- specs --------------------------------------------------------------------- *)
 
@@ -635,10 +690,13 @@ let axioms_cmd =
    violations. *)
 let analyze_reduce =
   let doc =
-    "Sleep-set partial-order reduction (default on; \
-     $(b,--reduce=false) explores the full tree)."
+    "Partial-order reduction (default $(b,sleep); $(b,dpor) switches to \
+     source-DPOR, $(b,--reduce=none) explores the full tree)."
   in
-  Arg.(value & opt bool true & info [ "reduce" ] ~docv:"BOOL" ~doc)
+  Arg.(
+    value
+    & opt ~vopt:Machine.RSleep reduction_conv Machine.RSleep
+    & info [ "reduce" ] ~docv:"RED" ~doc)
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -1067,7 +1125,7 @@ let report_cmd =
     let options =
       (* reduction always: the summary needs complete explorations to
          tell over-strong from unknown within a sane budget *)
-      { Audit.default_options with execs = 12_000; jobs; reduce = true }
+      { Audit.default_options with execs = 12_000; jobs; reduce = Machine.RSleep }
     in
     let ar = Audit.run ~options ~probe:e.Libspec.key e.Libspec.scenarios in
     let n, o, u, mi = Audit.counts ar in

@@ -130,7 +130,7 @@ type mutant_result = {
 type options = {
   execs : int;  (** DFS budget per mutant per scenario *)
   jobs : int;
-  reduce : bool;
+  reduce : Machine.reduction;
   discover_execs : int;
   shrink : bool;  (** delta-debug witness scripts before reporting *)
   shrink_replays : int;
@@ -140,7 +140,7 @@ let default_options =
   {
     execs = 100_000;
     jobs = 1;
-    reduce = true;
+    reduce = Machine.RSleep;
     discover_execs = 256;
     shrink = true;
     shrink_replays = 20_000;

@@ -48,7 +48,7 @@ type mutant_result = {
 type options = {
   execs : int;  (** DFS budget per mutant per scenario *)
   jobs : int;
-  reduce : bool;
+  reduce : Machine.reduction;
   discover_execs : int;
   shrink : bool;
       (** delta-debug witness scripts (baseline failures and [Violated]

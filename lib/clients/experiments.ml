@@ -39,7 +39,7 @@ let edfs ~jobs ~reduce ~max_execs sc =
 
 (* -- E1: MP client (Figures 1 and 3) ------------------------------------------ *)
 
-let e1 ?(max_execs = 150_000) ?(jobs = 1) ?(reduce = false) () =
+let e1 ?(max_execs = 150_000) ?(jobs = 1) ?(reduce = Machine.RNone) () =
   List.concat_map
     (fun (factory : Iface.queue_factory) ->
       let st = Mp.fresh_stats () in
@@ -92,7 +92,7 @@ type matrix_cell = {
 }
 
 let matrix ?(dfs_execs = 25_000) ?(rand_execs = 2_000) ?(jobs = 1)
-    ?(reduce = false) () =
+    ?(reduce = Machine.RNone) () =
   let run_queue (factory : Iface.queue_factory) style =
     let tally = Styles.fresh_tally () in
     let sc =
@@ -250,7 +250,7 @@ let e2 ?dfs_execs ?rand_execs ?jobs ?reduce () =
 
 (* -- E2b: strong FIFO recovery under external synchronisation (§3.1) ----------- *)
 
-let e2b ?(max_execs = 60_000) ?(jobs = 1) ?(reduce = false) () =
+let e2b ?(max_execs = 60_000) ?(jobs = 1) ?(reduce = Machine.RNone) () =
   let results =
     List.map
       (fun (factory : Iface.queue_factory) ->
@@ -287,7 +287,7 @@ let e2b ?(max_execs = 60_000) ?(jobs = 1) ?(reduce = false) () =
 
 (* -- E3: HW queue vs commit-point abstract states ------------------------------ *)
 
-let e3 ?(max_execs = 60_000) ?(jobs = 1) ?(reduce = false) () =
+let e3 ?(max_execs = 60_000) ?(jobs = 1) ?(reduce = Machine.RNone) () =
   let tally_abs = Styles.fresh_tally () and tally_hist = Styles.fresh_tally () in
   let sc =
     Harness.scenario ~name:"hw-abs" (fun m ->
@@ -328,7 +328,7 @@ let e3 ?(max_execs = 60_000) ?(jobs = 1) ?(reduce = false) () =
 (* -- E4: SPSC ------------------------------------------------------------------ *)
 
 let e4 ?(dfs_execs = 30_000) ?(rand_execs = 3_000) ?(jobs = 1)
-    ?(reduce = false) () =
+    ?(reduce = Machine.RNone) () =
   List.map
     (fun (factory : Iface.queue_factory) ->
       let st = Spsc_client.fresh_stats () in
@@ -356,7 +356,7 @@ let e4 ?(dfs_execs = 30_000) ?(rand_execs = 3_000) ?(jobs = 1)
 
 (* -- E5: Treiber LAThist ------------------------------------------------------- *)
 
-let e5 ?(max_execs = 40_000) ?(jobs = 1) ?(reduce = false) () =
+let e5 ?(max_execs = 40_000) ?(jobs = 1) ?(reduce = Machine.RNone) () =
   let total = ref 0 and direct = ref 0 and searched = ref 0 in
   let sc =
     Harness.scenario ~name:"treiber-hist" (fun m ->
@@ -402,7 +402,7 @@ let e5 ?(max_execs = 40_000) ?(jobs = 1) ?(reduce = false) () =
 (* -- E6: exchanger + elimination stack (Section 4) ------------------------------ *)
 
 let e6 ?(dfs_execs = 40_000) ?(rand_execs = 4_000) ?(jobs = 1)
-    ?(reduce = false) () =
+    ?(reduce = Machine.RNone) () =
   let stx = Resource_exchange.fresh_stats () in
   let rx =
     edfs ~jobs ~reduce ~max_execs:dfs_execs
@@ -456,7 +456,7 @@ let e6 ?(dfs_execs = 40_000) ?(rand_execs = 4_000) ?(jobs = 1)
 (* -- E8: Chase-Lev work-stealing deque (the paper's Section 6 future work) ------ *)
 
 let e8 ?(dfs_execs = 120_000) ?(rand_execs = 120_000) ?(jobs = 1)
-    ?(reduce = false) () =
+    ?(reduce = Machine.RNone) () =
   let st = Ws_client.fresh_stats () in
   let r1 =
     edfs ~jobs ~reduce ~max_execs:dfs_execs
@@ -522,7 +522,7 @@ let e7_paper_numbers =
 
 (* -- the whole battery ----------------------------------------------------------- *)
 
-let all ?(quick = false) ?(jobs = 1) ?(reduce = false) () =
+let all ?(quick = false) ?(jobs = 1) ?(reduce = Machine.RNone) () =
   let scale n = if quick then n / 10 else n in
   e1 ~max_execs:(scale 150_000) ~jobs ~reduce ()
   @ (let _, line =

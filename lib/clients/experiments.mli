@@ -1,4 +1,5 @@
 open Compass_spec
+open Compass_machine
 
 (** The experiment battery of DESIGN.md (E1-E8): every evaluation claim of
     the paper (plus the E8 extension), run end to end with a
@@ -15,12 +16,13 @@ type line = {
 
 val pp_line : Format.formatter -> line -> unit
 
-val e1 : ?max_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line list
+val e1 : ?max_execs:int -> ?jobs:int -> ?reduce:Machine.reduction -> unit -> line list
 (** MP client (Figures 1 and 3) + the weak-flag ablation, per queue.
 
     Every experiment's exhaustive leg accepts [jobs] (shard the DFS
     across that many domains, {!Explore.pdfs}) and [reduce] (sleep-set
-    reduction).  Verdicts are preserved either way; with [reduce] the
+    or source-DPOR reduction).  Verdicts are preserved either way; with
+    [reduce] the
     per-execution client counters quoted in [measured] only cover the
     representative interleavings actually explored. *)
 
@@ -34,7 +36,7 @@ val matrix :
   ?dfs_execs:int ->
   ?rand_execs:int ->
   ?jobs:int ->
-  ?reduce:bool ->
+  ?reduce:Machine.reduction ->
   unit ->
   matrix_cell list
 (** the raw spec-style satisfaction matrix (E2), including the lock-based
@@ -46,29 +48,29 @@ val e2 :
   ?dfs_execs:int ->
   ?rand_execs:int ->
   ?jobs:int ->
-  ?reduce:bool ->
+  ?reduce:Machine.reduction ->
   unit ->
   matrix_cell list * line
 
-val e2b : ?max_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line
+val e2b : ?max_execs:int -> ?jobs:int -> ?reduce:Machine.reduction -> unit -> line
 (** strong FIFO recovery under a client lock (Section 3.1), with the bare
     negative control *)
 
-val e3 : ?max_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line
+val e3 : ?max_execs:int -> ?jobs:int -> ?reduce:Machine.reduction -> unit -> line
 
 val e4 :
-  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line list
+  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:Machine.reduction -> unit -> line list
 
-val e5 : ?max_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line
+val e5 : ?max_execs:int -> ?jobs:int -> ?reduce:Machine.reduction -> unit -> line
 
 val e6 :
-  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line list
+  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:Machine.reduction -> unit -> line list
 
 val e8 :
-  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:bool -> unit -> line list
+  ?dfs_execs:int -> ?rand_execs:int -> ?jobs:int -> ?reduce:Machine.reduction -> unit -> line list
 
 val e7_paper_numbers : (string * string) list
 (** the paper's proof-effort reference points (Section 1.2 / 6) *)
 
-val all : ?quick:bool -> ?jobs:int -> ?reduce:bool -> unit -> line list
+val all : ?quick:bool -> ?jobs:int -> ?reduce:Machine.reduction -> unit -> line list
 (** the whole battery; [quick] divides budgets by ~10 *)

@@ -430,8 +430,9 @@ let all () =
    actually explored — the verdict is unaffected, because the
    distinguished outcome is invariant under commuting independent
    steps). *)
-let verdict ?(max_execs = 100_000) ?config ?(jobs = 1) ?(reduce = false)
-    ?(incremental = true) ?(stride = Explore.default_stride) t =
+let verdict ?(max_execs = 100_000) ?config ?(jobs = 1)
+    ?(reduce = Machine.RNone) ?(incremental = true)
+    ?(stride = Explore.default_stride) t =
   let report =
     if jobs > 1 then
       Explore.pdfs ~jobs ~max_execs ~reduce ~incremental ~stride ?config

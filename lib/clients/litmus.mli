@@ -63,7 +63,7 @@ val verdict :
   ?max_execs:int ->
   ?config:Machine.config ->
   ?jobs:int ->
-  ?reduce:bool ->
+  ?reduce:Machine.reduction ->
   ?incremental:bool ->
   ?stride:int ->
   t ->
@@ -71,6 +71,7 @@ val verdict :
 (** run exhaustively; [true] iff the expectation holds (and no
     violations); also returns the report and the observation count.
     [jobs > 1] shards the DFS across domains ({!Explore.pdfs});
-    [reduce] turns on sleep-set reduction — the verdict is preserved,
-    but the observation count then only covers the representative
-    interleavings actually explored. *)
+    [reduce] selects a partial-order reduction (sleep sets or
+    source-DPOR) — the verdict is preserved, but the observation count
+    then only covers the representative interleavings actually
+    explored. *)

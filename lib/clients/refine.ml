@@ -8,10 +8,15 @@ open Prog.Syntax
 (* The refinement driver: outcome-set inclusion of an implementation in
    its spec object (see refine.mli for the argument). *)
 
-type options = { max_execs : int; spec_execs : int; jobs : int; reduce : bool }
+type options = {
+  max_execs : int;
+  spec_execs : int;
+  jobs : int;
+  reduce : Machine.reduction;
+}
 
 let default_options =
-  { max_execs = 200_000; spec_execs = 200_000; jobs = 1; reduce = false }
+  { max_execs = 200_000; spec_execs = 200_000; jobs = 1; reduce = Machine.RNone }
 
 type client_result = {
   client : string;

@@ -35,7 +35,8 @@ type options = {
   max_execs : int;  (** implementation-side exploration budget *)
   spec_execs : int;  (** spec-side budget (the trees are tiny) *)
   jobs : int;
-  reduce : bool;  (** implementation side only; verdict-preserving *)
+  reduce : Machine.reduction;
+      (** implementation side only; verdict-preserving *)
 }
 
 val default_options : options

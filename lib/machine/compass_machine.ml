@@ -6,10 +6,12 @@
 
 module Prog = Prog
 module Commit = Commit
+module Deps = Deps
 module Oracle = Oracle
 module Trace = Trace
 module Access = Access
 module Override = Override
 module Rc11 = Rc11
 module Machine = Machine
+module Dpor = Dpor
 module Explore = Explore

@@ -1,0 +1,73 @@
+(** Source-DPOR with wakeup sequences (Abdulla et al., "Optimal dynamic
+    partial order reduction") — the shared exploration state behind
+    [Explore]'s [--reduce=dpor] mode.
+
+    Pure bookkeeping over decision scripts, tids and footprints: nodes
+    (one per multi-alternative scheduling choice) carry source sets and
+    per-branch sleep installs; tasks are script prefixes with their
+    install obligations and an optional wakeup sequence.  The [Explore]
+    driver runs tasks on the machine, records observations, and feeds
+    each finished execution back through {!integrate}, which spawns the
+    data-alternative siblings and the race-reversal branches.  All
+    operations are serialised by an internal lock, so one [t] may be
+    shared by every worker domain of a parallel search. *)
+
+type fp = Deps.footprint
+
+type task
+
+val root_task : task
+val script : task -> int array
+val installs : task -> (int * (int * fp) list) list
+(** decision position -> sleep entries to install there, ascending *)
+
+val wakeup : task -> int list
+(** tids to prefer at scheduling choices past the branch point *)
+
+val branch_step : task -> int
+(** step index of the branch; races wholly before it are already
+    analysed *)
+
+(** Observations the driver records at decision positions past the task's
+    scripted prefix.  [o_step] is {!Machine.dpor_depth} at pick time: for
+    scheduling choices the index of the step being scheduled, for data
+    choices the index after the step being executed. *)
+type obs =
+  | Osched of {
+      o_pos : int;
+      o_step : int;
+      o_tids : int array;
+      o_fps : fp array;
+      o_sleep : (int * fp) list;
+      o_taken : int;
+    }
+  | Odata of { o_pos : int; o_step : int; o_arity : int; o_taken : int }
+
+type t
+
+val create : unit -> t
+(** a fresh search: the frontier holds only {!root_task} *)
+
+val claim : t -> task option
+(** pop the deepest pending task.  [None] does not end the search while
+    other workers hold claimed tasks — poll {!drained}. *)
+
+val abandon : t -> unit
+(** give up a claimed task without integrating (budget / stop flag) *)
+
+val drained : t -> bool
+(** frontier empty and no task in flight: the search is complete *)
+
+val integrate :
+  t ->
+  task ->
+  ds:int array ->
+  obs:obs list ->
+  steps:(int * fp) array ->
+  int
+(** account one finished (or pruned) execution of a claimed task: create
+    nodes from fresh scheduling observations, spawn data-alternative
+    siblings, insert race-reversal branches per the source-DPOR rule.
+    [ds] is the full decision vector, [obs] the observations in execution
+    order, [steps] the (tid, footprint) log oldest first.  Releases the
+    claim; returns the number of tasks spawned. *)

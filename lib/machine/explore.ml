@@ -42,6 +42,10 @@ type report = {
   bounded : int;
   blocked : int;
   pruned : int;  (** subtrees skipped by sleep-set reduction *)
+  dpor_pruned : int;
+      (** executions cut short by DPOR sleep sets (a queued branch turned
+          out to be covered); like [pruned], never counted in
+          [executions] *)
   violations : failure list;  (** first few, oldest first *)
   complete : bool;  (** DFS exhausted the tree within the budget *)
 }
@@ -55,7 +59,12 @@ let pp_report ppf r =
        Printf.sprintf ", %d distinct" r.distinct
      else "")
     r.passed r.discarded r.blocked r.bounded
-    (if r.pruned > 0 then Printf.sprintf ", pruned %d subtrees" r.pruned else "")
+    ((if r.pruned > 0 then Printf.sprintf ", pruned %d subtrees" r.pruned
+      else "")
+    ^
+    if r.dpor_pruned > 0 then
+      Printf.sprintf ", dpor-pruned %d branches" r.dpor_pruned
+    else "")
     (List.length r.violations)
     (fun ppf vs ->
       List.iteri
@@ -78,6 +87,7 @@ let report_to_json (r : report) =
       ("bounded", Jsonout.Int r.bounded);
       ("blocked", Jsonout.Int r.blocked);
       ("pruned", Jsonout.Int r.pruned);
+      ("dpor_pruned", Jsonout.Int r.dpor_pruned);
       ("complete", Jsonout.Bool r.complete);
       ( "violations",
         Jsonout.List
@@ -116,6 +126,7 @@ type stats = {
   mutable bounded : int;
   mutable blocked : int;
   mutable pruned : int;
+  mutable dpor_pruned : int;
   mutable viol_count : int;  (** kept violations (avoids O(n) list length) *)
   mutable violations : failure list;  (** newest first *)
 }
@@ -128,6 +139,7 @@ let fresh_stats () =
     bounded = 0;
     blocked = 0;
     pruned = 0;
+    dpor_pruned = 0;
     viol_count = 0;
     violations = [];
   }
@@ -160,6 +172,7 @@ let to_report ?distinct ~name ~complete st =
     bounded = st.bounded;
     blocked = st.blocked;
     pruned = st.pruned;
+    dpor_pruned = st.dpor_pruned;
     violations = List.rev st.violations;
     complete;
   }
@@ -169,17 +182,29 @@ let to_report ?distinct ~name ~complete st =
    One run + bump.  [run_tree] executes [script], accounts the result into
    [st] (unless the run was pruned, or [count] is off — the parallel
    frontier pass re-runs its executions inside the shard workers), and
-   returns the logged decision/arity vectors for bumping. *)
+   returns the logged decision/arity vectors for bumping.
 
-let run_tree ~config ~reduce ~count scenario st script =
+   [mk_oracle] builds the oracle for one run from the machine, the resume
+   depth/log (0/[] when replaying from the root) and the script; the
+   default is plain scripted replay, the DPOR driver substitutes its
+   observing/steering oracle. *)
+
+let default_mk_oracle _m ~pos ~log script = Oracle.resume_script ~pos ~log script
+
+let account_pruned ~reduction st =
+  match (reduction : Machine.reduction) with
+  | Machine.RDpor -> st.dpor_pruned <- st.dpor_pruned + 1
+  | _ -> st.pruned <- st.pruned + 1
+
+let run_tree ~config ~reduction ~mk_oracle ~count scenario st script =
   let m = Machine.create ~config () in
   let judge = scenario.build m in
-  let oracle = Oracle.script script in
-  let outcome = Machine.run ~reduce m oracle in
+  let oracle = mk_oracle m ~pos:0 ~log:[] script in
+  let outcome = Machine.run ~reduction m oracle in
   let ds, ars = Oracle.vectors oracle in
   (if count then
      match outcome with
-     | Machine.Pruned -> st.pruned <- st.pruned + 1
+     | Machine.Pruned -> account_pruned ~reduction st
      | _ -> account st outcome (judge outcome) ds);
   (outcome, ds, ars)
 
@@ -241,7 +266,7 @@ let engine ?(stride = default_stride) ~config scenario =
     e_prev = [||];
   }
 
-let engine_run eng ~reduce ~count st script =
+let engine_run eng ~reduction ~mk_oracle ~count st script =
   (* Divergence point: the first position where [script] departs from the
      previous run's decisions.  Checkpoints strictly deeper than it belong
      to a different path. *)
@@ -260,7 +285,7 @@ let engine_run eng ~reduce ~count st script =
   let ck = List.hd eng.e_stack in
   let m = eng.e_machine in
   Machine.restore m ck.c_snap;
-  let oracle = Oracle.resume_script ~pos:ck.c_depth ~log:ck.c_log script in
+  let oracle = mk_oracle m ~pos:ck.c_depth ~log:ck.c_log script in
   let top = ref ck.c_depth in
   (* Machine step at which the head checkpoint's snapshot was taken — to
      skip no-op slides when no forced step ran since. *)
@@ -292,12 +317,12 @@ let engine_run eng ~reduce ~count st script =
         eng.e_stack <- { ck with c_snap = Machine.snapshot m } :: rest
     | _ -> ()
   in
-  let outcome = Machine.run ~reduce ~resume:true ~on_step ~on_sched m oracle in
+  let outcome = Machine.run ~reduction ~resume:true ~on_step ~on_sched m oracle in
   let ds, ars = Oracle.vectors oracle in
   eng.e_prev <- ds;
   (if count then
      match outcome with
-     | Machine.Pruned -> st.pruned <- st.pruned + 1
+     | Machine.Pruned -> account_pruned ~reduction st
      | _ -> account st outcome (eng.e_judge outcome) ds);
   (outcome, ds, ars)
 
@@ -305,12 +330,15 @@ let engine_run eng ~reduce ~count st script =
    worker owns at most one machine for its whole lifetime instead of
    allocating a machine, hash tables and scenario closures per
    execution. *)
-let make_runner ~incremental ~stride ~config ~reduce scenario =
+let make_runner ?(mk_oracle = default_mk_oracle) ~incremental ~stride ~config
+    ~reduction scenario =
   if incremental then begin
     let eng = engine ~stride ~config scenario in
-    fun st ~count script -> engine_run eng ~reduce ~count st script
+    fun st ~count script -> engine_run eng ~reduction ~mk_oracle ~count st script
   end
-  else fun st ~count script -> run_tree ~config ~reduce ~count scenario st script
+  else
+    fun st ~count script ->
+      run_tree ~config ~reduction ~mk_oracle ~count scenario st script
 
 (* Deepest position [i] with [lo <= i < min hi (length ds)] holding an
    untried alternative; the bumped script locks everything above it.
@@ -327,28 +355,240 @@ let bump ~lo ~hi ds ars =
   | None -> None
   | Some i -> Some (Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |])
 
+let merge_stats into from =
+  into.execs <- into.execs + from.execs;
+  into.passed <- into.passed + from.passed;
+  into.discarded <- into.discarded + from.discarded;
+  into.bounded <- into.bounded + from.bounded;
+  into.blocked <- into.blocked + from.blocked;
+  into.pruned <- into.pruned + from.pruned;
+  into.dpor_pruned <- into.dpor_pruned + from.dpor_pruned;
+  into.viol_count <- into.viol_count + from.viol_count;
+  into.violations <- from.violations @ into.violations
+
+(* Deterministic violation order across worker schedules: sort the merged
+   failures by decision script (DFS order is lexicographic on scripts). *)
+let compare_failure (a : failure) (b : failure) =
+  let la = Array.length a.script and lb = Array.length b.script in
+  let rec go i =
+    if i >= la || i >= lb then Int.compare la lb
+    else
+      match Int.compare a.script.(i) b.script.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+(* -- the source-DPOR drive ---------------------------------------------------
+
+   Tasks ({!Dpor}) replace the bump: each claimed task replays its script
+   prefix (re-arming the sleep sets recorded for its branch points), then
+   continues with the driver's scheduling policy — follow the task's
+   wakeup sequence while the executed steps match it, otherwise the first
+   runnable thread that is not asleep; data choices default to the first
+   alternative.  Every decision past the prefix is observed; after the
+   run, {!Dpor.integrate} spawns the untaken data alternatives and the
+   race-reversal branches.  The same runner abstraction as [dfs]/[pdfs]
+   carries the incremental engine underneath: checkpoints restored across
+   tasks are consistent because the sleep entries installed at a branch
+   position are fixed per (node, branch) — two tasks sharing a script
+   prefix install byte-identical sleep state along it.
+
+   Workers share the locked task frontier and claim the deepest pending
+   branch; at [jobs = 1] the search is fully deterministic (and the
+   depth-first order keeps the incremental engine's divergence suffixes
+   short).  At [jobs > 1] race-discovery order — and hence execution
+   counts — may vary between runs, but verdicts and kept-violation sets
+   are schedule-independent (the differential suite asserts this). *)
+
+let dpor_drive ?(jobs = 1) ?(max_execs = 100_000) ?(incremental = true)
+    ?(stride = default_stride) ?(until_violation = false)
+    ?(config = Machine.default_config) scenario =
+  let state = Dpor.create () in
+  let spent = Atomic.make 0 in
+  let budget_hit = Atomic.make false in
+  let stop = Atomic.make false in
+  let worker _k () =
+    let st = fresh_stats () in
+    (* Per-run driver state, rebound by [mk_oracle] before each run. *)
+    let cur_task = ref Dpor.root_task in
+    let cur_m = ref None in
+    let obs = ref [] in
+    let wake = ref [] in
+    let base = ref 0 in
+    let mk_oracle m ~pos ~log script =
+      cur_m := Some m;
+      obs := [];
+      let task = !cur_task in
+      wake := Dpor.wakeup task;
+      base := Dpor.branch_step task + 1;
+      let installs = Dpor.installs task in
+      let slen = Array.length script in
+      let pick ~pos ~arity ~kind =
+        if pos < slen then begin
+          (match List.assoc_opt pos installs with
+          | Some entries -> Machine.set_sleep m (entries @ Machine.get_sleep m)
+          | None -> ());
+          let c = script.(pos) in
+          if c >= arity then
+            invalid_arg
+              (Printf.sprintf "Explore.dpor: choice %d/%d at %d" c arity pos);
+          c
+        end
+        else
+          match kind with
+          | Oracle.Data ->
+              let s = Machine.dpor_depth m in
+              obs :=
+                Dpor.Odata { o_pos = pos; o_step = s; o_arity = arity; o_taken = 0 }
+                :: !obs;
+              0
+          | Oracle.Sched tids ->
+              let s = Machine.dpor_depth m in
+              let sleep = Machine.get_sleep m in
+              (* Steering: consume wakeup entries matching the steps run
+                 since the last sync (forced steps included); abandon the
+                 sequence on first divergence. *)
+              (if !wake <> [] then begin
+                 let steps = Machine.dpor_steps m in
+                 let t = ref !base in
+                 while !wake <> [] && !t < s do
+                   (match !wake with
+                   | w :: rest when w = fst steps.(!t) -> wake := rest
+                   | _ -> wake := []);
+                   incr t
+                 done;
+                 base := s
+               end);
+              let n = Array.length tids in
+              let index_of w =
+                let rec go i =
+                  if i >= n then None else if tids.(i) = w then Some i else go (i + 1)
+                in
+                go 0
+              in
+              let default () =
+                let rec go i =
+                  if i >= n then 0
+                  else if List.mem_assq tids.(i) sleep then go (i + 1)
+                  else i
+                in
+                go 0
+              in
+              let j =
+                match !wake with
+                | w :: rest -> (
+                    match index_of w with
+                    | Some i when not (List.mem_assq w sleep) ->
+                        wake := rest;
+                        base := s + 1;
+                        i
+                    | _ ->
+                        wake := [];
+                        default ())
+                | [] -> default ()
+              in
+              obs :=
+                Dpor.Osched
+                  {
+                    o_pos = pos;
+                    o_step = s;
+                    o_tids = Array.copy tids;
+                    o_fps = Array.map (Machine.pending_footprint m) tids;
+                    o_sleep = sleep;
+                    o_taken = j;
+                  }
+                :: !obs;
+              j
+      in
+      Oracle.resume_make ~sched_aware:true ~pos ~log pick
+    in
+    let run =
+      make_runner ~mk_oracle ~incremental ~stride ~config
+        ~reduction:Machine.RDpor scenario
+    in
+    let rec loop () =
+      if Atomic.get budget_hit || Atomic.get stop then ()
+      else
+        match Dpor.claim state with
+        | None ->
+            if Dpor.drained state then ()
+            else begin
+              Domain.cpu_relax ();
+              loop ()
+            end
+        | Some task ->
+            let got = Atomic.fetch_and_add spent 1 in
+            if got >= max_execs then begin
+              ignore (Atomic.fetch_and_add spent (-1));
+              Atomic.set budget_hit true;
+              Dpor.abandon state
+            end
+            else begin
+              cur_task := task;
+              let outcome, ds, _ars = run st ~count:true (Dpor.script task) in
+              (* Pruned runs are not executions: refund the budget slot. *)
+              if outcome = Machine.Pruned then
+                ignore (Atomic.fetch_and_add spent (-1));
+              let m = Option.get !cur_m in
+              ignore
+                (Dpor.integrate state task ~ds ~obs:(List.rev !obs)
+                   ~steps:(Machine.dpor_steps m));
+              if until_violation && st.viol_count > 0 then Atomic.set stop true;
+              loop ()
+            end
+    in
+    loop ();
+    st
+  in
+  let stats =
+    if jobs = 1 then [ worker 0 () ]
+    else
+      Array.init jobs (fun k -> Domain.spawn (worker k))
+      |> Array.map Domain.join |> Array.to_list
+  in
+  let st = fresh_stats () in
+  List.iter (merge_stats st) stats;
+  st.violations <-
+    List.sort compare_failure st.violations
+    |> List.filteri (fun i _ -> i < max_violations)
+    |> List.rev;
+  to_report ~name:scenario.name
+    ~complete:
+      ((not (Atomic.get budget_hit))
+      && (not (Atomic.get stop))
+      && Dpor.drained state)
+    st
+
 (* Exhaustive DFS over the decision tree, up to [max_execs] executions.
    With [until_violation] the search stops at the first kept violation —
    the mode-necessity audit only needs a witness per mutant, not the full
    census (a run cut short this way reports [complete = false]). *)
-let dfs ?(max_execs = 100_000) ?(reduce = false) ?(incremental = true)
+let dfs ?(max_execs = 100_000) ?(reduce = Machine.RNone) ?(incremental = true)
     ?(stride = default_stride) ?(until_violation = false)
     ?(config = Machine.default_config) scenario =
-  let st = fresh_stats () in
-  let run = make_runner ~incremental ~stride ~config ~reduce scenario in
-  let rec go script =
-    if st.execs >= max_execs then false
-    else begin
-      let _, ds, ars = run st ~count:true script in
-      if until_violation && st.viol_count > 0 then false
-      else
-        match bump ~lo:0 ~hi:max_int ds ars with
-        | None -> true
-        | Some script -> go script
-    end
-  in
-  let complete = go [||] in
-  to_report ~name:scenario.name ~complete st
+  if reduce = Machine.RDpor then
+    dpor_drive ~jobs:1 ~max_execs ~incremental ~stride ~until_violation
+      ~config scenario
+  else begin
+    let st = fresh_stats () in
+    let run =
+      make_runner ~incremental ~stride ~config ~reduction:reduce scenario
+    in
+    let rec go script =
+      if st.execs >= max_execs then false
+      else begin
+        let _, ds, ars = run st ~count:true script in
+        if until_violation && st.viol_count > 0 then false
+        else
+          match bump ~lo:0 ~hi:max_int ds ars with
+          | None -> true
+          | Some script -> go script
+      end
+    in
+    let complete = go [||] in
+    to_report ~name:scenario.name ~complete st
+  end
 
 (* -- parallel DFS: work-stealing frontier ------------------------------------
 
@@ -379,45 +619,22 @@ let dfs ?(max_execs = 100_000) ?(reduce = false) ?(incremental = true)
    stats are domain-local, which is what the per-run isolation audit of
    [Machine.create] guarantees. *)
 
-let merge_stats into from =
-  into.execs <- into.execs + from.execs;
-  into.passed <- into.passed + from.passed;
-  into.discarded <- into.discarded + from.discarded;
-  into.bounded <- into.bounded + from.bounded;
-  into.blocked <- into.blocked + from.blocked;
-  into.pruned <- into.pruned + from.pruned;
-  into.viol_count <- into.viol_count + from.viol_count;
-  into.violations <- from.violations @ into.violations
-
-(* Deterministic violation order across worker schedules: sort the merged
-   failures by decision script (DFS order is lexicographic on scripts). *)
-let compare_failure (a : failure) (b : failure) =
-  let la = Array.length a.script and lb = Array.length b.script in
-  let rec go i =
-    if i >= la || i >= lb then Int.compare la lb
-    else
-      match Int.compare a.script.(i) b.script.(i) with
-      | 0 -> go (i + 1)
-      | c -> c
-  in
-  go 0
-
 (* Workers claim execution budget in batches: one [fetch_and_add] amortised
    over [budget_batch] runs instead of one per run.  Per-execution atomics
    on a shared counter are a cross-domain cache-line ping-pong — profiled
    as the dominant cost of [pdfs] once executions got cheap. *)
 let budget_batch = 64
 
-let pdfs ?jobs ?split_depth ?(max_execs = 100_000) ?(reduce = false)
+let pdfs ?jobs ?(max_execs = 100_000) ?(reduce = Machine.RNone)
     ?(incremental = true) ?(stride = default_stride)
     ?(until_violation = false) ?(config = Machine.default_config) scenario =
-  (* [split_depth] parameterised the retired two-phase sharding scheme;
-     the work-stealing frontier adapts the split depth dynamically, so the
-     parameter is accepted for compatibility and ignored. *)
-  ignore (split_depth : int option);
   let jobs =
     match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
   in
+  if reduce = Machine.RDpor then
+    dpor_drive ~jobs ~max_execs ~incremental ~stride ~until_violation ~config
+      scenario
+  else begin
   let deques = Array.init jobs (fun _ -> Wsdeque.create ()) in
   (* Tasks created but not yet finished; the search is over when it hits
      zero.  Seeded with the root task before any worker starts. *)
@@ -430,7 +647,9 @@ let pdfs ?jobs ?split_depth ?(max_execs = 100_000) ?(reduce = false)
   let stop = Atomic.make false in
   let worker k () =
     let st = fresh_stats () in
-    let run = make_runner ~incremental ~stride ~config ~reduce scenario in
+    let run =
+      make_runner ~incremental ~stride ~config ~reduction:reduce scenario
+    in
     let dq = deques.(k) in
     (* Locally cached budget slots (claimed, not yet used). *)
     let local = ref 0 in
@@ -521,6 +740,7 @@ let pdfs ?jobs ?split_depth ?(max_execs = 100_000) ?(reduce = false)
   to_report ~name:scenario.name
     ~complete:((not (Atomic.get budget_hit)) && not (Atomic.get stop))
     st
+  end
 
 (* Random sampling: [execs] seeded executions.  Decision vectors are
    fingerprinted so the report can say how many *distinct* executions the
@@ -545,8 +765,8 @@ let random ?(execs = 1_000) ?(seed = 0) ?(config = Machine.default_config)
 
 type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
 
-let run ?(config = Machine.default_config) ?(jobs = 1) ?(reduce = false)
-    ?(incremental = true) ?(stride = default_stride)
+let run ?(config = Machine.default_config) ?(jobs = 1)
+    ?(reduce = Machine.RNone) ?(incremental = true) ?(stride = default_stride)
     ?(until_violation = false) ~mode scenario =
   match mode with
   | Dfs { max_execs } ->

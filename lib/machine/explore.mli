@@ -5,9 +5,10 @@
     (arity, choice) pairs, finds the deepest position with an untried
     alternative, and restarts with the bumped prefix.  The parallel
     driver {!pdfs} splits that tree into disjoint decision-prefix tasks
-    balanced across OCaml 5 domains by work stealing; [~reduce] switches on
-    sleep-set partial-order reduction in the scheduler (see
-    {!Machine.run}).  The random driver samples seeded executions.  Where
+    balanced across OCaml 5 domains by work stealing; [~reduce] selects a
+    partial-order reduction: sleep sets in the scheduler (see
+    {!Machine.run}) or source-DPOR with wakeup sequences ({!Dpor}).  The
+    random driver samples seeded executions.  Where
     the paper {e proves} a property of all executions, we {e enumerate}
     them (up to the configured bounds) and check it on each. *)
 
@@ -43,7 +44,13 @@ type report = {
   bounded : int;
   blocked : int;
   pruned : int;
-      (** subtrees skipped by sleep-set reduction (0 unless [~reduce]) *)
+      (** subtrees skipped by sleep-set reduction (0 unless
+          [~reduce:RSleep]) *)
+  dpor_pruned : int;
+      (** executions killed as redundant under [~reduce:RDpor] — sleeping
+          threads scheduled by a stale branch.  An optimal DPOR search
+          reports 0; nonzero counts measure how far the source-set
+          approximation is from optimality on this scenario. *)
   violations : failure list;  (** first few, oldest first *)
   complete : bool;  (** DFS exhausted the tree within the budget *)
 }
@@ -79,16 +86,21 @@ val default_stride : int
 
 val dfs :
   ?max_execs:int ->
-  ?reduce:bool ->
+  ?reduce:Machine.reduction ->
   ?incremental:bool ->
   ?stride:int ->
   ?until_violation:bool ->
   ?config:Machine.config ->
   scenario ->
   report
-(** exhaustive sequential DFS.  [reduce] turns on sleep-set reduction:
+(** exhaustive sequential DFS.  [reduce] selects a partial-order
+    reduction (default {!Machine.RNone}): [RSleep] turns on sleep sets —
     redundant interleavings of independent steps are pruned (counted in
-    {!report.pruned}), never losing a violation up to graph isomorphism.
+    {!report.pruned}), never losing a violation up to graph isomorphism;
+    [RDpor] switches to source-DPOR with wakeup sequences ({!Dpor}),
+    which explores strictly fewer executions than sleep sets (near one
+    per Mazurkiewicz trace) with the same verdicts and kept violations,
+    counting its few redundant kills in {!report.dpor_pruned}.
 
     [incremental] (default on) explores with the checkpoint/restore
     engine: one machine built once, a stack of snapshots keyed by decision
@@ -105,9 +117,8 @@ val dfs :
 
 val pdfs :
   ?jobs:int ->
-  ?split_depth:int ->
   ?max_execs:int ->
-  ?reduce:bool ->
+  ?reduce:Machine.reduction ->
   ?incremental:bool ->
   ?stride:int ->
   ?until_violation:bool ->
@@ -129,8 +140,14 @@ val pdfs :
     {e number} of executions but not necessarily the same subset.)  Each
     worker keeps one incremental engine (machine + checkpoint stack) for
     its whole lifetime, and claims execution budget in batches rather
-    than one atomic per run.  [split_depth] parameterised the retired
-    two-phase sharding scheme and is now accepted and ignored. *)
+    than one atomic per run.
+
+    Under [~reduce:RDpor] the workers share a {!Dpor} frontier instead of
+    Chase-Lev deques: stolen prefix tasks carry their wakeup-sequence and
+    sleep-install obligations, so parallel DPOR keeps the same verdicts
+    and violation sets as the sequential search (the execution {e count}
+    may differ run to run — racing workers can both explore a branch the
+    other would have put to sleep). *)
 
 val random : ?execs:int -> ?seed:int -> ?config:Machine.config -> scenario -> report
 
@@ -139,7 +156,7 @@ type mode = Dfs of { max_execs : int } | Random of { execs : int; seed : int }
 val run :
   ?config:Machine.config ->
   ?jobs:int ->
-  ?reduce:bool ->
+  ?reduce:Machine.reduction ->
   ?incremental:bool ->
   ?stride:int ->
   ?until_violation:bool ->

@@ -70,10 +70,22 @@ let pp_outcome ppf = function
   | Bounded -> Format.pp_print_string ppf "bounded"
   | Pruned -> Format.pp_print_string ppf "pruned"
 
-(* Footprints (for sleep-set reduction) are declared here because the
-   machine's resumable sleep state mentions them; the reduction machinery
-   itself lives further down. *)
-type footprint = FRead of Loc.t | FWrite of Loc.t | FLocal | FGlobal
+(* Footprints (for partial-order reduction) are {!Deps.footprint},
+   re-exported so existing users keep constructing them unqualified; the
+   reduction machinery itself lives further down. *)
+type footprint = Deps.footprint =
+  | FRead of Loc.t
+  | FWrite of Loc.t
+  | FLocal
+  | FGlobal
+
+(* How the scheduler prunes commuted interleavings.  [RSleep] is the
+   self-contained Godefroid sleep-set discipline reconstructed during
+   replay; [RDpor] is driven from outside: the machine only records the
+   (tid, footprint) step log, honours driver-installed sleep sets, and
+   wakes sleepers on dependent steps — the backtrack/wakeup-tree logic
+   lives in {!Dpor}/{!Explore}. *)
+type reduction = RNone | RSleep | RDpor
 
 (* Snapshot types are declared here because the machine keeps its last
    snapshot as a cache; the snapshot/restore machinery lives further
@@ -96,6 +108,7 @@ type snapshot = {
   s_accesses : Access.t list;
   s_next_aid : int;
   s_sleep : (int * footprint) list;
+  s_dpor_log : (int * footprint) list;
   s_run_deadline : int;
 }
 
@@ -117,6 +130,10 @@ type t = {
   mutable sleep : (int * footprint) list;
       (** sleep set along the current path (tid, pending footprint); lives
           in the machine so checkpoints can capture and resume it *)
+  mutable dpor_log : (int * footprint) list;
+      (** under [RDpor]: (tid, footprint) of every concurrent-phase step
+          taken along the current path, newest first — the input to the
+          Mazurkiewicz dependency analysis; checkpointed like [sleep] *)
   mutable run_deadline : int;
       (** absolute step bound of the current concurrent phase; kept across
           checkpoint restores so a resumed run bounds exactly like a
@@ -140,6 +157,7 @@ let create ?(config = default_config) () =
     accesses = [];
     next_aid = 0;
     sleep = [];
+    dpor_log = [];
     run_deadline = max_int;
     snap_cache = None;
   }
@@ -579,12 +597,20 @@ let footprint (th : thread) =
       | Prog.Yield | Prog.Tid -> FLocal)
   | Prog.Ret _ | Prog.Reserve _ -> FLocal
 
-let independent a b =
-  match (a, b) with
-  | FGlobal, _ | _, FGlobal -> false
-  | FLocal, _ | _, FLocal -> true
-  | FRead _, FRead _ -> true
-  | (FRead la | FWrite la), (FRead lb | FWrite lb) -> not (Loc.equal la lb)
+let independent = Deps.independent
+
+(* DPOR driver hooks: the per-path step log (oldest first), the current
+   sleep set, driver installation of a sleep set at a branch point, and
+   the pending footprint of a thread by tid — what the driver snapshots
+   at each scheduling observation. *)
+let dpor_steps m = Array.of_list (List.rev m.dpor_log)
+let dpor_depth m = List.length m.dpor_log
+let get_sleep m = m.sleep
+let set_sleep m s = m.sleep <- s
+
+let pending_footprint m tid =
+  let th = Array.find_opt (fun th -> th.tid = tid) m.threads in
+  match th with Some th -> footprint th | None -> FLocal
 
 (* Interleave the spawned threads until they all finish (or fault / block /
    exhaust the budget).
@@ -607,9 +633,10 @@ let independent a b =
    forced steps keeps the deadline a from-the-root replay would have. *)
 let prime m =
   m.run_deadline <- m.step + m.config.max_steps;
-  m.sleep <- []
+  m.sleep <- [];
+  m.dpor_log <- []
 
-let run ?(reduce = false) ?(resume = false) ?on_step ?on_sched m oracle =
+let run ?(reduction = RNone) ?(resume = false) ?on_step ?on_sched m oracle =
   let n = Array.length m.threads in
   if n = 0 then invalid_arg "Machine.run: no threads (call spawn)";
   if not resume then prime m;
@@ -653,20 +680,31 @@ let run ?(reduce = false) ?(resume = false) ?on_step ?on_sched m oracle =
         else Oracle.choose oracle ~arity
       in
       let th = threads.(runnable.(j)) in
-      if reduce && List.mem_assq th.tid m.sleep then Pruned
+      if reduction <> RNone && List.mem_assq th.tid m.sleep then Pruned
       else begin
-        if reduce then begin
-          (* Earlier siblings fall asleep; survivors are the sleepers
-             whose pending step is independent of the one now taken. *)
-          let fp = footprint th in
-          let explored = ref [] in
-          for k = j - 1 downto 0 do
-            let u = threads.(runnable.(k)) in
-            explored := (u.tid, footprint u) :: !explored
-          done;
-          m.sleep <-
-            List.filter (fun (_, fu) -> independent fu fp) (m.sleep @ !explored)
-        end;
+        (match reduction with
+        | RNone -> ()
+        | RSleep ->
+            (* Earlier siblings fall asleep; survivors are the sleepers
+               whose pending step is independent of the one now taken. *)
+            let fp = footprint th in
+            let explored = ref [] in
+            for k = j - 1 downto 0 do
+              let u = threads.(runnable.(k)) in
+              explored := (u.tid, footprint u) :: !explored
+            done;
+            m.sleep <-
+              List.filter
+                (fun (_, fu) -> independent fu fp)
+                (m.sleep @ !explored)
+        | RDpor ->
+            (* No sibling-order sleep here: the DPOR driver installs sleep
+               sets at branch points (source sets, not left-to-right DFS
+               order).  The machine still wakes sleepers on dependent
+               steps and logs every step for the dependency analysis. *)
+            let fp = footprint th in
+            m.sleep <- List.filter (fun (_, fu) -> independent fu fp) m.sleep;
+            m.dpor_log <- (th.tid, fp) :: m.dpor_log);
         step_thread m th oracle;
         (match on_step with Some f -> f () | None -> ());
         loop ()
@@ -730,6 +768,7 @@ let snapshot m =
       s_accesses = m.accesses;
       s_next_aid = m.next_aid;
       s_sleep = m.sleep;
+      s_dpor_log = m.dpor_log;
       s_run_deadline = m.run_deadline;
     }
   in
@@ -761,6 +800,7 @@ let restore m s =
   m.accesses <- s.s_accesses;
   m.next_aid <- s.s_next_aid;
   m.sleep <- s.s_sleep;
+  m.dpor_log <- s.s_dpor_log;
   m.run_deadline <- s.s_run_deadline;
   m.snap_cache <- Some s
 

@@ -46,12 +46,23 @@ type outcome =
   | Blocked of string  (** deadlock on [await], or a spin loop out of fuel *)
   | Bounded  (** step budget exhausted *)
   | Pruned
-      (** sleep-set reduction stopped the run: the scheduled thread was
-          asleep, so the subtree is a commuted copy of one already
-          explored.  Only produced by {!run}[ ~reduce:true]; never counted
-          as an execution by the explorer. *)
+      (** partial-order reduction stopped the run: the scheduled thread
+          was asleep, so the subtree is a commuted copy of one already
+          explored.  Only produced by {!run} with a reduction other than
+          [RNone]; never counted as an execution by the explorer. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+type reduction =
+  | RNone  (** explore every interleaving the oracle asks for *)
+  | RSleep
+      (** Godefroid sleep sets, reconstructed from DFS sibling order
+          during replay — self-contained in the machine *)
+  | RDpor
+      (** source-DPOR: the machine records the (tid, footprint) step log,
+          honours driver-installed sleep sets ({!set_sleep}) and wakes
+          sleepers on dependent steps; backtrack/wakeup-tree logic lives
+          in the {!Explore} DPOR driver *)
 
 type t
 
@@ -87,7 +98,7 @@ val prime : t -> unit
     always runs with [~resume:true]. *)
 
 val run :
-  ?reduce:bool ->
+  ?reduction:reduction ->
   ?resume:bool ->
   ?on_step:(unit -> unit) ->
   ?on_sched:(unit -> unit) ->
@@ -95,13 +106,16 @@ val run :
   Oracle.t ->
   outcome
 (** interleave the spawned threads to completion (or fault / block /
-    budget).  With [reduce] (default off) the scheduler maintains a sleep
+    budget).  With [~reduction:RSleep] the scheduler maintains a sleep
     set along the replayed path and stops with {!Pruned} as soon as the
     decision script schedules a sleeping thread — i.e. as soon as the run
     would only commute independent steps of an already-explored subtree.
     Two pending steps are independent when they touch different locations
     or are both reads (and neither is an allocation or SC fence); see
-    DESIGN.md, "Parallel exploration & reduction".
+    DESIGN.md, "Parallel exploration & reduction".  With
+    [~reduction:RDpor] the sleep sets come from the driver ({!set_sleep})
+    instead of sibling order, and every concurrent-phase step is logged
+    ({!dpor_steps}) for the dependency analysis.
 
     [resume] (default off) continues a concurrent phase from a state
     installed by {!restore}: the step deadline and sleep set of the
@@ -112,10 +126,30 @@ val run :
     before a scheduling choice with more than one alternative is
     consumed.  Both are the incremental explorer's checkpoint hooks. *)
 
+(** {1 DPOR driver hooks}
+
+    Used by the {!Explore} source-DPOR driver; state observed or
+    installed at settled step boundaries (inside an oracle pick or an
+    [on_sched] callback). *)
+
+val dpor_steps : t -> (int * Deps.footprint) array
+(** the (tid, footprint) log of every concurrent-phase step taken along
+    the current path, oldest first — only maintained under [RDpor] *)
+
+val dpor_depth : t -> int
+(** [Array.length (dpor_steps m)] without building the array *)
+
+val get_sleep : t -> (int * Deps.footprint) list
+val set_sleep : t -> (int * Deps.footprint) list -> unit
+
+val pending_footprint : t -> int -> Deps.footprint
+(** footprint of the next operation of the thread with this tid *)
+
 type snapshot
 (** a value-copy of all machine state (threads, memory, graphs, views,
-    sleep set), sharing persistent substructure: O(#locations + #graphs +
-    #threads) pointers.  Valid to take between machine steps. *)
+    sleep set, DPOR step log), sharing persistent substructure:
+    O(#locations + #graphs + #threads) pointers.  Valid to take between
+    machine steps. *)
 
 val snapshot : t -> snapshot
 

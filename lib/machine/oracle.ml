@@ -127,3 +127,10 @@ let script_clamped choices =
 let resume_script ~pos ~log choices =
   assert (List.length log = pos);
   { pos; log; pick = script_pick choices; sched_aware = false }
+
+(* Resume with a custom pick — what the DPOR driver plugs into the
+   incremental engine: scripted positions replay the task prefix, fresh
+   positions consult the driver's scheduling policy. *)
+let resume_make ?(sched_aware = true) ~pos ~log pick =
+  assert (List.length log = pos);
+  { pos; log; pick; sched_aware }

@@ -71,3 +71,13 @@ val resume_script : pos:int -> log:(int * int) list -> int array -> t
 (** resume a scripted replay from decision depth [pos], seeding the log
     with the {!raw_log} captured at a machine checkpoint; the script must
     agree with [log] on the first [pos] positions *)
+
+val resume_make :
+  ?sched_aware:bool ->
+  pos:int ->
+  log:(int * int) list ->
+  (pos:int -> arity:int -> kind:kind -> int) ->
+  t
+(** {!make} resuming from decision depth [pos] with a checkpoint-captured
+    {!raw_log} — how the DPOR driver's custom oracle rides the
+    incremental engine's restores *)

@@ -28,8 +28,14 @@ let report_eq ~name (a : Explore.report) (b : Explore.report) =
   Alcotest.(check int) (name ^ ": blocked") a.Explore.blocked b.Explore.blocked;
   Alcotest.(check int) (name ^ ": bounded") a.Explore.bounded b.Explore.bounded;
   Alcotest.(check int) (name ^ ": pruned") a.Explore.pruned b.Explore.pruned;
+  Alcotest.(check int) (name ^ ": dpor_pruned") a.Explore.dpor_pruned b.Explore.dpor_pruned;
   Alcotest.(check bool) (name ^ ": complete") a.Explore.complete b.Explore.complete;
   Alcotest.(check (list string)) (name ^ ": violation multiset") (msgs a) (msgs b)
+
+let red_name = function
+  | Machine.RNone -> "none"
+  | Machine.RSleep -> "sleep"
+  | Machine.RDpor -> "dpor"
 
 (* For two drivers with the same enumeration order (e.g. incremental vs
    replay-from-root DFS) the kept violations must match script for
@@ -86,17 +92,19 @@ let seeded_mp_violation () =
    path. *)
 let equivalence_cases () =
   [
-    ("mp-queue", false, fun () -> Mp.make Msqueue.instantiate (Mp.fresh_stats ()));
-    ("litmus-sb", false, fun () -> (Litmus.sb ()).Litmus.scenario);
+    ( "mp-queue",
+      Machine.RNone,
+      fun () -> Mp.make Msqueue.instantiate (Mp.fresh_stats ()) );
+    ("litmus-sb", Machine.RNone, fun () -> (Litmus.sb ()).Litmus.scenario);
     ( "treiber-small",
-      false,
+      Machine.RNone,
       fun () ->
         Harness.stack_workload Treiber.instantiate ~pushers:1 ~poppers:1 ~ops:1 () );
     ( "treiber-reduced",
-      true,
+      Machine.RSleep,
       fun () ->
         Harness.stack_workload Treiber.instantiate ~pushers:2 ~poppers:1 ~ops:1 () );
-    ("seeded-violation", false, fun () -> seeded_mp_violation ());
+    ("seeded-violation", Machine.RNone, fun () -> seeded_mp_violation ());
   ]
 
 (* -- incremental vs replay-from-root differential suite ----------------------
@@ -123,11 +131,11 @@ let test_incremental_equivalence () =
               in
               report_eq_strict
                 ~name:
-                  (Printf.sprintf "%s (reduce %b, stride %d)" name reduce
-                     stride)
+                  (Printf.sprintf "%s (reduce %s, stride %d)" name
+                     (red_name reduce) stride)
                 oracle inc)
             [ 1; 2; 5 ])
-        [ false; true ])
+        [ Machine.RNone; Machine.RSleep ])
     (equivalence_cases ())
 
 let test_incremental_litmus () =
@@ -161,8 +169,8 @@ let test_incremental_pdfs () =
         Explore.dfs ~incremental:false ~reduce ~max_execs:200_000 (mk ())
       in
       let par =
-        Explore.pdfs ~jobs:4 ~split_depth:3 ~incremental:true ~reduce
-          ~max_execs:200_000 (mk ())
+        Explore.pdfs ~jobs:4 ~incremental:true ~reduce ~max_execs:200_000
+          (mk ())
       in
       report_eq ~name:(name ^ " (incremental pdfs vs replay dfs)") oracle par)
     (equivalence_cases ())
@@ -173,14 +181,10 @@ let test_pdfs_equivalence () =
       let seq = Explore.dfs ~reduce ~max_execs:200_000 (mk ()) in
       Alcotest.(check bool) (name ^ ": sequential exhausts") true seq.Explore.complete;
       List.iter
-        (fun (jobs, split_depth) ->
-          let par =
-            Explore.pdfs ~jobs ~split_depth ~reduce ~max_execs:200_000 (mk ())
-          in
-          report_eq
-            ~name:(Printf.sprintf "%s (jobs %d, split %d)" name jobs split_depth)
-            seq par)
-        [ (2, 3); (4, 4) ])
+        (fun jobs ->
+          let par = Explore.pdfs ~jobs ~reduce ~max_execs:200_000 (mk ()) in
+          report_eq ~name:(Printf.sprintf "%s (jobs %d)" name jobs) seq par)
+        [ 2; 4 ])
     (equivalence_cases ())
 
 let test_reduce_equivalence () =
@@ -191,7 +195,7 @@ let test_reduce_equivalence () =
     (fun mk ->
       let t_full = mk () and t_red = mk () in
       let ok_full, r_full, obs_full = Litmus.verdict t_full in
-      let ok_red, r_red, _ = Litmus.verdict ~reduce:true t_red in
+      let ok_red, r_red, _ = Litmus.verdict ~reduce:Machine.RSleep t_red in
       Alcotest.(check bool)
         (r_full.Explore.name ^ ": verdict preserved under reduction")
         ok_full ok_red;
@@ -218,7 +222,7 @@ let test_reduce_equivalence () =
 
 let test_reduce_keeps_violations () =
   let full = Explore.dfs (seeded_mp_violation ()) in
-  let red = Explore.dfs ~reduce:true (seeded_mp_violation ()) in
+  let red = Explore.dfs ~reduce:Machine.RSleep (seeded_mp_violation ()) in
   Alcotest.(check bool) "full DFS finds the seeded violation" false (Explore.ok full);
   Alcotest.(check bool) "reduced DFS finds it too" false (Explore.ok red);
   (* Reduction collapses equivalent violating interleavings to one
@@ -233,8 +237,10 @@ let test_reduce_keeps_violations () =
 let test_pdfs_reduce () =
   (* Reduction composes with sharding: replay reconstructs the sleep sets
      from the root, so pruning is identical however the tree is carved. *)
-  let seq = Explore.dfs ~reduce:true (seeded_mp_violation ()) in
-  let par = Explore.pdfs ~jobs:4 ~split_depth:3 ~reduce:true (seeded_mp_violation ()) in
+  let seq = Explore.dfs ~reduce:Machine.RSleep (seeded_mp_violation ()) in
+  let par =
+    Explore.pdfs ~jobs:4 ~reduce:Machine.RSleep (seeded_mp_violation ())
+  in
   report_eq ~name:"reduced pdfs vs reduced dfs" seq par
 
 (* -- flat vs map backend differential suite ----------------------------------
@@ -250,7 +256,9 @@ let test_pdfs_reduce () =
 let map_config = { Machine.default_config with Machine.backend = `Map }
 
 let backend_cases () =
-  ("hw-queue", false, fun () -> Mp.make Hwqueue.instantiate (Mp.fresh_stats ()))
+  ( "hw-queue",
+    Machine.RNone,
+    fun () -> Mp.make Hwqueue.instantiate (Mp.fresh_stats ()) )
   :: equivalence_cases ()
 
 let test_backend_equivalence () =
@@ -268,7 +276,9 @@ let test_backend_equivalence () =
             Explore.dfs ~incremental:false ~reduce ~max_execs:60_000 (mk ())
           in
           report_eq_strict
-            ~name:(Printf.sprintf "%s (map vs flat replay, reduce %b)" name reduce)
+            ~name:
+              (Printf.sprintf "%s (map vs flat replay, reduce %s)" name
+                 (red_name reduce))
             oracle replay;
           List.iter
             (fun stride ->
@@ -278,11 +288,11 @@ let test_backend_equivalence () =
               in
               report_eq_strict
                 ~name:
-                  (Printf.sprintf "%s (map vs flat stride %d, reduce %b)" name
-                     stride reduce)
+                  (Printf.sprintf "%s (map vs flat stride %d, reduce %s)" name
+                     stride (red_name reduce))
                 oracle inc)
             [ 1; 2; 5 ])
-        [ false; true ])
+        [ Machine.RNone; Machine.RSleep ])
     (backend_cases ())
 
 let test_backend_pdfs () =

@@ -13,6 +13,7 @@ let () =
       ("memory", Test_memory.suite);
       ("machine", Test_machine.suite);
       ("explore", Test_explore.suite);
+      ("dpor", Test_dpor.suite);
       ("fuzz", Test_fuzz.suite);
       ("event", Test_event.suite);
       ("order", Test_order.suite);

@@ -160,7 +160,7 @@ let differential_battery name kind graph_of sc =
             judge outcome);
     }
   in
-  let r = Explore.dfs ~max_execs:6_000 ~reduce:true sc in
+  let r = Explore.dfs ~max_execs:6_000 ~reduce:Machine.RSleep sc in
   Alcotest.(check bool) (name ^ " explored") true (r.Explore.executions > 0);
   Alcotest.(check bool) (name ^ " checked") true (!execs > 0)
 
@@ -218,7 +218,7 @@ let test_styles_shim_agrees () =
 let test_smoke_all_entries () =
   List.iter
     (fun (e : Libspec.entry) ->
-      let r = Explore.dfs ~max_execs:8_000 ~reduce:true (e.Libspec.smoke ()) in
+      let r = Explore.dfs ~max_execs:8_000 ~reduce:Machine.RSleep (e.Libspec.smoke ()) in
       Alcotest.(check bool)
         (e.Libspec.key ^ " explored")
         true
@@ -259,7 +259,7 @@ let test_spec_object_sc_stack () =
 (* --- refinement ----------------------------------------------------- *)
 
 let refine_options =
-  { Refine.default_options with max_execs = 120_000; reduce = true }
+  { Refine.default_options with max_execs = 120_000; reduce = Machine.RSleep }
 
 let test_refine_passes () =
   List.iter
