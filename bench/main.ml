@@ -757,6 +757,107 @@ let bench_fuzz ~quick ~check =
     end
   end
 
+(* -- audit-prioritization mode (--static [--check]) ----------------------------
+
+   Machine-readable cost-to-first-verdict comparison, written to
+   BENCH_static.json: for each probe, the mode-necessity audit is run
+   twice — in declaration (discovery) order and in the static linter's
+   predicted order (predicted-necessary sites first, their weakest
+   verdict mutant run before the intermediate ones) — and the report's
+   [first_violation] counter says how many mutants and executions each
+   order spent before its first Necessary verdict.  The static analysis
+   wall time is reported alongside: the prediction is only worth its
+   cost if it is cheap next to the exploration it saves.  [--check]
+   exits nonzero unless the prioritized order reaches the first verdict
+   in strictly fewer executions (and no more mutants) on every probe:
+   the CI static-smoke gate. *)
+
+let bench_static ~check =
+  let module Audit = Compass_analysis.Audit in
+  let module Static = Compass_static.Static in
+  let probes = [ "ms" ] in
+  let options =
+    {
+      Audit.default_options with
+      execs = 4000;
+      jobs = 1;
+      reduce = Machine.RSleep;
+    }
+  in
+  let failed = ref [] in
+  let probe_json key =
+    let e =
+      match Specreg.find key with
+      | Some e -> e
+      | None -> failwith ("no registered structure: " ^ key)
+    in
+    let scenarios = e.Compass_spec.Libspec.scenarios in
+    let t0 = Unix.gettimeofday () in
+    let decl = Audit.run ~options ~probe:key scenarios in
+    let t1 = Unix.gettimeofday () in
+    let st = Static.analyze ~subject:key scenarios in
+    let t2 = Unix.gettimeofday () in
+    let predicted = st.Static.predicted_necessary in
+    let prio =
+      Audit.run ~options
+        ~prioritize:(predicted @ st.Static.over_strong)
+        ~verdict_first:(fun s -> List.mem s predicted)
+        ~probe:key scenarios
+    in
+    let t3 = Unix.gettimeofday () in
+    let order_json (m, x) =
+      Jsonout.Obj [ ("mutants", Jsonout.Int m); ("executions", Jsonout.Int x) ]
+    in
+    (match (decl.Audit.first_violation, prio.Audit.first_violation) with
+    | Some (dm, dx), Some (pm, px) ->
+        Format.printf
+          "%-10s declaration order: %d mutants, %4d execs; prioritized: %d \
+           mutants, %4d execs (static analysis %.1fs)@."
+          key dm dx pm px (t2 -. t1);
+        if not (px < dx && pm <= dm) then failed := key :: !failed
+    | _ ->
+        Format.printf "%-10s no first violation in one of the orders@." key;
+        failed := key :: !failed);
+    Jsonout.Obj
+      [
+        ("probe", Jsonout.Str key);
+        ("predicted_necessary", Jsonout.str_list predicted);
+        ("over_strong_candidates", Jsonout.str_list st.Static.over_strong);
+        ( "declaration_order",
+          Jsonout.Obj
+            [
+              ( "first_violation",
+                Jsonout.opt order_json decl.Audit.first_violation );
+              ("seconds", Jsonout.Float (t1 -. t0));
+            ] );
+        ( "static_prioritized",
+          Jsonout.Obj
+            [
+              ( "first_violation",
+                Jsonout.opt order_json prio.Audit.first_violation );
+              ("analysis_seconds", Jsonout.Float (t2 -. t1));
+              ("audit_seconds", Jsonout.Float (t3 -. t2));
+            ] );
+      ]
+  in
+  let json =
+    Jsonout.Obj
+      [
+        ("execs_per_mutant", Jsonout.Int options.Audit.execs);
+        ("probes", Jsonout.List (List.map probe_json probes));
+      ]
+  in
+  write_json_file "BENCH_static.json" json;
+  if check then
+    match List.rev !failed with
+    | [] ->
+        Format.printf
+          "static-smoke: prioritized order reaches the first verdict cheaper \
+           everywhere@."
+    | l ->
+        Format.printf "static-smoke FAILED on: %s@." (String.concat ", " l);
+        exit 1
+
 (* -- driver ------------------------------------------------------------------- *)
 
 let bench_bechamel () =
@@ -802,4 +903,6 @@ let () =
   else if List.mem "--fuzz" argv then
     bench_fuzz ~quick:(List.mem "--quick" argv)
       ~check:(List.mem "--check" argv)
+  else if List.mem "--static" argv then
+    bench_static ~check:(List.mem "--check" argv)
   else bench_bechamel ()

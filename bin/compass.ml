@@ -3,14 +3,17 @@
 
      compass litmus [--gap]
      compass client (mp / mp-weak / spsc / pipeline / resource / es) [--queue ms/hw]
-     compass specs
+     compass specs [--json FILE]
      compass check --struct KEY [--style STYLE]   (or legacy: check ms/hw/treiber/es)
      compass refine --struct KEY [--json FILE] [--expect-violation]
      compass matrix
      compass dot (ms / hw / treiber / es / exchanger / chaselev)
      compass axioms
-     compass analyze races --struct KEY [--json FILE]
-     compass analyze modes --struct KEY [--json FILE]
+     compass analyze races --struct KEY [--strict] [--json FILE]
+     compass analyze modes --struct KEY [--prioritize=static] [--strict]
+                           [--json FILE]
+     compass analyze static (--struct KEY / --all) [--weaken SITE=MODE]
+                            [--strict] [--json FILE]
      compass replay [--script N,N,...] [--weaken SITE=MODE] [--struct KEY]
                     [--refine-client I]
      compass fuzz --struct KEY [--mode uniform/pct/guided]
@@ -38,6 +41,8 @@ open Compass_dstruct
 open Compass_clients
 open Compass_analysis
 module Fz = Compass_fuzz
+module Static = Compass_static.Static
+module J = Compass_util.Jsonout
 
 (* -- shared arguments --------------------------------------------------------- *)
 
@@ -450,7 +455,7 @@ let check_cmd =
 (* -- specs --------------------------------------------------------------------- *)
 
 let specs_cmd =
-  let run () =
+  let run json =
     Format.printf "%-10s %-16s %-9s %-14s %-8s %s@." "key" "impl" "spec"
       "sites" "clients" "ladder (expected)";
     List.iter
@@ -476,13 +481,56 @@ let specs_cmd =
           (List.length e.Libspec.scenarios)
           ladder flags)
       (Specreg.all ());
+    Option.iter
+      (fun file ->
+        (* Site metadata comes from the static analyzer's symbolic
+           discovery (Specreg.sites) — labels and declared modes, no
+           exploration. *)
+        let entry_json (e : Libspec.entry) =
+          J.Obj
+            [
+              ("key", J.Str e.Libspec.key);
+              ("struct", J.Str e.Libspec.struct_name);
+              ("spec", J.Str e.Libspec.spec.Libspec.name);
+              ("descr", J.Str e.Libspec.descr);
+              ("site_prefix", J.opt (fun p -> J.Str p) e.Libspec.site_prefix);
+              ("clients", J.Int (List.length e.Libspec.scenarios));
+              ( "ladder",
+                J.List
+                  (List.map
+                     (fun (s, sat) ->
+                       J.Obj
+                         [
+                           ("style", J.Str (Libspec.style_name s));
+                           ("satisfied", J.Bool sat);
+                         ])
+                     e.Libspec.ladder) );
+              ("expect_violation", J.Bool e.Libspec.expect_violation);
+              ("refinable", J.Bool e.Libspec.refinable);
+              ( "sites",
+                J.List
+                  (List.map
+                     (fun (site, mode) ->
+                       J.Obj [ ("site", J.Str site); ("mode", J.Str mode) ])
+                     (Specreg.sites e)) );
+            ]
+        in
+        write_json ~tool:"specs" file
+          (J.Obj
+             [
+               ( "structures",
+                 J.List (List.map entry_json (Specreg.all ())) );
+             ]))
+      json;
     0
   in
   let doc =
     "List the spec registry: every structure with its spec, instrumented \
-     sites, registered clients, and expected spec-style ladder."
+     sites, registered clients, and expected spec-style ladder.  With \
+     $(b,--json), also emit per-site metadata (label and declared mode, \
+     discovered by the static linter's symbolic evaluation)."
   in
-  Cmd.v (Cmd.info "specs" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "specs" ~doc) Term.(const run $ json_arg)
 
 (* -- refine -------------------------------------------------------------------- *)
 
@@ -703,8 +751,18 @@ let contains ~sub s =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
+(* CI gate: [--strict] turns findings into a nonzero exit, not just
+   internal errors (race pairs for [races], over-strong/unknown verdicts
+   for [modes], expectation mismatches for [static]). *)
+let strict_arg =
+  let doc =
+    "Strict exit code: exit nonzero on any finding, not only on \
+     errors — for CI gates."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 let analyze_races_cmd =
-  let run struct_key execs reduce incremental stride json =
+  let run struct_key execs reduce incremental stride strict json =
     with_entry struct_key (fun e ->
         let agg = Races.agg_create () in
         let config =
@@ -728,7 +786,9 @@ let analyze_races_cmd =
         Option.iter
           (fun f -> write_json ~tool:"analyze-races" f (Races.summary_to_json s))
           json;
-        if s.Races.mismatch_count > 0 then 1 else 0)
+        if s.Races.mismatch_count > 0 then 1
+        else if strict && s.Races.total_pairs > 0 then 1
+        else 0)
   in
   let doc =
     "Explore a structure's registered clients with access recording on, detect \
@@ -740,14 +800,26 @@ let analyze_races_cmd =
   Cmd.v (Cmd.info "races" ~doc)
     Term.(
       const run $ struct_arg $ execs $ analyze_reduce $ incremental $ stride
-      $ json_arg)
+      $ strict_arg $ json_arg)
 
 let analyze_modes_cmd =
   let site_arg =
     let doc = "Only audit sites whose label contains $(docv)." in
     Arg.(value & opt (some string) None & info [ "site" ] ~docv:"SUBSTR" ~doc)
   in
-  let run struct_key execs jobs reduce site json =
+  let prioritize_arg =
+    let doc =
+      "Audit order: $(b,none) (discovery order) or $(b,static) (the \
+       static linter's predicted-necessary sites first, their weakest \
+       verdict mutant run before the intermediate ones — fewer mutants \
+       and executions to the first Necessary verdict)."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("none", `None); ("static", `Static) ]) `None
+      & info [ "prioritize" ] ~docv:"ORDER" ~doc)
+  in
+  let run struct_key execs jobs reduce site prio strict json =
     with_entry struct_key (fun e ->
         let options = { Audit.default_options with execs; jobs; reduce } in
         let site_filter =
@@ -755,8 +827,23 @@ let analyze_modes_cmd =
           | None -> fun _ -> true
           | Some sub -> fun s -> contains ~sub s
         in
+        let prioritize, verdict_first =
+          match prio with
+          | `None -> ([], fun _ -> false)
+          | `Static ->
+              let st =
+                Static.analyze ~subject:e.Libspec.key e.Libspec.scenarios
+              in
+              let predicted = st.Static.predicted_necessary in
+              Format.printf "static priority: %s@."
+                (match predicted @ st.Static.over_strong with
+                | [] -> "(none)"
+                | order -> String.concat ", " order);
+              ( predicted @ st.Static.over_strong,
+                fun s -> List.mem s predicted )
+        in
         let report =
-          Audit.run ~options ~site_filter
+          Audit.run ~options ~site_filter ~prioritize ~verdict_first
             ~log:(fun line -> Format.printf "%s@." line)
             ~probe:e.Libspec.key e.Libspec.scenarios
         in
@@ -764,26 +851,134 @@ let analyze_modes_cmd =
         Option.iter
           (fun f -> write_json ~tool:"analyze-modes" f (Audit.report_to_json report))
           json;
-        if report.Audit.baseline_ok then 0 else 1)
+        if not report.Audit.baseline_ok then 1
+        else
+          let _, over_strong, unknown, _ = Audit.counts report in
+          if strict && over_strong + unknown > 0 then 1 else 0)
   in
   let doc =
     "The mode-necessity audit: for every labeled atomic site (and fence) \
      the registered clients exercise, run strictly weaker mutants via mode overrides \
      and classify the site necessary (violation witnessed, with a \
      replayable counterexample script), over-strong (exploration \
-     exhausted with no violation), or unknown (budget ran out)."
+     exhausted with no violation), or unknown (budget ran out).  \
+     $(b,--prioritize=static) orders the audit by the static linter's \
+     prediction; $(b,--strict) exits nonzero on any over-strong or \
+     unknown verdict."
   in
   Cmd.v (Cmd.info "modes" ~doc)
     Term.(
       const run $ struct_arg $ execs $ jobs $ analyze_reduce $ site_arg
+      $ prioritize_arg $ strict_arg $ json_arg)
+
+let analyze_static_cmd =
+  let struct_opt_arg =
+    let doc =
+      Printf.sprintf "Structure to lint ($(b,compass specs) lists them): %s."
+        (String.concat ", "
+           (List.map (fun k -> Printf.sprintf "$(b,%s)" k) (Specreg.keys ())))
+    in
+    Arg.(value & opt (some string) None & info [ "struct" ] ~docv:"KEY" ~doc)
+  in
+  let all_arg =
+    let doc = "Lint every registered structure." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let weaken_arg =
+    let doc =
+      "Lint under a hypothetical weakening (repeatable): $(b,site=mode), \
+       the same specs $(b,compass replay --weaken) takes."
+    in
+    Arg.(value & opt_all string [] & info [ "weaken" ] ~docv:"SITE=MODE" ~doc)
+  in
+  let run struct_key all weaken strict json =
+    match Override.of_specs weaken with
+    | Error e ->
+        Format.eprintf "bad --weaken spec: %s@." e;
+        2
+    | Ok overrides -> (
+        let entries =
+          match (struct_key, all) with
+          | None, true -> Ok (Specreg.all ())
+          | Some k, false -> (
+              match Specreg.find k with
+              | Some e -> Ok [ e ]
+              | None ->
+                  Error
+                    (Printf.sprintf "unknown structure %s (try: %s)" k
+                       (String.concat ", " (Specreg.keys ()))))
+          | None, false | Some _, true ->
+              Error "pass exactly one of --struct KEY or --all"
+        in
+        match entries with
+        | Error msg ->
+            Format.eprintf "%s@." msg;
+            2
+        | Ok entries ->
+            let mismatched = ref [] in
+            let reports =
+              List.map
+                (fun (e : Libspec.entry) ->
+                  let r =
+                    Static.analyze ~overrides ~subject:e.Libspec.key
+                      e.Libspec.scenarios
+                  in
+                  Format.printf "%a@." Static.pp_report r;
+                  (* With an explicit [--weaken] the registry expectation
+                     does not apply — strict then simply demands a clean
+                     report. *)
+                  let ok =
+                    if Override.is_empty overrides then
+                      Static.clean r = not e.Libspec.expect_violation
+                    else Static.clean r
+                  in
+                  Format.printf "verdict: %s%s@.@."
+                    (if Static.clean r then "clean" else "flagged")
+                    (if ok then ""
+                     else if Override.is_empty overrides then
+                       Printf.sprintf " (expected %s)"
+                         (if e.Libspec.expect_violation then "flagged"
+                          else "clean")
+                     else "");
+                  if not ok then mismatched := e.Libspec.key :: !mismatched;
+                  Static.report_to_json r)
+                entries
+            in
+            Option.iter
+              (fun f ->
+                write_json ~tool:"analyze-static" f
+                  (J.Obj [ ("structures", J.List reports) ]))
+              json;
+            match List.rev !mismatched with
+            | [] -> 0
+            | keys ->
+                Format.eprintf "expectation mismatch: %s@."
+                  (String.concat ", " keys);
+                if strict then 1 else 0)
+  in
+  let doc =
+    "The static synchronization linter: evaluate a structure's registered \
+     clients symbolically over the Prog DSL (no exploration), extract the \
+     site/location access graph, and run the lint passes — publication \
+     safety, acquire pairing, relaxed-CAS-success misuse, non-atomic race \
+     candidates — plus a hypothetical-weakening pass splitting the \
+     labeled sites into predicted-necessary and over-strong candidates.  \
+     $(b,--strict) exits nonzero when a verdict contradicts the \
+     registry's expectation (expect-violation structures must be \
+     flagged, the rest clean)."
+  in
+  Cmd.v (Cmd.info "static" ~doc)
+    Term.(
+      const run $ struct_opt_arg $ all_arg $ weaken_arg $ strict_arg
       $ json_arg)
 
 let analyze_cmd =
   let doc =
-    "Synchronization analysis: per-site race detection and the \
-     mode-necessity audit."
+    "Synchronization analysis: per-site race detection, the \
+     mode-necessity audit, and the static linter."
   in
-  Cmd.group (Cmd.info "analyze" ~doc) [ analyze_races_cmd; analyze_modes_cmd ]
+  Cmd.group (Cmd.info "analyze" ~doc)
+    [ analyze_races_cmd; analyze_modes_cmd; analyze_static_cmd ]
 
 (* -- replay ------------------------------------------------------------------------ *)
 
@@ -862,6 +1057,40 @@ let replay_cmd =
               (String.concat ", " (Specreg.keys ()));
             2
         | Some sc ->
+            (* An override naming a site that does not exist would
+               silently replay unweakened; check the labels the static
+               analyzer discovers for the chosen probe first. *)
+            let valid_sites =
+              if Override.is_empty overrides then []
+              else
+                match probe with
+                | Some key -> (
+                    match Specreg.find key with
+                    | Some e -> List.map fst (Specreg.sites e)
+                    | None -> [])
+                | None ->
+                    List.map fst
+                      (Static.site_modes
+                         [ (fun () -> Mp.make factory (Mp.fresh_stats ())) ])
+            in
+            let unknown_sites =
+              Override.spec_strings overrides
+              |> List.filter_map (fun spec ->
+                     match String.index_opt spec '=' with
+                     | Some i ->
+                         let site = String.sub spec 0 i in
+                         if List.mem site valid_sites then None
+                         else Some site
+                     | None -> None)
+            in
+            if unknown_sites <> [] then begin
+              Format.eprintf
+                "unknown --weaken site(s): %s@.valid sites: %s@."
+                (String.concat ", " unknown_sites)
+                (String.concat ", " valid_sites);
+              2
+            end
+            else begin
             if not (Override.is_empty overrides) then
               Format.printf "weakened: %a@." Override.pp overrides;
             let config = { Machine.default_config with overrides } in
@@ -873,7 +1102,8 @@ let replay_cmd =
               | Explore.Violation s -> "VIOLATION: " ^ s
               | Explore.Discard s -> "discard: " ^ s)
               Trace.pp (Machine.trace m);
-            0)
+            0
+            end)
   in
   let doc =
     "Replay one execution from a decision script with full tracing — \

@@ -255,6 +255,10 @@ type report = {
   baseline_ok : bool;
   baseline_failure : Explore.failure option;
   sites : site_result list;
+  first_violation : (int * int) option;
+      (** (mutants run, executions spent) in run order up to and
+          including the first violating mutant — the cost-to-first-
+          verdict metric prioritization is benchmarked on *)
 }
 
 let counts r =
@@ -267,8 +271,16 @@ let counts r =
       | Minimal -> (n, o, u, m + 1))
     (0, 0, 0, 0) r.sites
 
+(* [prioritize] lists sites to audit first (in the given order — e.g. a
+   static analysis's predicted-necessary ranking); everything else keeps
+   discovery order.  [verdict_first] marks sites whose *weakest* mutant
+   (the verdict mutant) should run before the intermediate ones, so a
+   predicted-necessary site reaches its violation without first paying
+   for complete explorations of the stronger mutants.  Stored results
+   are re-sorted to the canonical strongest-first order either way. *)
 let run ?(options = default_options) ?(site_filter = fun _ -> true)
-    ?(log = fun _ -> ()) ~probe scenarios =
+    ?(prioritize = []) ?(verdict_first = fun _ -> false) ?(log = fun _ -> ())
+    ~probe scenarios =
   let scenario_names =
     List.map (fun mk -> (mk () : Explore.scenario).Explore.name) scenarios
   in
@@ -287,18 +299,44 @@ let run ?(options = default_options) ?(site_filter = fun _ -> true)
       None scenarios
   in
   let baseline_ok = baseline_failure = None in
+  let mutants_run = ref 0
+  and execs_run = ref 0
+  and first_violation = ref None in
+  let note_run m =
+    if !first_violation = None then begin
+      incr mutants_run;
+      execs_run := !execs_run + m.executions;
+      match m.outcome with
+      | Violated _ -> first_violation := Some (!mutants_run, !execs_run)
+      | _ -> ()
+    end
+  in
+  let reorder discovered =
+    let keyed = List.map (fun ((s, _) as e) -> (s, e)) discovered in
+    let front = List.filter_map (fun s -> List.assoc_opt s keyed) prioritize in
+    front
+    @ List.filter (fun (s, _) -> not (List.mem s prioritize)) discovered
+  in
   let sites =
     if not baseline_ok then []
     else
       discover ~execs:options.discover_execs scenarios
       |> List.filter (fun (s, _) -> site_filter s)
+      |> reorder
       |> List.map (fun (site, kind) ->
              log (Printf.sprintf "auditing %s (%s)" site (kind_to_string kind));
-             let mutants =
+             let ws = weakenings kind in
+             let reversed = verdict_first site in
+             let run_order = if reversed then List.rev ws else ws in
+             let results =
                List.map
-                 (fun w -> run_mutant options scenarios site w)
-                 (weakenings kind)
+                 (fun w ->
+                   let m = run_mutant options scenarios site w in
+                   note_run m;
+                   m)
+                 run_order
              in
+             let mutants = if reversed then List.rev results else results in
              let verdict, weakest_safe = classify mutants in
              log
                (Printf.sprintf "  -> %s" (verdict_to_string verdict));
@@ -311,6 +349,7 @@ let run ?(options = default_options) ?(site_filter = fun _ -> true)
     baseline_ok;
     baseline_failure;
     sites;
+    first_violation = !first_violation;
   }
 
 (* -- rendering ---------------------------------------------------------------- *)
@@ -368,7 +407,12 @@ let pp_report ppf r =
     let n, o, u, m = counts r in
     Format.fprintf ppf
       "@ %d sites audited: %d necessary, %d over-strong, %d unknown, %d minimal@ "
-      (List.length r.sites) n o u m
+      (List.length r.sites) n o u m;
+    match r.first_violation with
+    | Some (mc, ec) ->
+        Format.fprintf ppf
+          "first violation reached after %d mutant(s), %d executions@ " mc ec
+    | None -> ()
   end;
   Format.fprintf ppf "@]"
 
@@ -390,6 +434,12 @@ let report_to_json r =
       ("clients", Jsonout.str_list r.scenario_names);
       ("budget", Jsonout.Int r.budget);
       ("baseline_ok", Jsonout.Bool r.baseline_ok);
+      ( "first_violation",
+        Jsonout.opt
+          (fun (mc, ec) ->
+            Jsonout.Obj
+              [ ("mutants", Jsonout.Int mc); ("executions", Jsonout.Int ec) ])
+          r.first_violation );
       ( "baseline_failure",
         Jsonout.opt
           (fun (f : Explore.failure) ->

@@ -85,6 +85,10 @@ type report = {
           meaningless otherwise, and no sites are audited *)
   baseline_failure : Explore.failure option;
   sites : site_result list;
+  first_violation : (int * int) option;
+      (** (mutants run, executions spent) in run order up to and
+          including the first violating mutant — the cost-to-first-
+          verdict metric audit prioritization is measured on *)
 }
 
 val counts : report -> int * int * int * int
@@ -93,10 +97,17 @@ val counts : report -> int * int * int * int
 val run :
   ?options:options ->
   ?site_filter:(string -> bool) ->
+  ?prioritize:string list ->
+  ?verdict_first:(string -> bool) ->
   ?log:(string -> unit) ->
   probe:string ->
   (unit -> Explore.scenario) list ->
   report
+(** [prioritize] lists sites to audit first, in the given order (e.g.
+    {!Compass_static}'s predicted-necessary ranking); the rest keep
+    discovery order.  [verdict_first] marks sites whose weakest (verdict)
+    mutant runs before the intermediate ones; stored [mutants] stay in
+    canonical strongest-first order regardless. *)
 
 val pp_report : Format.formatter -> report -> unit
 val report_to_json : report -> Jsonout.t

@@ -212,6 +212,20 @@ let keys () = ensure (); Libspec.keys ()
 
 let scenario (e : Libspec.entry) i = List.nth_opt e.Libspec.scenarios i
 
+(* Site metadata comes from the static analyzer's symbolic discovery —
+   no exploration, no execution budget — and is memoized per key: the
+   CLI asks for it both when emitting [specs --json] and when validating
+   [replay --weaken] site labels. *)
+let site_table : (string, (string * string) list) Hashtbl.t = Hashtbl.create 8
+
+let sites (e : Libspec.entry) =
+  match Hashtbl.find_opt site_table e.Libspec.key with
+  | Some s -> s
+  | None ->
+      let s = Compass_static.Static.site_modes e.Libspec.scenarios in
+      Hashtbl.replace site_table e.Libspec.key s;
+      s
+
 let spec_factory (e : Libspec.entry) =
   if not e.Libspec.refinable then
     invalid_arg (Printf.sprintf "structure %s is not refinable" e.Libspec.key);

@@ -141,6 +141,10 @@ type t = {
   mutable snap_cache : snapshot option;
       (** last snapshot taken or restored; {!snapshot} reuses its
           per-thread records when a thread hasn't changed *)
+  mutable spawned : Value.t Prog.t list;
+      (** the initial thread programs as passed to {!spawn}, before any
+          execution consumed them — the static analyzer's entry point
+          into a built scenario.  Not snapshotted: set once per build. *)
 }
 
 let create ?(config = default_config) () =
@@ -160,6 +164,7 @@ let create ?(config = default_config) () =
     dpor_log = [];
     run_deadline = max_int;
     snap_cache = None;
+    spawned = [];
   }
 
 let registry m = m.reg
@@ -559,11 +564,14 @@ let alloc m ?init ~name size =
   |> Value.to_loc_exn
 
 let spawn m progs =
+  m.spawned <- progs;
   m.threads <-
     Array.of_list
       (List.mapi
          (fun i prog -> { tid = i; prog; tv = m.setup_tv; finished = None })
          progs)
+
+let spawned_progs m = m.spawned
 
 let thread_view m tid = m.threads.(tid).tv
 

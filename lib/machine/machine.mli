@@ -89,6 +89,11 @@ val alloc : t -> ?init:Value.t -> name:string -> int -> Loc.t
 val spawn : t -> Value.t Prog.t list -> unit
 (** install the concurrent threads, each starting from the setup view *)
 
+val spawned_progs : t -> Value.t Prog.t list
+(** the thread programs as handed to {!spawn} (thread [i]'s tid is [i]),
+    before any execution consumed them — how the static analyzer
+    ({!Compass_static}) gets at a built scenario's program terms *)
+
 val thread_view : t -> int -> Tview.t
 
 val prime : t -> unit

@@ -149,6 +149,17 @@ let sat_nth mem l ~from ~sat n = History.sat_nth (hist mem l) ~from ~sat n
 let latest mem l = History.latest (hist mem l)
 let max_ts mem l = History.max_ts (hist mem l)
 
+(* Iterate the mo-maximal value of every allocated cell — the static
+   analyzer seeds its abstract store from a built machine's memory this
+   way (after setup, "latest" is simply "the setup's write"). *)
+let iter_latest mem f =
+  for base = 0 to mem.n_blocks - 1 do
+    for off = 0 to mem.block_size.(base) - 1 do
+      let l = Loc.make ~base ~off in
+      f l !(latest mem l).Msg.value
+    done
+  done
+
 (* The [`Append] policy admits exactly one fresh timestamp: one past the
    end — computed without consing the singleton choice list. *)
 let append_ts mem l ~above = Timestamp.max (max_ts mem l) above + 1

@@ -68,6 +68,11 @@ val append_ts : t -> Loc.t -> above:Timestamp.t -> Timestamp.t
 val latest : t -> Loc.t -> Msg.t ref
 val max_ts : t -> Loc.t -> Timestamp.t
 
+val iter_latest : t -> (Loc.t -> Value.t -> unit) -> unit
+(** apply [f] to every allocated cell and its mo-maximal value — how the
+    static analyzer seeds its abstract store from a freshly built
+    machine (post-setup, pre-run) *)
+
 val na_check : t -> Loc.t -> tv:Tview.t -> tid:int -> kind:string -> Msg.t ref
 (** non-atomic access check: the thread must have observed the mo-maximal
     write, else the access races (ORC11 undefined behaviour, detected).

@@ -1,0 +1,35 @@
+open Compass_machine
+
+(** Lint passes over symbolic paths ({!Sym}).
+
+    [Defect] findings (publication, acquire-pairing, relaxed-CAS-success)
+    must be empty for every correct structure at declared modes;
+    [Candidate] findings (na-race pairs) over-approximate and are held
+    to soundness only: they must contain every dynamically detected race
+    pair (the differential harness). *)
+
+type severity = Defect | Candidate
+
+val severity_to_string : severity -> string
+
+type finding = {
+  lint : string;
+  severity : severity;
+  site : string;
+  partner : string option;
+  scenario : string;
+  detail : string;
+}
+
+val fkey : finding -> string * string * string option
+(** identity for dedup / base-vs-hypothesis comparison (scenario-blind) *)
+
+val run :
+  ?hyp:Override.t ->
+  ?with_candidates:bool ->
+  scenario:string ->
+  Sym.path list ->
+  finding list
+(** all passes under hypothetical override [hyp] (defaults to declared
+    modes); [with_candidates:false] skips the na-race pass (hypothesis
+    runs only need defects) *)

@@ -1,0 +1,35 @@
+open Compass_rmc
+
+(** The static access-site graph: sites (with their strongest observed
+    mode, threads, canonical locations and read/write polarity) plus
+    same-location may-alias edges between them. *)
+
+type kind = KAccess of Mode.access | KFence of Mode.fence
+
+val kind_to_string : kind -> string
+
+type site = {
+  key : string;
+  kind : kind;  (** strongest mode observed at the site *)
+  labeled : bool;  (** an instrumented label, not an unlabeled fallback *)
+  tids : int list;  (** sorted *)
+  locs : string list;  (** canonical location names, sorted *)
+  reads : bool;
+  writes : bool;
+}
+
+type edge = {
+  a : string;
+  b : string;
+  loc : string;  (** the shared canonical location *)
+  cross_thread : bool;  (** observed from distinct threads *)
+}
+
+type t = { sites : site list; edges : edge list }
+
+val build : Sym.path list -> t
+(** sites in first-seen order across the given paths *)
+
+val labeled_modes : t -> (string * string) list
+(** labeled sites with their declared mode strings — the per-structure
+    site metadata [compass specs --json] cross-links by *)

@@ -27,6 +27,7 @@ let () =
       ("rc11", Test_rc11.suite);
       ("registry", Test_registry.suite);
       ("analysis", Test_analysis.suite);
+      ("static", Test_static.suite);
       ("prefix", Test_prefix.suite);
       ("dstruct", Test_dstruct.suite);
       ("clients", Test_clients.suite);
