@@ -858,6 +858,194 @@ let bench_static ~check =
         Format.printf "static-smoke FAILED on: %s@." (String.concat ", " l);
         exit 1
 
+(* -- simulation-refinement ledger (BENCH_sim.json) ---------------------------- *)
+
+(* The cost profile of [compass sim]: per structure, how many executions
+   the most-general-client family needs and how much the commit-point
+   assignment search adds on top ([sim_states] per execution ~ the
+   search's branching), plus time-to-witness on the checked-in broken
+   fixture (ms-weak, [--until-violation] + shrink).  [--check] gates the
+   verdicts: every correct structure must simulate, ms-weak must break
+   with a localised witness. *)
+let bench_sim ~quick ~check =
+  let depth = if quick then 1 else 2 in
+  let max_execs = if quick then 20_000 else 100_000 in
+  (* Each structure is gated at the deepest MGC depth it simulates at.  The
+     weak Herlihy-Wing variant is gated at depth 1: at depth 2 the client
+     [ir|ir] exposes its weak empty dequeue (a fruitless scan bounded by a
+     stale relaxed read of [back]) as a genuine LAThist-level break — the
+     registry ladder's Hist:sat only covers the registered workloads, none
+     of which run an enqueue and a dequeue on the same thread.  The break
+     is pinned as an expected finding below rather than averaged away. *)
+  let sim_structs =
+    [ ("ms", depth); ("treiber", depth); ("hw", 1); ("lock-queue", depth) ]
+  in
+  let entry key =
+    match Specreg.find key with
+    | Some e -> e
+    | None -> failwith ("no registered structure: " ^ key)
+  in
+  let wrong = ref [] in
+  let rows =
+    List.map
+      (fun (key, depth) ->
+        let e = entry key in
+        let options =
+          { Compass_sim.Sim.default_options with mgc_depth = depth; max_execs }
+        in
+        let r, t, _, _ =
+          time_gc (fun () -> Compass_sim.Sim.run ~options e)
+        in
+        Format.printf
+          "sim %-12s depth %d: %3d clients, %7d executions, %8d search \
+           states, %6.2fs  %s@."
+          key depth r.Compass_sim.Sim.clients_run r.Compass_sim.Sim.executions
+          r.Compass_sim.Sim.sim_states t
+          (if r.Compass_sim.Sim.ok then "SIMULATES" else "BREAKS");
+        if not r.Compass_sim.Sim.ok then wrong := key :: !wrong;
+        ( key,
+          Jsonout.Obj
+            [
+              ("struct", Jsonout.Str key);
+              ("mgc_depth", Jsonout.Int depth);
+              ("clients", Jsonout.Int r.Compass_sim.Sim.clients_run);
+              ("executions", Jsonout.Int r.Compass_sim.Sim.executions);
+              ("sim_states", Jsonout.Int r.Compass_sim.Sim.sim_states);
+              ("seconds", Jsonout.Float t);
+              ("ok", Jsonout.Bool r.Compass_sim.Sim.ok);
+              ("complete", Jsonout.Bool r.Compass_sim.Sim.complete);
+            ] ))
+      sim_structs
+  in
+  (* Pinned finding (full mode): hw at depth 2 must BREAK on the weak empty
+     dequeue.  Run with the breaking client only so the row measures
+     time-to-witness, not the whole 136-client family. *)
+  let hw_depth2 =
+    if quick then None
+    else begin
+      let options =
+        {
+          Compass_sim.Sim.default_options with
+          mgc_depth = 2;
+          max_execs;
+          until_violation = true;
+          only_client = Some "ir|ir";
+        }
+      in
+      let r, t, _, _ =
+        time_gc (fun () -> Compass_sim.Sim.run ~options (entry "hw"))
+      in
+      Format.printf
+        "sim %-12s depth 2: client ir|ir — %s in %.2fs (weak empty dequeue, \
+         expected)@."
+        "hw"
+        (if r.Compass_sim.Sim.ok then "SIMULATES" else "BREAKS")
+        t;
+      Some (r, t)
+    end
+  in
+  (* Time-to-witness on the broken fixture: stop at the first breaking
+     client, shrink, localise. *)
+  let weak = entry "ms-weak" in
+  let options =
+    {
+      Compass_sim.Sim.default_options with
+      mgc_depth = depth;
+      max_execs;
+      until_violation = true;
+    }
+  in
+  let wr, wt, _, _ =
+    time_gc (fun () -> Compass_sim.Sim.run ~options weak)
+  in
+  let witness_ok =
+    match wr.Compass_sim.Sim.witness with
+    | Some w -> w.Compass_sim.Sim.w_detail <> None
+    | None -> false
+  in
+  Format.printf
+    "sim %-12s depth %d: time-to-witness %.2fs over %d executions — %s@."
+    "ms-weak" depth wt wr.Compass_sim.Sim.executions
+    (match wr.Compass_sim.Sim.witness with
+    | Some w ->
+        Printf.sprintf "witness on client %s (%d shrink replays%s)"
+          w.Compass_sim.Sim.w_client w.Compass_sim.Sim.w_replays
+          (if witness_ok then ", localised" else ", NO break detail")
+    | None -> "NO WITNESS");
+  let json =
+    Jsonout.Obj
+      [
+        ("mgc_depth", Jsonout.Int depth);
+        ("structures", Jsonout.List (List.map snd rows));
+        ( "hw_depth2",
+          match hw_depth2 with
+          | None -> Jsonout.Null
+          | Some (r, t) ->
+              Jsonout.Obj
+                [
+                  ("client", Jsonout.Str "ir|ir");
+                  ("breaks", Jsonout.Bool (not r.Compass_sim.Sim.ok));
+                  ("executions", Jsonout.Int r.Compass_sim.Sim.executions);
+                  ("time_to_witness_s", Jsonout.Float t);
+                  ( "note",
+                    Jsonout.Str
+                      "weak empty dequeue: fruitless scan bounded by a stale \
+                       relaxed back read; genuine LAThist-level break, see \
+                       DESIGN.md" );
+                ] );
+        ( "ms_weak",
+          Jsonout.Obj
+            [
+              ("executions", Jsonout.Int wr.Compass_sim.Sim.executions);
+              ("time_to_witness_s", Jsonout.Float wt);
+              ("ok", Jsonout.Bool wr.Compass_sim.Sim.ok);
+              ( "witness",
+                match wr.Compass_sim.Sim.witness with
+                | None -> Jsonout.Null
+                | Some w ->
+                    Jsonout.Obj
+                      [
+                        ("client", Jsonout.Str w.Compass_sim.Sim.w_client);
+                        ("message", Jsonout.Str w.Compass_sim.Sim.w_message);
+                        ( "shrink_replays",
+                          Jsonout.Int w.Compass_sim.Sim.w_replays );
+                        ("localised", Jsonout.Bool witness_ok);
+                      ] );
+            ] );
+      ]
+  in
+  write_json_file "BENCH_sim.json" json;
+  if check then begin
+    if !wrong <> [] then begin
+      Format.printf "sim-smoke FAILED: should simulate but break: %s@."
+        (String.concat ", " (List.rev !wrong));
+      exit 1
+    end;
+    if wr.Compass_sim.Sim.ok then begin
+      Format.printf
+        "sim-smoke FAILED: ms-weak simulates but the registry expects a \
+         violation@.";
+      exit 1
+    end;
+    if not witness_ok then begin
+      Format.printf
+        "sim-smoke FAILED: ms-weak witness is missing or not localised to \
+         a break step@.";
+      exit 1
+    end;
+    (match hw_depth2 with
+    | Some (r, _) when r.Compass_sim.Sim.ok ->
+        Format.printf
+          "sim-smoke FAILED: hw simulates at depth 2 on ir|ir — the weak \
+           empty dequeue finding disappeared@.";
+        exit 1
+    | _ -> ());
+    Format.printf
+      "sim-smoke: %d structures simulate, ms-weak breaks with a localised \
+       witness in %.2fs@."
+      (List.length sim_structs) wt
+  end
+
 (* -- driver ------------------------------------------------------------------- *)
 
 let bench_bechamel () =
@@ -905,4 +1093,7 @@ let () =
       ~check:(List.mem "--check" argv)
   else if List.mem "--static" argv then
     bench_static ~check:(List.mem "--check" argv)
+  else if List.mem "--sim" argv then
+    bench_sim ~quick:(List.mem "--quick" argv)
+      ~check:(List.mem "--check" argv)
   else bench_bechamel ()

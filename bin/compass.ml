@@ -5,7 +5,10 @@
      compass client (mp / mp-weak / spsc / pipeline / resource / es) [--queue ms/hw]
      compass specs [--json FILE]
      compass check --struct KEY [--style STYLE]   (or legacy: check ms/hw/treiber/es)
-     compass refine --struct KEY [--json FILE] [--expect-violation]
+     compass refine --struct KEY [--method outcomes/simulation] [--strict]
+                    [--json FILE] [--expect-violation]
+     compass sim (--struct KEY / --all) [--client ID] [--mgc-depth D]
+                 [--until-violation] [--strict] [--json FILE]
      compass matrix
      compass dot (ms / hw / treiber / es / exchanger / chaselev)
      compass axioms
@@ -15,7 +18,7 @@
      compass analyze static (--struct KEY / --all) [--weaken SITE=MODE]
                             [--strict] [--json FILE]
      compass replay [--script N,N,...] [--weaken SITE=MODE] [--struct KEY]
-                    [--refine-client I]
+                    [--refine-client I] [--sim-client ID [--mgc-depth D]]
      compass fuzz --struct KEY [--mode uniform/pct/guided]
                   [--pct-depth D] [--execs N] [--seed S] [--jobs N]
                   [--corpus FILE] [--json FILE] [--expect-violation]
@@ -42,6 +45,7 @@ open Compass_clients
 open Compass_analysis
 module Fz = Compass_fuzz
 module Static = Compass_static.Static
+module Sim = Compass_sim.Sim
 module J = Compass_util.Jsonout
 
 (* -- shared arguments --------------------------------------------------------- *)
@@ -197,6 +201,25 @@ let with_entry key f =
       Format.eprintf "unknown structure %s (try: %s)@." key
         (String.concat ", " (Specreg.keys ()));
       2
+
+(* CI gate: [--strict] turns findings into a nonzero exit, not just
+   internal errors (race pairs for [analyze races], over-strong/unknown
+   verdicts for [modes], expectation mismatches for [static], registry
+   expectation mismatches for [refine]/[sim]). *)
+let strict_arg =
+  let doc =
+    "Strict exit code: exit nonzero on any finding or expectation \
+     mismatch, not only on errors — for CI gates."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let mgc_depth_arg =
+  let doc =
+    "Most-general-client enumeration bound: per-thread operation \
+     sequences up to $(docv) requests (with every release/acquire \
+     flag-handoff position)."
+  in
+  Arg.(value & opt int 2 & info [ "mgc-depth" ] ~docv:"D" ~doc)
 
 (* -- litmus -------------------------------------------------------------------- *)
 
@@ -542,46 +565,241 @@ let refine_cmd =
     in
     Arg.(value & flag & info [ "expect-violation" ] ~doc)
   in
-  let run struct_key execs jobs reduce json expect =
+  let method_arg =
+    let doc =
+      "Refinement method: $(b,outcomes) (per-client outcome inclusion in \
+       the exhaustively explored spec object) or $(b,simulation) \
+       (stepwise forward simulation over most-general clients — \
+       strictly stronger; see $(b,compass sim))."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("outcomes", `Outcomes); ("simulation", `Simulation) ])
+          `Outcomes
+      & info [ "method" ] ~docv:"METHOD" ~doc)
+  in
+  (* Exit-code policy shared with [compass sim]: [--strict] compares the
+     verdict against the registry's [expect_violation] expectation (like
+     [analyze static]), so checked-in broken fixtures gate as green when
+     they do fail. *)
+  let exit_code ~strict ~expect ~expect_violation ok =
+    if strict then if ok <> expect_violation then 0 else 1
+    else if expect then if ok then 1 else 0
+    else if ok then 0
+    else 1
+  in
+  let run struct_key execs jobs reduce meth depth strict json expect =
     with_entry struct_key (fun e ->
         if not e.Libspec.refinable then begin
           Format.eprintf "structure %s is not refinable@." struct_key;
           2
         end
-        else begin
-          let options =
-            { Refine.default_options with max_execs = execs; jobs; reduce }
-          in
-          let r = Refine.run ~options e in
-          Format.printf "%a@." Refine.pp r;
-          (match r.Refine.counterexample with
-          | Some (i, f) ->
-              Format.printf
-                "replay it: compass replay --struct %s --refine-client %d \
-                 --script %s@."
-                struct_key i
-                (String.concat ","
-                   (List.map string_of_int (Array.to_list f.Explore.script)))
-          | None -> ());
-          Option.iter
-            (fun file -> write_json ~tool:"refine" file (Refine.to_json r))
-            json;
-          if expect then if r.Refine.ok then 1 else 0
-          else if r.Refine.ok then 0
-          else 1
-        end)
+        else
+          match meth with
+          | `Outcomes ->
+              let options =
+                { Refine.default_options with max_execs = execs; jobs; reduce }
+              in
+              let r = Refine.run ~options e in
+              Format.printf "%a@." Refine.pp r;
+              (match r.Refine.counterexample with
+              | Some (i, f) ->
+                  Format.printf
+                    "replay it: compass replay --struct %s --refine-client %d \
+                     --script %s@."
+                    struct_key i
+                    (String.concat ","
+                       (List.map string_of_int
+                          (Array.to_list f.Explore.script)))
+              | None -> ());
+              Option.iter
+                (fun file ->
+                  write_json ~tool:"refine" file (Refine.to_json r))
+                json;
+              exit_code ~strict ~expect
+                ~expect_violation:e.Libspec.expect_violation r.Refine.ok
+          | `Simulation ->
+              let options =
+                {
+                  Sim.default_options with
+                  mgc_depth = depth;
+                  max_execs = execs;
+                  jobs;
+                  reduce;
+                }
+              in
+              let r = Sim.run ~options e in
+              Format.printf "%a@." Sim.pp r;
+              (match r.Sim.witness with
+              | Some w ->
+                  Format.printf
+                    "replay it: compass replay --struct %s --sim-client %s \
+                     --script %s@."
+                    struct_key w.Sim.w_client
+                    (String.concat ","
+                       (List.map string_of_int (Array.to_list w.Sim.w_script)))
+              | None -> ());
+              Option.iter
+                (fun file -> write_json ~tool:"refine" file (Sim.to_json r))
+                json;
+              exit_code ~strict ~expect
+                ~expect_violation:e.Libspec.expect_violation r.Sim.ok)
   in
   let doc =
     "Check refinement of an implementation against its spec object \
-     (spec-as-implementation): for each observation client, every \
-     implementation outcome must be admitted by the exhaustively explored \
-     spec object, and no execution may fault.  Violations come with \
-     replayable counterexample scripts."
+     (spec-as-implementation).  $(b,--method=outcomes): for each \
+     observation client, every implementation outcome must be admitted \
+     by the exhaustively explored spec object, and no execution may \
+     fault.  $(b,--method=simulation): stepwise forward simulation over \
+     generated most-general clients.  Violations come with replayable \
+     counterexample scripts; $(b,--strict) gates against the registry's \
+     expectation."
   in
   Cmd.v (Cmd.info "refine" ~doc)
     Term.(
-      const run $ struct_arg $ execs $ jobs $ reduce $ json_arg
-      $ expect_violation)
+      const run $ struct_arg $ execs $ jobs $ reduce $ method_arg
+      $ mgc_depth_arg $ strict_arg $ json_arg $ expect_violation)
+
+(* -- sim ------------------------------------------------------------------------ *)
+
+let sim_cmd =
+  let struct_opt_arg =
+    let doc = "Check one registered structure ($(b,compass specs) lists them)." in
+    Arg.(value & opt (some string) None & info [ "struct" ] ~docv:"KEY" ~doc)
+  in
+  let all_arg =
+    let doc = "Check every refinable registered structure." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let client_arg =
+    let doc =
+      "Restrict to one generated client id (e.g. $(b,ii|r+h2.1)) instead \
+       of the whole family."
+    in
+    Arg.(value & opt (some string) None & info [ "client" ] ~docv:"ID" ~doc)
+  in
+  let until_arg =
+    let doc =
+      "Stop at the first breaking client (time-to-witness mode)."
+    in
+    Arg.(value & flag & info [ "until-violation" ] ~doc)
+  in
+  (* Like the analyzers, simulation defaults to sleep-set reduction: the
+     verdict is reduction-invariant (it only reads event graphs, which
+     reductions preserve per Mazurkiewicz trace), so reduction is pure
+     speedup. *)
+  let sim_reduce =
+    let doc =
+      "Partial-order reduction (default $(b,sleep); $(b,dpor) switches \
+       to source-DPOR, $(b,--reduce=none) explores the full tree).  \
+       Simulation verdicts are invariant under all three."
+    in
+    Arg.(
+      value
+      & opt ~vopt:Machine.RSleep reduction_conv Machine.RSleep
+      & info [ "reduce" ] ~docv:"RED" ~doc)
+  in
+  let sim_execs =
+    let doc = "Exploration budget per generated client." in
+    Arg.(value & opt int 50_000 & info [ "execs"; "e" ] ~docv:"N" ~doc)
+  in
+  let run struct_opt all client depth execs jobs reduce incremental until
+      strict json =
+    let entries =
+      match (struct_opt, all) with
+      | Some key, false -> (
+          match Specreg.find key with
+          | Some e -> Ok [ e ]
+          | None -> Error key)
+      | None, true ->
+          Ok (List.filter (fun e -> e.Libspec.refinable) (Specreg.all ()))
+      | Some _, true -> Error "--struct and --all are exclusive"
+      | None, false -> Error "one of --struct or --all is required"
+    in
+    match entries with
+    | Error what ->
+        Format.eprintf "compass sim: %s (try: %s)@." what
+          (String.concat ", " (Specreg.keys ()));
+        2
+    | Ok entries ->
+        let options =
+          {
+            Sim.default_options with
+            mgc_depth = depth;
+            max_execs = execs;
+            jobs;
+            reduce;
+            incremental;
+            until_violation = until;
+            only_client = client;
+          }
+        in
+        let code = ref 0 in
+        let reports =
+          List.map
+            (fun (e : Libspec.entry) ->
+              if not e.Libspec.refinable then begin
+                Format.eprintf "structure %s is not refinable@."
+                  e.Libspec.key;
+                code := 2;
+                None
+              end
+              else begin
+                let r = Sim.run ~options e in
+                Format.printf "%a@." Sim.pp r;
+                (match r.Sim.witness with
+                | Some w ->
+                    Format.printf
+                      "replay it: compass replay --struct %s --sim-client \
+                       %s --mgc-depth %d --script %s@."
+                      e.Libspec.key w.Sim.w_client depth
+                      (String.concat ","
+                         (List.map string_of_int
+                            (Array.to_list w.Sim.w_script)))
+                | None -> ());
+                let bad =
+                  if strict then r.Sim.ok = e.Libspec.expect_violation
+                  else not r.Sim.ok
+                in
+                if bad && !code = 0 then code := 1;
+                if strict && bad then
+                  Format.printf
+                    "EXPECTATION MISMATCH: %s %s but the registry expects \
+                     %s@."
+                    e.Libspec.key
+                    (if r.Sim.ok then "simulates" else "breaks")
+                    (if e.Libspec.expect_violation then "a violation"
+                     else "success");
+                Some r
+              end)
+            entries
+          |> List.filter_map Fun.id
+        in
+        Option.iter
+          (fun file ->
+            let json =
+              match reports with
+              | [ r ] -> Sim.to_json r
+              | rs -> J.Obj [ ("structures", J.List (List.map Sim.to_json rs)) ]
+            in
+            write_json ~tool:"sim" file json)
+          json;
+        !code
+  in
+  let doc =
+    "Forward-simulation refinement over most-general clients: enumerate \
+     the observationally complete two-thread client family from the \
+     structure's op signature, exhaustively explore each client, and \
+     match every execution's commit points against the spec object's \
+     labelled transitions under the view-aware abstraction relation.  A \
+     failure yields a shrunk, replayable witness naming the exact commit \
+     point (or faulting step) where the abstraction relation breaks."
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(
+      const run $ struct_opt_arg $ all_arg $ client_arg $ mgc_depth_arg
+      $ sim_execs $ jobs $ sim_reduce $ incremental $ until_arg
+      $ strict_arg $ json_arg)
 
 (* -- matrix --------------------------------------------------------------------- *)
 
@@ -750,16 +968,6 @@ let contains ~sub s =
   let n = String.length sub and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
-
-(* CI gate: [--strict] turns findings into a nonzero exit, not just
-   internal errors (race pairs for [races], over-strong/unknown verdicts
-   for [modes], expectation mismatches for [static]). *)
-let strict_arg =
-  let doc =
-    "Strict exit code: exit nonzero on any finding, not only on \
-     errors — for CI gates."
-  in
-  Arg.(value & flag & info [ "strict" ] ~doc)
 
 let analyze_races_cmd =
   let run struct_key execs reduce incremental stride strict json =
@@ -1024,7 +1232,19 @@ let replay_cmd =
     Arg.(
       value & opt (some int) None & info [ "refine-client" ] ~docv:"I" ~doc)
   in
-  let run factory script_str weaken probe scenario_idx refine_client =
+  let sim_client_arg =
+    let doc =
+      "Replay against the generated most-general client $(docv) (judged \
+       by the forward-simulation relation) — for $(b,compass sim) \
+       witnesses; $(b,--mgc-depth) must cover the id."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sim-client" ] ~docv:"ID" ~doc)
+  in
+  let run factory script_str weaken probe scenario_idx refine_client
+      sim_client mgc_depth =
     let script =
       if script_str = "" then [||]
       else
@@ -1037,13 +1257,17 @@ let replay_cmd =
         2
     | Ok overrides -> (
         let sc =
-          match (probe, refine_client) with
-          | None, _ -> Some (Mp.make factory (Mp.fresh_stats ()))
-          | Some key, Some i -> (
+          match (probe, refine_client, sim_client) with
+          | None, _, _ -> Some (Mp.make factory (Mp.fresh_stats ()))
+          | Some key, _, Some id -> (
+              match Specreg.find key with
+              | Some e -> Sim.client_scenario ~depth:mgc_depth e id
+              | None -> None)
+          | Some key, Some i, None -> (
               match Specreg.find key with
               | Some e -> Refine.client_scenario e i
               | None -> None)
-          | Some key, None -> (
+          | Some key, None, None -> (
               match Specreg.find key with
               | Some e -> (
                   match Specreg.scenario e scenario_idx with
@@ -1114,7 +1338,7 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
       const run $ queue_arg $ script_arg $ weaken_arg $ probe_arg
-      $ scenario_arg $ refine_client_arg)
+      $ scenario_arg $ refine_client_arg $ sim_client_arg $ mgc_depth_arg)
 
 (* -- fuzz ---------------------------------------------------------------------- *)
 
@@ -1384,6 +1608,6 @@ let () =
        (Cmd.group info
           [
             litmus_cmd; client_cmd; specs_cmd; check_cmd; refine_cmd;
-            matrix_cmd; dot_cmd; axioms_cmd; analyze_cmd; replay_cmd;
-            fuzz_cmd; shrink_cmd; report_cmd;
+            sim_cmd; matrix_cmd; dot_cmd; axioms_cmd; analyze_cmd;
+            replay_cmd; fuzz_cmd; shrink_cmd; report_cmd;
           ]))

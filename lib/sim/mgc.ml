@@ -1,0 +1,151 @@
+open Compass_rmc
+open Compass_event
+open Compass_machine
+open Compass_spec
+open Compass_dstruct
+open Compass_clients
+
+(* Most-general-client enumeration and instantiation: see mgc.mli. *)
+
+type op = Ins | Rem
+
+type client = {
+  id : string;
+  threads : op list array;
+  handoff : (int * int) option;
+}
+
+let op_char = function Ins -> 'i' | Rem -> 'r'
+
+let seq_string ops = String.init (List.length ops) (fun i -> op_char (List.nth ops i))
+
+let id_of threads handoff =
+  let body =
+    String.concat "|" (List.map seq_string (Array.to_list threads))
+  in
+  match handoff with
+  | None -> body
+  | Some (p, q) -> Printf.sprintf "%s+h%d.%d" body p q
+
+(* All non-empty op sequences of length <= depth, shortest first. *)
+let seqs depth =
+  let rec of_len l =
+    if l = 0 then [ [] ]
+    else
+      List.concat_map (fun rest -> [ Ins :: rest; Rem :: rest ]) (of_len (l - 1))
+  in
+  List.concat_map of_len (List.init depth (fun i -> i + 1))
+
+let range n = List.init n (fun i -> i + 1)
+
+let generate ~depth () =
+  let ss = seqs depth in
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b ->
+          let threads = [| a; b |] in
+          let mk handoff = { id = id_of threads handoff; threads; handoff } in
+          mk None
+          :: List.concat_map
+               (fun p -> List.map (fun q -> mk (Some (p, q))) (range (List.length b)))
+               (range (List.length a)))
+        ss)
+    ss
+
+let find ~depth id =
+  List.find_opt (fun c -> c.id = id) (generate ~depth ())
+
+(* -- instantiation ------------------------------------------------------------ *)
+
+(* Per-thread request interpreters over the entry's implementation.  The
+   interpreter returns one [unit Prog.t] per request; requests are
+   sequenced in order, with the handoff flag woven in by [build]. *)
+
+let ops_of (e : Libspec.entry) (m : Machine.t) :
+    (int -> int -> op -> unit Prog.t) * Graph.t =
+  match e.Libspec.impl with
+  | Specreg.Queue f ->
+      let q = f.Iface.make_queue m ~name:"q" in
+      ( (fun tid i -> function
+          | Ins -> q.Iface.enq (Harness.val_of ~tid ~i)
+          | Rem -> Prog.bind (q.Iface.deq ()) (fun _ -> Prog.return ())),
+        q.Iface.q_graph )
+  | Specreg.Stack f ->
+      let s = f.Iface.make_stack m ~name:"s" in
+      ( (fun tid i -> function
+          | Ins -> s.Iface.push (Harness.val_of ~tid ~i)
+          | Rem -> Prog.bind (s.Iface.pop ()) (fun _ -> Prog.return ())),
+        s.Iface.s_graph )
+  | _ -> (
+      (* Entries without a generic factory: construct directly from the
+         spec's op signature, so the generator covers the whole
+         registry. *)
+      match e.Libspec.spec.Libspec.kind with
+      | Some Libspec.Deque ->
+          let t = Chaselev.create m ~name:"d" in
+          ( (fun tid i -> function
+              | Ins when tid = 0 -> Chaselev.push t (Harness.val_of ~tid ~i)
+              | Rem when tid = 0 ->
+                  Prog.bind (Chaselev.pop t) (fun _ -> Prog.return ())
+              | _ ->
+                  (* thieves have one operation: steal *)
+                  Prog.bind (Chaselev.steal t) (fun _ -> Prog.return ())),
+            Chaselev.graph t )
+      | None when e.Libspec.spec.Libspec.name = "exchanger" ->
+          let x = Exchanger.instantiate m ~name:"x" in
+          ( (fun tid i _ ->
+              Prog.bind (x.Iface.exchange (Harness.val_of ~tid ~i)) (fun _ ->
+                  Prog.return ())),
+            x.Iface.x_graph )
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Mgc.build: no op signature for structure %s"
+               e.Libspec.key))
+
+let build (e : Libspec.entry) (c : client) (m : Machine.t) =
+  let interp, g = ops_of e m in
+  let flag =
+    match c.handoff with
+    | None -> None
+    | Some _ -> Some (Machine.alloc m ~name:"mgc.flag" ~init:(Value.Int 0) 1)
+  in
+  let thread tid ops =
+    let progs = List.mapi (fun i op -> interp tid i op) ops in
+    let progs =
+      match (flag, c.handoff) with
+      | Some flag, Some (p, q) ->
+          let insert_at k extra ps =
+            List.concat (List.mapi (fun i prog ->
+                if i = k then [ extra; prog ] else [ prog ]) ps)
+            @ if k = List.length ps then [ extra ] else []
+          in
+          if tid = 0 then
+            (* publish after the p-th op *)
+            insert_at p
+              (Prog.store ~site:"mgc.flag.publish" flag (Value.Int 1) Mode.Rel)
+              progs
+          else if tid = 1 then
+            (* await before the q-th op *)
+            insert_at (q - 1)
+              (Prog.bind
+                 (Prog.await ~site:"mgc.flag.await" flag Mode.Acq
+                    (Value.equal (Value.Int 1)))
+                 (fun _ -> Prog.return ()))
+              progs
+          else progs
+      | _ -> progs
+    in
+    Prog.returning_unit (Prog.seq progs)
+  in
+  (List.mapi (fun tid ops -> thread tid ops) (Array.to_list c.threads), g)
+
+let scenario (e : Libspec.entry) ~judge (c : client) =
+  {
+    Explore.name = Printf.sprintf "mgc[%s:%s]" e.Libspec.key c.id;
+    build =
+      (fun m ->
+        let threads, g = build e c m in
+        Machine.spawn m threads;
+        judge g);
+  }

@@ -1,0 +1,62 @@
+open Compass_event
+open Compass_machine
+open Compass_spec
+
+(** Most-general-client generation.
+
+    Refinement verdicts should not depend on hand-picked observation
+    clients.  This module enumerates, from a registry entry's op
+    signature alone, the {e observationally complete} two-thread client
+    family up to a depth bound: every non-empty per-thread sequence of
+    insert/remove requests of length [<= depth], for every ordered pair
+    of threads, optionally joined by a release/acquire flag handoff (the
+    publisher raises the flag after its [p]-th operation, the subscriber
+    awaits it before its [q]-th) — the handoffs regenerate every
+    MP-shaped synchronisation pattern, which plain op mixes cannot force
+    under weak memory.
+
+    Enumeration is pure and deterministic: same depth, same clients, in
+    the same order.  Generated programs observe through the event graph
+    (the simulation checker reads commits, views and so edges), which
+    subsumes return-value observation. *)
+
+type op = Ins | Rem
+
+type client = {
+  id : string;
+      (** stable identifier, e.g. ["ii|r+h2.1"]: thread op strings joined
+          by [|], handoff positions after [+h] *)
+  threads : op list array;  (** per-thread request sequences (2 threads) *)
+  handoff : (int * int) option;
+      (** [Some (p, q)]: thread 0 publishes a Rel flag after its [p]-th
+          op; thread 1 acquires it before its [q]-th op *)
+}
+
+val generate : depth:int -> unit -> client list
+(** all two-thread clients up to [depth] ops per thread (each thread's
+    sequence non-empty), without and with every flag-handoff position *)
+
+val find : depth:int -> string -> client option
+(** resolve a client [id] within [generate ~depth] (for replay) *)
+
+val build :
+  Libspec.entry ->
+  client ->
+  Machine.t ->
+  Compass_rmc.Value.t Prog.t list * Graph.t
+(** instantiate the client against the entry's implementation: thread
+    programs (plus the handoff flag when requested) and the structure's
+    event graph.  Insertions use {!Compass_clients.Harness.val_of}
+    values, distinct per (thread, index).  Queue/stack entries resolve
+    through their registered factories; the Chase-Lev deque maps thread 0
+    to owner push/pop and other threads' requests to steals; the
+    exchanger maps every request to an exchange.
+    @raise Invalid_argument for entries this generator cannot build *)
+
+val scenario :
+  Libspec.entry ->
+  judge:(Graph.t -> Machine.outcome -> Explore.verdict) ->
+  client ->
+  Explore.scenario
+(** wrap {!build} as an explorable scenario; the judge sees the graph
+    handle and the raw machine outcome *)

@@ -146,17 +146,31 @@ let transition kind st ~id req =
       | [] -> ([], Event.EmpPop, [])
       | (v, e) :: rest -> (rest, Event.Pop v, [ (e, id) ]))
 
+(* The operation request an event records: insertions carry their value,
+   removals (successful or empty) are [Remove].  Events outside the
+   sequential-kind vocabulary (exchanges, custom) have no request. *)
+let op_of_typ = function
+  | Event.Enq v | Event.Push v -> Some (Insert v)
+  | Event.Deq _ | Event.Pop _ | Event.Steal _
+  | Event.EmpDeq | Event.EmpPop | Event.EmpSteal ->
+      Some Remove
+  | Event.Exchange _ | Event.Custom _ -> None
+
+let removed_value = function
+  | Event.Deq v | Event.Pop v | Event.Steal v -> Some v
+  | _ -> None
+
 (* Reconstruct the abstract state by replaying commit order.  On a graph
    the spec object populated, every committed event is an abstract
-   transition, so the replay below inverts [transition] exactly. *)
+   transition, so folding [transition] inverts the construction exactly
+   (empty removals only ever commit on the empty abstract state). *)
 let replay kind g : astate =
   let step st (e : Event.data) =
-    match (kind, e.Event.typ) with
-    | Queue, Event.Enq v -> st @ [ (v, e.id) ]
-    | (Stack | Deque), Event.Push v -> (v, e.id) :: st
-    | Queue, Event.Deq _ | (Stack | Deque), Event.Pop _ -> (
-        match st with [] -> [] | _ :: rest -> rest)
-    | _ -> st
+    match op_of_typ e.Event.typ with
+    | None -> st
+    | Some req ->
+        let st', _, _ = transition kind st ~id:e.id req in
+        st'
   in
   List.fold_left step [] (Graph.events_by_cix g)
 

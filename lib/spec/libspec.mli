@@ -97,6 +97,13 @@ val transition :
 (** one atomic abstract transition: the new state, the event to commit
     (with the fresh event id [id]) and its [so] edges *)
 
+val op_of_typ : Event.typ -> op_req option
+(** the operation request a committed event records ([None] for events
+    outside the sequential-kind vocabulary: exchanges, custom events) *)
+
+val removed_value : Event.typ -> Value.t option
+(** the value a successful removal carried ([Deq]/[Pop]/[Steal]) *)
+
 val replay : kind -> Graph.t -> astate
 (** fold the graph's committed events in commit order through the
     abstract machine — the spec object's current state.  Only meaningful

@@ -26,6 +26,7 @@ let () =
       ("conformance", Test_conformance.suite);
       ("rc11", Test_rc11.suite);
       ("registry", Test_registry.suite);
+      ("sim", Test_sim.suite);
       ("analysis", Test_analysis.suite);
       ("static", Test_static.suite);
       ("prefix", Test_prefix.suite);
