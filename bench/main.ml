@@ -498,6 +498,75 @@ let bench_explore ~quick ~check ~force_jobs =
             :: reduced_extra dpor dpor_t) );
       ]
   in
+  (* -- reads-from reduction rows -------------------------------------
+     Data-heavy litmus tests where interleaving enumeration repeats
+     execution graphs: the exhaustive rf-class census (one key per
+     distinct rf⊕mo graph, via {!Explore.rf_class_key}) is the ground
+     truth; [--reduce=dpor-rf] must count at most dpor's executions,
+     reach the same verdict, and — the acceptance row, CoRR — exactly
+     one execution per class. *)
+  let census_config =
+    { Machine.default_config with Machine.record_accesses = true }
+  in
+  let rf_litmus =
+    [
+      ("CoRR", Litmus.corr);
+      ("SB", fun () -> Litmus.sb ());
+      ("IRIW", Litmus.iriw);
+    ]
+  in
+  let rf_gate = ref [] in
+  let rf_row (name, (mk : unit -> Litmus.t)) =
+    let classes = Hashtbl.create 64 in
+    let t = mk () in
+    let censused =
+      {
+        t.Litmus.scenario with
+        Explore.build =
+          (fun m ->
+            let judge = t.Litmus.scenario.Explore.build m in
+            fun outcome ->
+              (match outcome with
+              | Machine.Pruned -> ()
+              | _ ->
+                  Hashtbl.replace classes
+                    (Explore.rf_class_key ~outcome (Machine.accesses m))
+                    ());
+              judge outcome);
+      }
+    in
+    let full = Explore.dfs ~config:census_config ~max_execs censused in
+    let rf_classes = Hashtbl.length classes in
+    let ok_dpor, dpor, _ =
+      Litmus.verdict ~max_execs ~reduce:Machine.RDpor (mk ())
+    in
+    let (ok_rf, rf, _), rf_t, _, _ =
+      time_gc (fun () ->
+          Litmus.verdict ~max_execs ~reduce:Machine.RDporRf (mk ()))
+    in
+    rf_gate :=
+      (name, ok_dpor, ok_rf, dpor.Explore.executions, rf.Explore.executions,
+       rf_classes, full.Explore.complete && rf.Explore.complete)
+      :: !rf_gate;
+    Jsonout.Obj
+      [
+        ("name", Jsonout.Str name);
+        ("rf_classes", Jsonout.Int rf_classes);
+        ("executions_full", Jsonout.Int full.Explore.executions);
+        ("executions_dpor", Jsonout.Int dpor.Explore.executions);
+        ("executions_dpor_rf", Jsonout.Int rf.Explore.executions);
+        ("rf_pruned", Jsonout.Int rf.Explore.rf_pruned);
+        ("verdict_dpor", Jsonout.Bool ok_dpor);
+        ("verdict_dpor_rf", Jsonout.Bool ok_rf);
+        ("complete", Jsonout.Bool (full.Explore.complete && rf.Explore.complete));
+        ("seconds_dpor_rf", Jsonout.Float rf_t);
+        ( "reduction_factor_vs_dpor",
+          Jsonout.Float
+            (float_of_int (max 1 dpor.Explore.executions)
+            /. float_of_int (max 1 rf.Explore.executions)) );
+      ]
+  in
+  let rf_rows = List.map rf_row rf_litmus in
   let json =
     Jsonout.Obj
       [
@@ -524,6 +593,7 @@ let bench_explore ~quick ~check ~force_jobs =
                        domains) );
               ]) );
         ("scenarios", Jsonout.List (List.map scenario_json scenarios));
+        ("rf_reduction", Jsonout.List rf_rows);
       ]
   in
   write_json_file "BENCH_explore.json" json;
@@ -613,6 +683,83 @@ let bench_explore ~quick ~check ~force_jobs =
         "perf-smoke: scaling gate waived (host recommends %d domain(s), need \
          >= 4)@."
         domains;
+    (* dpor-rf must never count more runs than dpor, must agree on every
+       verdict, and on a complete search must count exactly one
+       execution per distinct rf-class (the CoRR acceptance row). *)
+    List.iter
+      (fun (name, ok_dpor, ok_rf, ex_dpor, ex_rf, classes, complete) ->
+        if ok_rf <> ok_dpor then begin
+          Format.printf
+            "perf-smoke FAILED: dpor-rf verdict differs from dpor on %s@." name;
+          failed := true
+        end;
+        if ex_rf > ex_dpor then begin
+          Format.printf
+            "perf-smoke FAILED: dpor-rf counted %d > dpor's %d executions on \
+             %s@."
+            ex_rf ex_dpor name;
+          failed := true
+        end;
+        if complete && ex_rf <> classes then begin
+          Format.printf
+            "perf-smoke FAILED: dpor-rf counted %d executions over %d \
+             rf-classes on %s@."
+            ex_rf classes name;
+          failed := true
+        end;
+        if not !failed then
+          Format.printf
+            "perf-smoke: dpor-rf %s: %d executions == %d rf-classes (dpor: \
+             %d)@."
+            name ex_rf classes ex_dpor)
+      (List.rev !rf_gate);
+    (* trace-compat: a pinned legacy v1 witness script must parse, lift,
+       round-trip through the v2 line format, and replay to the
+       byte-identical outcome. *)
+    begin
+      let legacy = "1 0 2 0 1 0 3 0 1" in
+      let outcome_of tr =
+        let t = Litmus.corr () in
+        let r = Explore.replay ~config:Machine.default_config t.Litmus.scenario tr in
+        Format.asprintf "%a/%d" Machine.pp_outcome r.Explore.r_outcome
+          r.Explore.r_clamped
+      in
+      match Decision.of_line legacy with
+      | None ->
+          Format.printf "perf-smoke FAILED: legacy v1 fixture did not parse@.";
+          failed := true
+      | Some v1 -> (
+          let direct =
+            Decision.of_ints
+              (Array.of_list
+                 (List.map int_of_string (String.split_on_char ' ' legacy)))
+          in
+          if not (Decision.equal_trace v1 direct) then begin
+            Format.printf
+              "perf-smoke FAILED: legacy v1 fixture lifts differently@.";
+            failed := true
+          end;
+          match Decision.of_line (Decision.to_line v1) with
+          | None ->
+              Format.printf
+                "perf-smoke FAILED: v2 round-trip of legacy fixture did not \
+                 parse@.";
+              failed := true
+          | Some v2 ->
+              let o1 = outcome_of v1 and o2 = outcome_of v2 in
+              if o1 <> o2 then begin
+                Format.printf
+                  "perf-smoke FAILED: legacy fixture replays %s but its v2 \
+                   form replays %s@."
+                  o1 o2;
+                failed := true
+              end
+              else
+                Format.printf
+                  "perf-smoke: trace-compat: legacy fixture and v2 form both \
+                   replay %s@."
+                  o1)
+    end;
     if !failed then exit 1
   end
 

@@ -77,12 +77,14 @@ let reduction_conv =
     match String.lowercase_ascii s with
     | "sleep" | "true" | "on" -> Ok Machine.RSleep
     | "dpor" -> Ok Machine.RDpor
+    | "dpor-rf" | "dporrf" | "rf" -> Ok Machine.RDporRf
     | "none" | "false" | "off" -> Ok Machine.RNone
     | _ ->
         Error
           (`Msg
              (Printf.sprintf
-                "invalid reduction %S (expected 'sleep', 'dpor' or 'none')"
+                "invalid reduction %S (expected 'sleep', 'dpor', 'dpor-rf' \
+                 or 'none')"
                 s))
   in
   let print ppf r =
@@ -90,18 +92,14 @@ let reduction_conv =
       (match r with
       | Machine.RNone -> "none"
       | Machine.RSleep -> "sleep"
-      | Machine.RDpor -> "dpor")
+      | Machine.RDpor -> "dpor"
+      | Machine.RDporRf -> "dpor-rf")
   in
   Arg.conv (parse, print)
 
 let reduce =
   let doc =
-    "Partial-order reduction: $(b,sleep) (sleep sets: skip interleavings \
-     that only reorder independent steps), $(b,dpor) (source-DPOR with \
-     wakeup sequences: near one execution per Mazurkiewicz trace) or \
-     $(b,none).  Bare $(b,--reduce) means $(b,sleep).  Verdicts and \
-     violations are the same under all three; only the execution count \
-     shrinks."
+    "Partial-order reduction: $(b,sleep) (sleep sets: skip interleavings      that only reorder independent steps), $(b,dpor) (source-DPOR with      wakeup sequences: near one execution per Mazurkiewicz trace),      $(b,dpor-rf) (source-DPOR plus the reads-from reduction: one counted      execution per distinct rfâmo class) or $(b,none).  Bare      $(b,--reduce) means $(b,sleep).  Verdicts and violations are the      same under all of them; only the execution count shrinks."
   in
   Arg.(
     value
@@ -610,7 +608,7 @@ let refine_cmd =
                     struct_key i
                     (String.concat ","
                        (List.map string_of_int
-                          (Array.to_list f.Explore.script)))
+                          (Array.to_list (Explore.failure_script f))))
               | None -> ());
               Option.iter
                 (fun file ->
@@ -637,7 +635,8 @@ let refine_cmd =
                      --script %s@."
                     struct_key w.Sim.w_client
                     (String.concat ","
-                       (List.map string_of_int (Array.to_list w.Sim.w_script)))
+                       (List.map string_of_int
+                          (Array.to_list (Decision.choices w.Sim.w_trace))))
               | None -> ());
               Option.iter
                 (fun file -> write_json ~tool:"refine" file (Sim.to_json r))
@@ -755,7 +754,7 @@ let sim_cmd =
                       e.Libspec.key w.Sim.w_client depth
                       (String.concat ","
                          (List.map string_of_int
-                            (Array.to_list w.Sim.w_script)))
+                            (Array.to_list (Decision.choices w.Sim.w_trace))))
                 | None -> ());
                 let bad =
                   if strict then r.Sim.ok = e.Libspec.expect_violation
@@ -1243,13 +1242,21 @@ let replay_cmd =
       & opt (some string) None
       & info [ "sim-client" ] ~docv:"ID" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Print the typed decision trace of the replay: one numbered line \
+       per decision with its kind (sched/read/cas/ts), source site label \
+       and reads-from provenance (which write the choice read)."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
   let run factory script_str weaken probe scenario_idx refine_client
-      sim_client mgc_depth =
+      sim_client mgc_depth show_trace =
     let script =
       if script_str = "" then [||]
       else
         String.split_on_char ',' script_str
-        |> List.map int_of_string |> Array.of_list
+        |> List.map int_of_string |> Array.of_list |> Decision.of_ints
     in
     match Override.of_specs weaken with
     | Error e ->
@@ -1318,14 +1325,22 @@ let replay_cmd =
             if not (Override.is_empty overrides) then
               Format.printf "weakened: %a@." Override.pp overrides;
             let config = { Machine.default_config with overrides } in
-            let m, outcome, verdict = Explore.replay ~config sc script in
+            let r = Explore.replay ~config sc script in
+            if r.Explore.r_clamped > 0 then
+              Format.printf
+                "note: %d out-of-range choice(s) clamped to the last \
+                 alternative@."
+                r.Explore.r_clamped;
             Format.printf "outcome: %a@.verdict: %s@.@.%a@."
-              Machine.pp_outcome outcome
-              (match verdict with
+              Machine.pp_outcome r.Explore.r_outcome
+              (match r.Explore.r_verdict with
               | Explore.Pass -> "pass"
               | Explore.Violation s -> "VIOLATION: " ^ s
               | Explore.Discard s -> "discard: " ^ s)
-              Trace.pp (Machine.trace m);
+              Trace.pp (Machine.trace r.Explore.r_machine);
+            if show_trace then
+              Format.printf "@.decision trace:@.%a@." Decision.pp_trace
+                r.Explore.r_trace;
             0
             end)
   in
@@ -1338,7 +1353,8 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
       const run $ queue_arg $ script_arg $ weaken_arg $ probe_arg
-      $ scenario_arg $ refine_client_arg $ sim_client_arg $ mgc_depth_arg)
+      $ scenario_arg $ refine_client_arg $ sim_client_arg $ mgc_depth_arg
+      $ trace_arg)
 
 (* -- fuzz ---------------------------------------------------------------------- *)
 
@@ -1430,11 +1446,11 @@ let fuzz_cmd =
               | f :: _ -> (
                   (* the reported (shrunk) script must still replay to the
                      same violation *)
-                  let _, _, verdict =
+                  let r =
                     Explore.replay ~config:options.Fz.Fuzz.config (mk ())
-                      f.Explore.script
+                      f.Explore.trace
                   in
-                  match verdict with
+                  match r.Explore.r_verdict with
                   | Explore.Violation m when m = f.Explore.message ->
                       Format.printf "replay confirms the violation@.";
                       true
@@ -1506,7 +1522,7 @@ let shrink_cmd =
     let script =
       String.split_on_char ',' script_str
       |> List.filter (fun s -> s <> "")
-      |> List.map int_of_string |> Array.of_list
+      |> List.map int_of_string |> Array.of_list |> Decision.of_ints
     in
     match Override.of_specs weaken with
     | Error e ->
@@ -1528,20 +1544,25 @@ let shrink_cmd =
             2
         | Some mk -> (
             let config = { Machine.default_config with overrides } in
-            let _, _, verdict = Explore.replay ~config (mk ()) script in
-            match verdict with
+            let r = Explore.replay ~config (mk ()) script in
+            match r.Explore.r_verdict with
             | Explore.Violation message ->
                 let stats, small =
                   Fz.Shrink.minimize ~config ~max_replays ~scenario:(mk ())
                     ~message script
                 in
                 Format.printf
-                  "violation: %s@ script: %d -> %d choices in %d replays@ \
+                  "violation: %s@ script: %d -> %d choices in %d replays%s@ \
                    shrunk: %s@."
                   message stats.Fz.Shrink.initial_len
                   stats.Fz.Shrink.final_len stats.Fz.Shrink.replays
+                  (if stats.Fz.Shrink.clamped > 0 then
+                     Printf.sprintf " (%d choices clamped)"
+                       stats.Fz.Shrink.clamped
+                   else "")
                   (String.concat ","
-                     (List.map string_of_int (Array.to_list small)));
+                     (List.map string_of_int
+                        (Array.to_list (Decision.choices small))));
                 0
             | Explore.Pass | Explore.Discard _ ->
                 Format.eprintf

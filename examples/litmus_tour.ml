@@ -88,10 +88,10 @@ let trace_demo () =
   in
   let report = Explore.dfs scenario in
   match report.Explore.violations with
-  | { Explore.message; script } :: _ ->
+  | { Explore.message; trace } :: _ ->
       Format.printf "  found: %s@.  trace of the racy execution:@." message;
-      let m, _, _ = Explore.replay ~config:Machine.default_config scenario script in
-      Format.printf "%a@." Trace.pp (Machine.trace m)
+      let r = Explore.replay ~config:Machine.default_config scenario trace in
+      Format.printf "%a@." Trace.pp (Machine.trace r.Explore.r_machine)
   | [] -> Format.printf "  no race found (unexpected)@."
 
 let () =

@@ -172,9 +172,9 @@ let shrink_failure opts override mk (f : Explore.failure) =
     in
     let _, script =
       Compass_fuzz.Shrink.minimize ~config ~max_replays:opts.shrink_replays
-        ~scenario:(mk ()) ~message:f.Explore.message f.Explore.script
+        ~scenario:(mk ()) ~message:f.Explore.message f.Explore.trace
     in
-    { f with Explore.script = script }
+    { f with Explore.trace = script }
 
 let run_mutant opts scenarios site w =
   let override = override_of site w in
@@ -367,7 +367,7 @@ let pp_report ppf r =
   | Some f ->
       Format.fprintf ppf
         "BASELINE FAILS: %s (script %a)@ no sites audited — fix the structure (or you are auditing a known-broken mutant)@ "
-        f.Explore.message pp_script f.Explore.script
+        f.Explore.message pp_script (Explore.failure_script f)
   | None -> ());
   if r.baseline_ok then begin
     Format.fprintf ppf "@ %-34s %-10s %-12s %-10s@ " "site" "mode"
@@ -391,7 +391,7 @@ let pp_report ppf r =
                   (match m.scenario with
                   | Some n -> Printf.sprintf " of %s" n
                   | None -> "")
-                  f.Explore.message m.spec pp_script f.Explore.script
+                  f.Explore.message m.spec pp_script (Explore.failure_script f)
             | Safe ->
                 Format.fprintf ppf
                   "    %s: exploration complete, no violation (%d executions)@ "
@@ -423,7 +423,8 @@ let report_to_json r =
           [
             ("result", Jsonout.Str "violated");
             ("message", Jsonout.Str f.Explore.message);
-            ("script", Jsonout.int_array f.Explore.script);
+            ("script", Jsonout.int_array (Explore.failure_script f));
+            ("trace", Compass_machine.Decision.trace_to_json f.Explore.trace);
           ]
     | Safe -> Jsonout.Obj [ ("result", Jsonout.Str "safe") ]
     | Exhausted -> Jsonout.Obj [ ("result", Jsonout.Str "exhausted") ]
@@ -446,7 +447,8 @@ let report_to_json r =
             Jsonout.Obj
               [
                 ("message", Jsonout.Str f.Explore.message);
-                ("script", Jsonout.int_array f.Explore.script);
+                ("script", Jsonout.int_array (Explore.failure_script f));
+                ("trace", Compass_machine.Decision.trace_to_json f.Explore.trace);
               ])
           r.baseline_failure );
       ( "sites",

@@ -234,7 +234,7 @@ let pp ppf r =
   | Some (i, f) ->
       Format.fprintf ppf "  counterexample (client %d) script: %s@," i
         (String.concat ","
-           (List.map string_of_int (Array.to_list f.Explore.script)))
+           (List.map string_of_int (Array.to_list (Explore.failure_script f))))
   | None -> ());
   Format.fprintf ppf "  verdict: %s@]"
     (if r.ok then "REFINES" else "does NOT refine")
@@ -267,6 +267,7 @@ let to_json r =
               [
                 ("client", Jsonout.Int i);
                 ("message", Jsonout.Str f.Explore.message);
-                ("script", Jsonout.int_array f.Explore.script);
+                ("script", Jsonout.int_array (Explore.failure_script f));
+                ("trace", Compass_machine.Decision.trace_to_json f.Explore.trace);
               ] );
     ]

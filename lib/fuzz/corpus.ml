@@ -1,11 +1,14 @@
+open Compass_machine
+
 (* Schedule-prefix corpus for coverage-guided fuzzing.
 
-   Entries are decision-script prefixes (the logged decision vectors of
+   Entries are decision-trace prefixes (the logged decision traces of
    executions that reached new coverage).  The guided driver picks an
    entry, mutates it fuzzer-style, and replays it as a prefix with a
    seeded-random tail; mutants are replayed with the *clamped* oracle, so
    an out-of-range choice degrades to the last alternative instead of
-   raising — every mutant is runnable.
+   raising — every mutant is runnable (and the driver reports how often
+   clamping fired).
 
    Mutations:
    - truncate: keep a random prefix (the tail is re-randomized by the
@@ -14,14 +17,15 @@
    - splice: a prefix of one entry followed by the suffix of another —
      crossover between two interesting schedules. *)
 
-type t = { mutable entries : int array list; mutable n : int }
+type t = { mutable entries : Decision.trace list; mutable n : int }
 
 let create () = { entries = []; n = 0 }
 let size t = t.n
 
 (* Keep the corpus bounded: beyond [cap] entries, new ones overwrite a
    random slot (reservoir-ish; the driver's Random.State keeps it
-   deterministic). *)
+   deterministic).  Slot choice hashes the int script, not the typed
+   records, so annotations never affect which entry is evicted. *)
 let cap = 256
 
 let add t script =
@@ -30,8 +34,8 @@ let add t script =
     t.entries <- script :: t.entries;
     t.n <- t.n + 1)
   else
-    t.entries <-
-      List.mapi (fun i e -> if i = Hashtbl.hash script mod cap then script else e) t.entries
+    let slot = Hashtbl.hash (Decision.choices script) mod cap in
+    t.entries <- List.mapi (fun i e -> if i = slot then script else e) t.entries
 
 let to_list t = List.rev t.entries
 
@@ -48,7 +52,7 @@ let truncate st s =
 let flip st s =
   let s = Array.copy s in
   let i = Random.State.int st (Array.length s) in
-  s.(i) <- Random.State.int st 4;
+  s.(i) <- Decision.resolve s.(i) (Random.State.int st 4);
   s
 
 let splice st a b =
@@ -67,14 +71,15 @@ let mutate ?other st s =
     | _, Some o -> splice st s o
     | _, None -> flip st s
 
-(* Text persistence: one entry per line, space-separated choices — the
-   [--corpus FILE] format. *)
+(* Text persistence: one entry per line — the [--corpus FILE] format.
+   Saves write the versioned typed form ({!Decision.to_line}); loads
+   accept both that and legacy v1 lines of space-separated choice ints,
+   so pre-existing corpora keep replaying unchanged. *)
 let save t file =
   let oc = open_out file in
   List.iter
     (fun s ->
-      output_string oc
-        (String.concat " " (Array.to_list (Array.map string_of_int s)));
+      output_string oc (Decision.to_line s);
       output_char oc '\n')
     (List.rev t.entries);
   close_out oc
@@ -86,12 +91,9 @@ let load file =
      (try
         while true do
           let line = input_line ic in
-          let parts =
-            List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
-          in
-          match List.map int_of_string parts with
-          | [] -> ()
-          | ds -> add t (Array.of_list ds)
+          match Decision.of_line line with
+          | Some tr -> add t tr
+          | None -> ()
         done
       with End_of_file -> close_in ic)
    with Sys_error _ -> ());

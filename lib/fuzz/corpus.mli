@@ -1,4 +1,6 @@
-(** Corpus of schedule prefixes (decision vectors that reached new
+open Compass_machine
+
+(** Corpus of schedule prefixes (decision traces that reached new
     coverage), with fuzzer-style mutation: truncate, choice flip, and
     splice between two entries.  Mutants may be invalid scripts; the
     driver replays them clamped, so they never raise. *)
@@ -8,18 +10,19 @@ type t
 val create : unit -> t
 val size : t -> int
 
-val add : t -> int array -> unit
-(** keep an interesting decision vector (bounded; overwrites beyond the
+val add : t -> Decision.trace -> unit
+(** keep an interesting decision trace (bounded; overwrites beyond the
     cap) *)
 
-val to_list : t -> int array list
+val to_list : t -> Decision.trace list
 (** entries, oldest first (for seeding another corpus or saving) *)
 
-val pick : t -> Random.State.t -> int array option
-val mutate : ?other:int array -> Random.State.t -> int array -> int array
+val pick : t -> Random.State.t -> Decision.trace option
+val mutate : ?other:Decision.trace -> Random.State.t -> Decision.trace -> Decision.trace
 
 val save : t -> string -> unit
-(** one entry per line, space-separated choices *)
+(** one entry per line in the versioned typed form ({!Decision.to_line}) *)
 
 val load : string -> t
-(** missing file loads as an empty corpus *)
+(** reads both the versioned form and legacy v1 space-separated-int
+    lines; missing file loads as an empty corpus *)

@@ -77,6 +77,9 @@ type outcome = {
   new_pair_execs : int;
   corpus_size : int;
   corpus : Corpus.t;
+  clamped : int;
+      (** out-of-range choices clamped while replaying corpus-mutant
+          prefixes (0 outside guided mode) *)
   violations : Explore.failure list;
       (** oldest first; the first is shrunk when [options.shrink] *)
   first_violation_exec : int option;  (** global execution index *)
@@ -84,11 +87,18 @@ type outcome = {
   seconds : float;
 }
 
-(* A prefix-replay oracle: scripted (clamped) for the prefix, seeded
-   random past it — how corpus mutants run. *)
-let prefix_oracle st prefix =
+(* A prefix-replay oracle: scripted (clamped, counted into [clamps]) for
+   the prefix, seeded random past it — how corpus mutants run. *)
+let prefix_oracle ?clamps st prefix =
   Oracle.make ~sched_aware:false (fun ~pos ~arity ~kind:_ ->
-      if pos < Array.length prefix then min prefix.(pos) (arity - 1)
+      if pos < Array.length prefix then begin
+        let c = prefix.(pos).Decision.choice in
+        if c >= arity then begin
+          (match clamps with Some r -> incr r | None -> ());
+          arity - 1
+        end
+        else c
+      end
       else Random.State.int st arity)
 
 (* One pilot execution counting branching scheduling decisions — the
@@ -111,6 +121,7 @@ type worker_result = {
   w_execs : int;
   w_cov : Coverage.t;
   w_corpus : Corpus.t;
+  w_clamped : int;
   w_violations : (int * Explore.failure) list;  (** (global index, f) *)
 }
 
@@ -122,6 +133,7 @@ let run_worker opts scenario_thunk ~worker ~sched_len =
   | Some c -> List.iter (Corpus.add corpus) (Corpus.to_list c)
   | None -> ());
   let execs = ref 0 in
+  let clamps = ref 0 in
   let violations = ref [] in
   let stop = ref false in
   let i = ref worker in
@@ -136,7 +148,7 @@ let run_worker opts scenario_thunk ~worker ~sched_len =
           match Corpus.pick corpus st with
           | Some base ->
               let other = Corpus.pick corpus st in
-              prefix_oracle st (Corpus.mutate ?other st base)
+              prefix_oracle ~clamps st (Corpus.mutate ?other st base)
           | None -> Oracle.random ~seed:seed_e)
     in
     let m = Machine.create ~config:opts.config () in
@@ -145,13 +157,12 @@ let run_worker opts scenario_thunk ~worker ~sched_len =
     let verdict = judge outcome in
     incr execs;
     let fb = Coverage.note cov (Machine.accesses m) in
-    let ds, _ = Oracle.vectors oracle in
-    let ds = Shrink.strip_trailing_zeros ds in
+    let tr = Decision.strip_trailing_zeros (Oracle.trace oracle) in
     if fb.Coverage.fresh || fb.Coverage.new_pairs > 0 then
-      Corpus.add corpus ds;
+      Corpus.add corpus tr;
     (match verdict with
     | Explore.Violation msg ->
-        violations := (!i, { Explore.message = msg; script = ds }) :: !violations;
+        violations := (!i, { Explore.message = msg; trace = tr }) :: !violations;
         if opts.stop_on_violation then stop := true
     | Explore.Pass | Explore.Discard _ -> ());
     i := !i + opts.jobs
@@ -160,6 +171,7 @@ let run_worker opts scenario_thunk ~worker ~sched_len =
     w_execs = !execs;
     w_cov = cov;
     w_corpus = corpus;
+    w_clamped = !clamps;
     w_violations = List.rev !violations;
   }
 
@@ -196,6 +208,7 @@ let run ?(options = default_options) scenario_thunk =
     (fun r -> List.iter (Corpus.add corpus) (Corpus.to_list r.w_corpus))
     results;
   let execs = List.fold_left (fun a r -> a + r.w_execs) 0 results in
+  let clamped = List.fold_left (fun a r -> a + r.w_clamped) 0 results in
   let all =
     List.concat_map (fun r -> r.w_violations) results
     |> List.sort (fun (i, _) (j, _) -> compare i j)
@@ -211,10 +224,10 @@ let run ?(options = default_options) scenario_thunk =
         let stats, small =
           Shrink.minimize ~config:opts.config ~max_replays:opts.shrink_replays
             ~scenario:(scenario_thunk ()) ~message:f.Explore.message
-            f.Explore.script
+            f.Explore.trace
         in
         shrink_stats := Some stats;
-        { f with Explore.script = small } :: rest
+        { f with Explore.trace = small } :: rest
     | ks -> ks
   in
   {
@@ -229,6 +242,7 @@ let run ?(options = default_options) scenario_thunk =
     new_pair_execs = Coverage.new_pair_execs cov;
     corpus_size = Corpus.size corpus;
     corpus;
+    clamped;
     violations = kept;
     first_violation_exec;
     shrink_stats = !shrink_stats;
@@ -241,18 +255,19 @@ let run ?(options = default_options) scenario_thunk =
    these. *)
 let fingerprint o =
   let script s =
-    String.concat "," (List.map string_of_int (Array.to_list s))
+    String.concat ","
+      (List.map string_of_int (Array.to_list (Decision.choices s)))
   in
   let viols =
     List.map
       (fun (f : Explore.failure) ->
-        Printf.sprintf "%s:[%s]" f.message (script f.script))
+        Printf.sprintf "%s:[%s]" f.message (script f.trace))
       o.violations
   in
   Printf.sprintf
-    "%s|mode=%s|seed=%d|jobs=%d|depth=%d|execs=%d|distinct=%d|pairs=%d|npe=%d|corpus=%d|first=%s|%s"
+    "%s|mode=%s|seed=%d|jobs=%d|depth=%d|execs=%d|distinct=%d|pairs=%d|npe=%d|corpus=%d|clamped=%d|first=%s|%s"
     o.scenario (mode_name o.mode) o.seed o.jobs o.pct_depth o.execs o.distinct
-    o.pairs o.new_pair_execs o.corpus_size
+    o.pairs o.new_pair_execs o.corpus_size o.clamped
     (match o.first_violation_exec with
     | None -> "-"
     | Some i -> string_of_int i)
@@ -262,11 +277,13 @@ let pp_outcome ppf o =
   Format.fprintf ppf
     "@[<v>%s: %d fuzz executions (mode %s, seed %d%s%s)@ coverage: %d \
      distinct executions, %d site pairs, %d execs found new pairs, corpus \
-     %d@ %a@]"
+     %d%s@ %a@]"
     o.scenario o.execs (mode_name o.mode) o.seed
     (if o.mode = Pct then Printf.sprintf ", depth %d" o.pct_depth else "")
     (if o.jobs > 1 then Printf.sprintf ", %d jobs" o.jobs else "")
     o.distinct o.pairs o.new_pair_execs o.corpus_size
+    (if o.clamped > 0 then Printf.sprintf ", %d choices clamped" o.clamped
+     else "")
     (fun ppf o ->
       match (o.first_violation_exec, o.violations) with
       | None, _ | _, [] -> Format.fprintf ppf "no violation found"
@@ -275,12 +292,17 @@ let pp_outcome ppf o =
             i
             (match o.shrink_stats with
             | Some (s : Shrink.stats) ->
-                Printf.sprintf " (script %d -> %d choices, %d shrink replays)"
+                Printf.sprintf
+                  " (script %d -> %d choices, %d shrink replays%s)"
                   s.initial_len s.final_len s.replays
+                  (if s.clamped > 0 then
+                     Printf.sprintf ", %d clamped" s.clamped
+                   else "")
             | None -> "")
             f.Explore.message
             (String.concat " "
-               (List.map string_of_int (Array.to_list f.Explore.script))))
+               (List.map string_of_int
+                  (Array.to_list (Decision.choices f.Explore.trace)))))
     o
 
 let outcome_to_json o =
@@ -297,6 +319,7 @@ let outcome_to_json o =
       ("pairs", Jsonout.Int o.pairs);
       ("new_pair_execs", Jsonout.Int o.new_pair_execs);
       ("corpus_size", Jsonout.Int o.corpus_size);
+      ("clamped", Jsonout.Int o.clamped);
       ( "first_violation_exec",
         Jsonout.opt (fun i -> Jsonout.Int i) o.first_violation_exec );
       ( "violations",
@@ -306,7 +329,8 @@ let outcome_to_json o =
                Jsonout.Obj
                  [
                    ("message", Jsonout.Str f.message);
-                   ("script", Jsonout.int_array f.script);
+                   ("script", Jsonout.int_array (Explore.failure_script f));
+                   ("trace", Decision.trace_to_json f.trace);
                  ])
              o.violations) );
       ( "shrink",
@@ -317,6 +341,7 @@ let outcome_to_json o =
                 ("replays", Jsonout.Int s.replays);
                 ("initial_len", Jsonout.Int s.initial_len);
                 ("final_len", Jsonout.Int s.final_len);
+                ("clamped", Jsonout.Int s.clamped);
               ])
           o.shrink_stats );
       ("seconds", Jsonout.Float o.seconds);

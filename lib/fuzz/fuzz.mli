@@ -44,6 +44,9 @@ type outcome = {
   new_pair_execs : int;
   corpus_size : int;
   corpus : Corpus.t;
+  clamped : int;
+      (** out-of-range choices clamped while replaying corpus-mutant
+          prefixes (0 outside guided mode) *)
   violations : Explore.failure list;
       (** oldest first; the first is shrunk when [options.shrink] *)
   first_violation_exec : int option;  (** global execution index *)
@@ -55,8 +58,11 @@ val run : ?options:options -> (unit -> Explore.scenario) -> outcome
 (** fuzz one scenario; the thunk builds a fresh scenario per worker (so
     scenario-closure statistics never race) *)
 
-val prefix_oracle : Random.State.t -> int array -> Oracle.t
-(** clamped prefix replay with a seeded-random tail (exposed for tests) *)
+val prefix_oracle :
+  ?clamps:int ref -> Random.State.t -> Decision.trace -> Oracle.t
+(** clamped prefix replay with a seeded-random tail; each out-of-range
+    prefix choice degrades to the last alternative and bumps [clamps]
+    (exposed for tests) *)
 
 val measure_sched_len :
   config:Machine.config -> seed:int -> (unit -> Explore.scenario) -> int

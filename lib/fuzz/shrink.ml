@@ -2,7 +2,7 @@ open Compass_machine
 
 (* Counterexample shrinking: delta-debugging over decision scripts.
 
-   A violating execution is identified by its decision script.  The
+   A violating execution is identified by its decision trace.  The
    shrinker looks for a smaller script that still produces a violation
    with the *same message* (so it witnesses the same bug, not a different
    one found along the way):
@@ -14,25 +14,25 @@ open Compass_machine
       every single-choice decrement until none reproduces.
 
    Candidates replay with the clamped oracle (an out-of-range choice
-   degrades to the last alternative, never raises); an accepted candidate
-   is *normalized* to the decision vector the run actually logged, with
-   trailing zeros stripped — always a valid strict script, and the form
-   [compass replay] consumes.  Acceptance requires the normalized form to
-   strictly shrink under the (length, sum-of-choices) lexicographic
-   measure, which is well-founded: the shrinker terminates even though
-   normalization can lengthen a candidate (a shorter prefix can steer the
-   execution down a deeper path). *)
+   degrades to the last alternative, never raises; the total is reported
+   in {!stats.clamped}); an accepted candidate is *normalized* to the
+   decision trace the run actually logged, with trailing zeros stripped —
+   always a valid strict script, and the form [compass replay] consumes.
+   Acceptance requires the normalized form to strictly shrink under the
+   (length, sum-of-choices) lexicographic measure, which is well-founded:
+   the shrinker terminates even though normalization can lengthen a
+   candidate (a shorter prefix can steer the execution down a deeper
+   path). *)
 
-type stats = { replays : int; initial_len : int; final_len : int }
+type stats = {
+  replays : int;
+  initial_len : int;
+  final_len : int;
+  clamped : int;  (** out-of-range choices clamped across all replays *)
+}
 
-let measure s = (Array.length s, Array.fold_left ( + ) 0 s)
-
-let strip_trailing_zeros s =
-  let n = ref (Array.length s) in
-  while !n > 0 && s.(!n - 1) = 0 do
-    decr n
-  done;
-  Array.sub s 0 !n
+let measure = Decision.measure
+let strip_trailing_zeros = Decision.strip_trailing_zeros
 
 let run_clamped ~config scenario script =
   let m = Machine.create ~config () in
@@ -52,8 +52,9 @@ let remove_chunk s i len =
   Array.append (Array.sub s 0 i) (Array.sub s (i + len) (n - i - len))
 
 let minimize ?(config = Machine.default_config) ?(max_replays = 20_000)
-    ~scenario ~(message : string) script0 =
+    ~scenario ~(message : string) (script0 : Decision.trace) =
   let replays = ref 0 in
+  let clamped = ref 0 in
   (* Replay a candidate; on reproduction return its normalized form if
      strictly smaller than [cur], else None. *)
   let try_smaller cur cand =
@@ -62,26 +63,30 @@ let minimize ?(config = Machine.default_config) ?(max_replays = 20_000)
       incr replays;
       match run_clamped ~config scenario cand with
       | oracle, Explore.Violation m when m = message ->
-          let ds, _ = Oracle.vectors oracle in
-          let norm = strip_trailing_zeros ds in
+          clamped := !clamped + Oracle.clamp_count oracle;
+          let norm = strip_trailing_zeros (Oracle.trace oracle) in
           if measure norm < measure cur then Some norm else None
-      | _ -> None)
+      | oracle, _ ->
+          clamped := !clamped + Oracle.clamp_count oracle;
+          None)
   in
-  (* Normalize the input itself first (its logged vector can differ from
+  (* Normalize the input itself first (its logged trace can differ from
      the given script when the script over- or under-runs the path). *)
   let start =
     incr replays;
     match run_clamped ~config scenario script0 with
     | oracle, Explore.Violation m when m = message ->
-        let ds, _ = Oracle.vectors oracle in
-        Some (strip_trailing_zeros ds)
-    | _ -> None
+        clamped := !clamped + Oracle.clamp_count oracle;
+        Some (strip_trailing_zeros (Oracle.trace oracle))
+    | oracle, _ ->
+        clamped := !clamped + Oracle.clamp_count oracle;
+        None
   in
   match start with
   | None ->
       (* not reproducible under this config — hand the script back *)
       ({ replays = !replays; initial_len = Array.length script0;
-         final_len = Array.length script0 },
+         final_len = Array.length script0; clamped = !clamped },
        script0)
   | Some start ->
       let best = ref start in
@@ -100,9 +105,9 @@ let minimize ?(config = Machine.default_config) ?(max_replays = 20_000)
       (* Phase 2: zero each nonzero choice. *)
       let i = ref 0 in
       while !i < Array.length !best && !replays < max_replays do
-        (if !best.(!i) > 0 then
+        (if !best.(!i).Decision.choice > 0 then
            let cand = Array.copy !best in
-           cand.(!i) <- 0;
+           cand.(!i) <- Decision.zeroed cand.(!i);
            match try_smaller !best cand with
            | Some norm -> best := norm
            | None -> ());
@@ -120,9 +125,9 @@ let minimize ?(config = Machine.default_config) ?(max_replays = 20_000)
               best := norm;
               improved := true
           | None ->
-              if !best.(!i) > 0 then (
+              if !best.(!i).Decision.choice > 0 then (
                 let cand = Array.copy !best in
-                cand.(!i) <- cand.(!i) - 1;
+                cand.(!i) <- Decision.resolve cand.(!i) (cand.(!i).Decision.choice - 1);
                 match try_smaller !best cand with
                 | Some norm ->
                     best := norm;
@@ -135,5 +140,6 @@ let minimize ?(config = Machine.default_config) ?(max_replays = 20_000)
           replays = !replays;
           initial_len = Array.length script0;
           final_len = Array.length !best;
+          clamped = !clamped;
         },
         !best )

@@ -1,22 +1,28 @@
 open Compass_machine
 
-(** Counterexample shrinking: delta-debug a violating decision script
+(** Counterexample shrinking: delta-debug a violating decision trace
     down to a 1-minimal one that still produces a violation with the same
-    message.  Candidates replay clamped (never raise); results are
-    normalized logged decision vectors with trailing zeros stripped, so
-    they are valid strict scripts for [compass replay]. *)
+    message.  Candidates replay clamped (never raise; the clamp total is
+    reported); results are normalized logged decision traces with
+    trailing zeros stripped, so they are valid strict scripts for
+    [compass replay]. *)
 
-type stats = { replays : int; initial_len : int; final_len : int }
+type stats = {
+  replays : int;
+  initial_len : int;
+  final_len : int;
+  clamped : int;  (** out-of-range choices clamped across all replays *)
+}
 
-val strip_trailing_zeros : int array -> int array
+val strip_trailing_zeros : Decision.trace -> Decision.trace
 (** drop trailing zeros (choice 0 is the past-the-end replay default, so
-    they are redundant in any script) *)
+    they are redundant in any script) — {!Decision.strip_trailing_zeros} *)
 
 val reproduces :
   ?config:Machine.config ->
   scenario:Explore.scenario ->
   message:string ->
-  int array ->
+  Decision.trace ->
   bool
 (** does the script (replayed clamped) still violate with [message]? *)
 
@@ -25,8 +31,8 @@ val minimize :
   ?max_replays:int ->
   scenario:Explore.scenario ->
   message:string ->
-  int array ->
-  stats * int array
+  Decision.trace ->
+  stats * Decision.trace
 (** chunk removal, per-choice zeroing, then a 1-minimality fixpoint of
     single removals and single decrements.  Accepted candidates must
     strictly shrink under the (length, sum) lexicographic measure, so the

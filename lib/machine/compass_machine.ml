@@ -7,6 +7,7 @@
 module Prog = Prog
 module Commit = Commit
 module Deps = Deps
+module Decision = Decision
 module Oracle = Oracle
 module Trace = Trace
 module Access = Access

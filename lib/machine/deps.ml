@@ -30,20 +30,38 @@ open Compass_rmc
    Two steps are independent when running them in either order yields the
    same machine state up to event-id renaming: accesses to different
    locations commute, and two reads of the same location commute because
-   reads never change a history. *)
+   reads never change a history.
 
-type footprint = FRead of Loc.t | FWrite of Loc.t | FLocal | FGlobal
+   Non-atomic accesses get their own variants ([FReadNa], [FWriteNa]).
+   Independence is identical to their atomic counterparts — commutation
+   only cares about the location and read/write polarity — but the
+   reads-from–aware reduction must be able to tell them apart: the
+   machine's na-race fault detection is order-sensitive, so only
+   atomic-write/atomic-read race reversals may be pruned as
+   rf-equivalent. *)
+
+type footprint =
+  | FRead of Loc.t
+  | FWrite of Loc.t
+  | FReadNa of Loc.t
+  | FWriteNa of Loc.t
+  | FLocal
+  | FGlobal
 
 let independent a b =
   match (a, b) with
   | FGlobal, _ | _, FGlobal -> false
   | FLocal, _ | _, FLocal -> true
-  | FRead _, FRead _ -> true
-  | (FRead la | FWrite la), (FRead lb | FWrite lb) -> not (Loc.equal la lb)
+  | (FRead _ | FReadNa _), (FRead _ | FReadNa _) -> true
+  | ( (FRead la | FWrite la | FReadNa la | FWriteNa la),
+      (FRead lb | FWrite lb | FReadNa lb | FWriteNa lb) ) ->
+      not (Loc.equal la lb)
 
 let pp_footprint ppf = function
   | FRead l -> Format.fprintf ppf "R%a" Loc.pp l
   | FWrite l -> Format.fprintf ppf "W%a" Loc.pp l
+  | FReadNa l -> Format.fprintf ppf "Rna%a" Loc.pp l
+  | FWriteNa l -> Format.fprintf ppf "Wna%a" Loc.pp l
   | FLocal -> Format.pp_print_string ppf "local"
   | FGlobal -> Format.pp_print_string ppf "global"
 

@@ -15,7 +15,16 @@ open Compass_rmc
     with no shared effect, [FGlobal] for steps conservatively dependent
     on everything (allocation, SC fences). *)
 
-type footprint = FRead of Loc.t | FWrite of Loc.t | FLocal | FGlobal
+type footprint =
+  | FRead of Loc.t  (** atomic read (load, await, the read of an RMW) *)
+  | FWrite of Loc.t  (** atomic write (store, RMW) *)
+  | FReadNa of Loc.t
+      (** non-atomic read — commutes exactly like [FRead], but kept
+          distinct so the rf-aware reduction never prunes an
+          order-sensitive na-race reversal *)
+  | FWriteNa of Loc.t  (** non-atomic write (same caveat) *)
+  | FLocal
+  | FGlobal
 
 val independent : footprint -> footprint -> bool
 (** Steps with these footprints commute: running them in either order

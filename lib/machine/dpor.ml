@@ -63,7 +63,7 @@ type node = {
 }
 
 type task = {
-  t_script : int array;  (** decision prefix to replay verbatim *)
+  t_script : Decision.trace;  (** decision prefix to replay verbatim *)
   t_installs : (int * (int * fp) list) list;
       (** decision position -> sleep entries, ascending; applied by the
           driver's oracle when the replay reaches each position *)
@@ -108,10 +108,17 @@ type t = {
   lock : Mutex.t;
   mutable frontier : task list;  (** stack, deepest branch at the head *)
   mutable in_flight : int;
+  rf : bool;
+      (** reads-from–aware mode: skip atomic write/read race reversals —
+          with the later read's rf edge fixed, both orders reach the same
+          machine state, and every rf edge the reversal could realise is
+          already enumerated as a data sibling of the read choice.
+          Reversals involving a non-atomic access are kept: the machine's
+          na-race fault detection is order-sensitive. *)
 }
 
-let create () =
-  { lock = Mutex.create (); frontier = [ root_task ]; in_flight = 0 }
+let create ?(rf = false) () =
+  { lock = Mutex.create (); frontier = [ root_task ]; in_flight = 0; rf }
 
 (* Pop the deepest pending task.  [None] does not mean the search is over:
    running tasks may still push children — poll {!drained}. *)
@@ -148,7 +155,7 @@ let array_index a x =
 (* Process one finished (or pruned) execution of [task]: create nodes from
    its fresh scheduling observations, spawn sibling tasks for untaken data
    alternatives, and integrate the reversible races of its step log.
-   [ds] is the full decision vector, [obs] the observations in execution
+   [ds] is the full decision trace, [obs] the observations in execution
    order, [steps] the (tid, footprint) step log oldest first.  Returns
    the number of tasks spawned (for progress accounting). *)
 let integrate st task ~ds ~obs ~steps =
@@ -182,7 +189,7 @@ let integrate st task ~ds ~obs ~steps =
       (fun (_, nd) ->
         if nd.n_pos >= pos then None
         else
-          match List.assoc_opt ds.(nd.n_pos) nd.n_installs with
+          match List.assoc_opt ds.(nd.n_pos).Decision.choice nd.n_installs with
           | Some (_ :: _ as inst) -> Some (nd.n_pos, inst)
           | _ -> None)
       path
@@ -200,7 +207,9 @@ let integrate st task ~ds ~obs ~steps =
             if c <> o.o_taken then
               children :=
                 {
-                  t_script = Array.append (Array.sub ds 0 o.o_pos) [| c |];
+                  t_script =
+                    Array.append (Array.sub ds 0 o.o_pos)
+                      [| Decision.resolve ds.(o.o_pos) c |];
                   t_installs = pre_installs;
                   t_path = pre_path;
                   t_wakeup = [];
@@ -223,9 +232,14 @@ let integrate st task ~ds ~obs ~steps =
     in
     nd.n_installs <- (c, install) :: nd.n_installs;
     nd.n_sched <- nd.n_sched @ [ u ];
+    let branch =
+      let d = Decision.resolve ds.(nd.n_pos) c in
+      d.Decision.kind <- Decision.Sched nd.n_tids.(c);
+      d
+    in
     children :=
       {
-        t_script = Array.append (Array.sub ds 0 nd.n_pos) [| c |];
+        t_script = Array.append (Array.sub ds 0 nd.n_pos) [| branch |];
         t_installs = installs_below nd.n_pos @ [ (nd.n_pos, install) ];
         t_path = path_below nd.n_pos @ [ (nd.n_step, nd) ];
         t_wakeup = wakeup;
@@ -234,6 +248,17 @@ let integrate st task ~ds ~obs ~steps =
       :: !children
   in
   let sarr = Deps.analyze_steps steps in
+  (* In rf mode, atomic-write-before-atomic-read races need no reversal:
+     the read's alternatives (its data siblings) already cover every
+     message the reversed order could make it read, and with the rf edge
+     fixed both orders commute to the same state. *)
+  let keep_race (i, j) =
+    (not st.rf)
+    ||
+    match (Deps.step_fp sarr i, Deps.step_fp sarr j) with
+    | Deps.FWrite _, Deps.FRead _ -> false
+    | _ -> true
+  in
   List.iter
     (fun (i, j) ->
       match List.assoc_opt i path with
@@ -299,7 +324,7 @@ let integrate st task ~ds ~obs ~steps =
                         then spawn_branch nd c w ~wakeup:[])
                       nd.n_tids)
           end)
-    (Deps.races ~from:task.t_branch_step sarr);
+    (List.filter keep_race (Deps.races ~from:task.t_branch_step sarr));
   (* Deepest branch at the head of the stack: ascending push, LIFO pop.
      At jobs = 1 this explores the DPOR tree depth-first, which keeps the
      incremental engine's divergence suffixes short. *)

@@ -17,7 +17,7 @@ type fp = Deps.footprint
 type task
 
 val root_task : task
-val script : task -> int array
+val script : task -> Decision.trace
 val installs : task -> (int * (int * fp) list) list
 (** decision position -> sleep entries to install there, ascending *)
 
@@ -45,8 +45,14 @@ type obs =
 
 type t
 
-val create : unit -> t
-(** a fresh search: the frontier holds only {!root_task} *)
+val create : ?rf:bool -> unit -> t
+(** a fresh search: the frontier holds only {!root_task}.  [rf] (default
+    off) turns on the reads-from–aware rule: atomic write/read race
+    reversals are not queued — with the later read's rf edge fixed both
+    orders commute, and every rf edge the reversal could realise is
+    already enumerated as a data sibling of the read choice.  Reversals
+    involving a non-atomic access are always kept (na-race fault
+    detection is order-sensitive). *)
 
 val claim : t -> task option
 (** pop the deepest pending task.  [None] does not end the search while
@@ -61,13 +67,13 @@ val drained : t -> bool
 val integrate :
   t ->
   task ->
-  ds:int array ->
+  ds:Decision.trace ->
   obs:obs list ->
   steps:(int * fp) array ->
   int
 (** account one finished (or pruned) execution of a claimed task: create
     nodes from fresh scheduling observations, spawn data-alternative
     siblings, insert race-reversal branches per the source-DPOR rule.
-    [ds] is the full decision vector, [obs] the observations in execution
+    [ds] is the full decision trace, [obs] the observations in execution
     order, [steps] the (tid, footprint) log oldest first.  Releases the
     claim; returns the number of tasks spawned. *)

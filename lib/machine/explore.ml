@@ -1,16 +1,17 @@
 (* Exploration drivers: stateless model checking.
 
-   Executions are replayed from decision scripts (arrays of oracle
-   choices).  The DFS driver enumerates the decision tree exhaustively:
-   after each run it inspects the logged (arity, choice) pairs, finds the
-   deepest position with an untried alternative, and restarts with the
-   bumped prefix.  Enumeration order is lexicographic on decision vectors,
-   which is what makes the tree *shardable*: the subtrees below distinct
-   decision prefixes are disjoint, so [pdfs] can carve the tree at a fixed
-   split depth and hand the resulting shards to OCaml 5 domains.  The
-   random driver samples seeded executions.  Where the paper *proves* a
-   property of all executions, we *enumerate* them (up to the configured
-   bounds) and check it on each. *)
+   Executions are replayed from decision scripts — typed {!Decision}
+   traces whose entries carry the choice taken, the branching factor, and
+   (for reads) reads-from provenance.  The DFS driver enumerates the
+   decision tree exhaustively: after each run it inspects the logged
+   trace, finds the deepest position with an untried alternative, and
+   restarts with the bumped prefix.  Enumeration order is lexicographic
+   on decision vectors, which is what makes the tree *shardable*: the
+   subtrees below distinct decision prefixes are disjoint, so [pdfs] can
+   carve the tree at a fixed split depth and hand the resulting shards to
+   OCaml 5 domains.  The random driver samples seeded executions.  Where
+   the paper *proves* a property of all executions, we *enumerate* them
+   (up to the configured bounds) and check it on each. *)
 
 type verdict =
   | Pass
@@ -28,7 +29,9 @@ type scenario = {
   build : Machine.t -> (Machine.outcome -> verdict);
 }
 
-type failure = { message : string; script : int array }
+type failure = { message : string; trace : Decision.trace }
+
+let failure_script f = Decision.choices f.trace
 
 type report = {
   name : string;
@@ -46,6 +49,10 @@ type report = {
       (** executions cut short by DPOR sleep sets (a queued branch turned
           out to be covered); like [pruned], never counted in
           [executions] *)
+  rf_pruned : int;
+      (** runs discarded by the reads-from reduction ([RDporRf]) because
+          their rf⊕mo class was already counted; like [pruned], never
+          counted in [executions] *)
   violations : failure list;  (** first few, oldest first *)
   complete : bool;  (** DFS exhausted the tree within the budget *)
 }
@@ -61,9 +68,12 @@ let pp_report ppf r =
     r.passed r.discarded r.blocked r.bounded
     ((if r.pruned > 0 then Printf.sprintf ", pruned %d subtrees" r.pruned
       else "")
+    ^ (if r.dpor_pruned > 0 then
+         Printf.sprintf ", dpor-pruned %d branches" r.dpor_pruned
+       else "")
     ^
-    if r.dpor_pruned > 0 then
-      Printf.sprintf ", dpor-pruned %d branches" r.dpor_pruned
+    if r.rf_pruned > 0 then
+      Printf.sprintf ", rf-pruned %d duplicates" r.rf_pruned
     else "")
     (List.length r.violations)
     (fun ppf vs ->
@@ -88,6 +98,7 @@ let report_to_json (r : report) =
       ("blocked", Jsonout.Int r.blocked);
       ("pruned", Jsonout.Int r.pruned);
       ("dpor_pruned", Jsonout.Int r.dpor_pruned);
+      ("rf_pruned", Jsonout.Int r.rf_pruned);
       ("complete", Jsonout.Bool r.complete);
       ( "violations",
         Jsonout.List
@@ -96,7 +107,9 @@ let report_to_json (r : report) =
                Jsonout.Obj
                  [
                    ("message", Jsonout.Str f.message);
-                   ("script", Jsonout.int_array f.script);
+                   (* legacy int script first: old consumers keep parsing *)
+                   ("script", Jsonout.int_array (failure_script f));
+                   ("trace", Decision.trace_to_json f.trace);
                  ])
              r.violations) );
     ]
@@ -109,11 +122,32 @@ let run_one ~config scenario script =
   let verdict = judge outcome in
   (m, oracle, outcome, verdict)
 
-(* Re-run one script with tracing on, for counterexample display. *)
+(* External replay — the CLI, the fuzzer's confirmation pass, the witness
+   detail recovery.  Uniformly *clamped*: scripts that cross a tool
+   boundary may be stale or hand-edited, so out-of-range choices take the
+   last alternative and are counted instead of raising; [r_trace] is the
+   typed decision log of what actually ran (a valid strict script). *)
+type replayed = {
+  r_machine : Machine.t;
+  r_outcome : Machine.outcome;
+  r_verdict : verdict;
+  r_trace : Decision.trace;
+  r_clamped : int;  (** out-of-range choices clamped during the replay *)
+}
+
 let replay ~config scenario script =
   let config = { config with Machine.record_trace = true } in
-  let m, _, outcome, verdict = run_one ~config scenario script in
-  (m, outcome, verdict)
+  let m = Machine.create ~config () in
+  let judge = scenario.build m in
+  let oracle = Oracle.script_clamped script in
+  let outcome = Machine.run m oracle in
+  {
+    r_machine = m;
+    r_outcome = outcome;
+    r_verdict = judge outcome;
+    r_trace = Oracle.trace oracle;
+    r_clamped = Oracle.clamp_count oracle;
+  }
 
 (* Reports keep only the first few counterexamples: enough to show, cheap
    to carry. *)
@@ -127,6 +161,7 @@ type stats = {
   mutable blocked : int;
   mutable pruned : int;
   mutable dpor_pruned : int;
+  mutable rf_pruned : int;
   mutable viol_count : int;  (** kept violations (avoids O(n) list length) *)
   mutable violations : failure list;  (** newest first *)
 }
@@ -140,11 +175,12 @@ let fresh_stats () =
     blocked = 0;
     pruned = 0;
     dpor_pruned = 0;
+    rf_pruned = 0;
     viol_count = 0;
     violations = [];
   }
 
-let account st (outcome : Machine.outcome) verdict script =
+let account st (outcome : Machine.outcome) verdict trace =
   st.execs <- st.execs + 1;
   (match outcome with
   | Machine.Bounded -> st.bounded <- st.bounded + 1
@@ -156,7 +192,7 @@ let account st (outcome : Machine.outcome) verdict script =
   | Violation message ->
       if st.viol_count < max_violations then begin
         st.viol_count <- st.viol_count + 1;
-        st.violations <- { message; script } :: st.violations
+        st.violations <- { message; trace } :: st.violations
       end
 
 (* [distinct]: only the random driver counts fingerprints; DFS enumerates
@@ -173,40 +209,123 @@ let to_report ?distinct ~name ~complete st =
     blocked = st.blocked;
     pruned = st.pruned;
     dpor_pruned = st.dpor_pruned;
+    rf_pruned = st.rf_pruned;
     violations = List.rev st.violations;
     complete;
   }
+
+(* -- reads-from classes ------------------------------------------------------
+
+   The canonical key of an execution's ORC11 execution graph, built from
+   the recorded access log: the outcome tag plus, per thread in program
+   order, each access's kind/location/mode and the *mo ranks* of the
+   timestamps it read and wrote.  Two interleavings with the same
+   per-thread access sequences, the same rf edges and the same mo order
+   produce the same key no matter how the scheduler interleaved them —
+   timestamps are canonicalised to their rank among the location's
+   observed timestamps, so the key is mo-based even under the [`Gap]
+   placement policy where raw timestamp values are placement-dependent. *)
+
+let rf_class_key ~(outcome : Machine.outcome) accesses =
+  let module Loc = Compass_rmc.Loc in
+  let module Mode = Compass_rmc.Mode in
+  (* timestamps observed per location, then ranked *)
+  let per_loc : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let note loc ts =
+    let k = Loc.key loc in
+    match Hashtbl.find_opt per_loc k with
+    | Some l -> l := ts :: !l
+    | None -> Hashtbl.add per_loc k (ref [ ts ])
+  in
+  List.iter
+    (function
+      | Access.Access r ->
+          (match r.read_ts with Some ts -> note r.loc ts | None -> ());
+          (match r.write_ts with Some ts -> note r.loc ts | None -> ())
+      | Access.Fence _ -> ())
+    accesses;
+  let rank : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun k tss ->
+      List.iteri
+        (fun i ts -> Hashtbl.replace rank (k, ts) i)
+        (List.sort_uniq compare !tss))
+    per_loc;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Format.asprintf "%a" Machine.pp_outcome outcome);
+  let tids =
+    List.sort_uniq compare (List.map Access.tid accesses)
+  in
+  List.iter
+    (fun tid ->
+      Buffer.add_string buf (Printf.sprintf "|T%d:" tid);
+      List.iter
+        (fun a ->
+          if Access.tid a = tid then
+            match a with
+            | Access.Access r ->
+                let k = Loc.key r.loc in
+                Buffer.add_string buf
+                  (Format.asprintf "%c%d%a"
+                     (match r.kind with
+                     | Access.Load -> 'L'
+                     | Access.Store -> 'S'
+                     | Access.Update -> 'U')
+                     k Mode.pp_access r.mode);
+                (match r.read_ts with
+                | Some ts ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "r%d" (Hashtbl.find rank (k, ts)))
+                | None -> ());
+                (match r.write_ts with
+                | Some ts ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "w%d" (Hashtbl.find rank (k, ts)))
+                | None -> ());
+                Buffer.add_char buf ';'
+            | Access.Fence f ->
+                Buffer.add_string buf
+                  (Format.asprintf "F%a;" Mode.pp_fence f.fence))
+        accesses)
+    tids;
+  Buffer.contents buf
 
 (* -- the DFS engine ----------------------------------------------------------
 
    One run + bump.  [run_tree] executes [script], accounts the result into
    [st] (unless the run was pruned, or [count] is off — the parallel
    frontier pass re-runs its executions inside the shard workers), and
-   returns the logged decision/arity vectors for bumping.
+   returns the logged decision trace for bumping.
 
    [mk_oracle] builds the oracle for one run from the machine, the resume
    depth/log (0/[] when replaying from the root) and the script; the
    default is plain scripted replay, the DPOR driver substitutes its
-   observing/steering oracle. *)
+   observing/steering oracle.  [classify] inspects a completed run before
+   it is accounted: returning [false] books it as [rf_pruned] instead of
+   an execution — the reads-from deduplication hook. *)
 
 let default_mk_oracle _m ~pos ~log script = Oracle.resume_script ~pos ~log script
 
+let default_classify _m _outcome = true
+
 let account_pruned ~reduction st =
   match (reduction : Machine.reduction) with
-  | Machine.RDpor -> st.dpor_pruned <- st.dpor_pruned + 1
+  | Machine.RDpor | Machine.RDporRf -> st.dpor_pruned <- st.dpor_pruned + 1
   | _ -> st.pruned <- st.pruned + 1
 
-let run_tree ~config ~reduction ~mk_oracle ~count scenario st script =
+let run_tree ~config ~reduction ~mk_oracle ~classify ~count scenario st script =
   let m = Machine.create ~config () in
   let judge = scenario.build m in
   let oracle = mk_oracle m ~pos:0 ~log:[] script in
   let outcome = Machine.run ~reduction m oracle in
-  let ds, ars = Oracle.vectors oracle in
+  let tr = Oracle.trace oracle in
   (if count then
      match outcome with
      | Machine.Pruned -> account_pruned ~reduction st
-     | _ -> account st outcome (judge outcome) ds);
-  (outcome, ds, ars)
+     | _ ->
+         if classify m outcome then account st outcome (judge outcome) tr
+         else st.rf_pruned <- st.rf_pruned + 1);
+  (outcome, tr)
 
 (* -- the incremental engine --------------------------------------------------
 
@@ -235,7 +354,7 @@ let default_stride = 1
 type checkpoint = {
   c_depth : int;  (** oracle decisions consumed when the snapshot was taken *)
   c_snap : Machine.snapshot;
-  c_log : (int * int) list;  (** oracle raw log at the checkpoint *)
+  c_log : Decision.t list;  (** oracle raw log at the checkpoint *)
 }
 
 type engine = {
@@ -246,7 +365,7 @@ type engine = {
       (** deepest first; the bottom element is the post-build root and is
           never popped.  Invariant: every checkpoint is a state along the
           previous run's path (prefix depths only). *)
-  mutable e_prev : int array;  (** the previous run's decision vector *)
+  mutable e_prev : Decision.trace;  (** the previous run's decision trace *)
 }
 
 let engine ?(stride = default_stride) ~config scenario =
@@ -266,14 +385,18 @@ let engine ?(stride = default_stride) ~config scenario =
     e_prev = [||];
   }
 
-let engine_run eng ~reduction ~mk_oracle ~count st script =
+let engine_run eng ~reduction ~mk_oracle ~classify ~count st script =
   (* Divergence point: the first position where [script] departs from the
      previous run's decisions.  Checkpoints strictly deeper than it belong
      to a different path. *)
   let diverge =
     let n = min (Array.length script) (Array.length eng.e_prev) in
     let rec go i =
-      if i < n && script.(i) = eng.e_prev.(i) then go (i + 1) else i
+      if
+        i < n
+        && script.(i).Decision.choice = eng.e_prev.(i).Decision.choice
+      then go (i + 1)
+      else i
     in
     go 0
   in
@@ -318,42 +441,45 @@ let engine_run eng ~reduction ~mk_oracle ~count st script =
     | _ -> ()
   in
   let outcome = Machine.run ~reduction ~resume:true ~on_step ~on_sched m oracle in
-  let ds, ars = Oracle.vectors oracle in
-  eng.e_prev <- ds;
+  let tr = Oracle.trace oracle in
+  eng.e_prev <- tr;
   (if count then
      match outcome with
      | Machine.Pruned -> account_pruned ~reduction st
-     | _ -> account st outcome (eng.e_judge outcome) ds);
-  (outcome, ds, ars)
+     | _ ->
+         if classify m outcome then account st outcome (eng.e_judge outcome) tr
+         else st.rf_pruned <- st.rf_pruned + 1);
+  (outcome, tr)
 
 (* A driver-agnostic runner: one closure per (driver, domain), so each
    worker owns at most one machine for its whole lifetime instead of
    allocating a machine, hash tables and scenario closures per
    execution. *)
-let make_runner ?(mk_oracle = default_mk_oracle) ~incremental ~stride ~config
-    ~reduction scenario =
+let make_runner ?(mk_oracle = default_mk_oracle) ?(classify = default_classify)
+    ~incremental ~stride ~config ~reduction scenario =
   if incremental then begin
     let eng = engine ~stride ~config scenario in
-    fun st ~count script -> engine_run eng ~reduction ~mk_oracle ~count st script
+    fun st ~count script ->
+      engine_run eng ~reduction ~mk_oracle ~classify ~count st script
   end
   else
     fun st ~count script ->
-      run_tree ~config ~reduction ~mk_oracle ~count scenario st script
+      run_tree ~config ~reduction ~mk_oracle ~classify ~count scenario st script
 
-(* Deepest position [i] with [lo <= i < min hi (length ds)] holding an
+(* Deepest position [i] with [lo <= i < min hi (length tr)] holding an
    untried alternative; the bumped script locks everything above it.
    Sequential [dfs] uses the full range; [pdfs] does not bump at all — it
    splits the same alternatives into work-stealing tasks (below). *)
-let bump ~lo ~hi ds ars =
-  let len = Array.length ds in
+let bump ~lo ~hi (tr : Decision.trace) =
+  let len = Array.length tr in
   let rec find i =
     if i < lo then None
-    else if ds.(i) + 1 < ars.(i) then Some i
+    else if tr.(i).Decision.choice + 1 < tr.(i).Decision.arity then Some i
     else find (i - 1)
   in
   match find (min hi len - 1) with
   | None -> None
-  | Some i -> Some (Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |])
+  | Some i -> Some (Array.append (Array.sub tr 0 i) [| Decision.bumped tr.(i) |])
 
 let merge_stats into from =
   into.execs <- into.execs + from.execs;
@@ -363,17 +489,20 @@ let merge_stats into from =
   into.blocked <- into.blocked + from.blocked;
   into.pruned <- into.pruned + from.pruned;
   into.dpor_pruned <- into.dpor_pruned + from.dpor_pruned;
+  into.rf_pruned <- into.rf_pruned + from.rf_pruned;
   into.viol_count <- into.viol_count + from.viol_count;
   into.violations <- from.violations @ into.violations
 
 (* Deterministic violation order across worker schedules: sort the merged
    failures by decision script (DFS order is lexicographic on scripts). *)
 let compare_failure (a : failure) (b : failure) =
-  let la = Array.length a.script and lb = Array.length b.script in
+  let la = Array.length a.trace and lb = Array.length b.trace in
   let rec go i =
     if i >= la || i >= lb then Int.compare la lb
     else
-      match Int.compare a.script.(i) b.script.(i) with
+      match
+        Int.compare a.trace.(i).Decision.choice b.trace.(i).Decision.choice
+      with
       | 0 -> go (i + 1)
       | c -> c
   in
@@ -399,12 +528,42 @@ let compare_failure (a : failure) (b : failure) =
    depth-first order keeps the incremental engine's divergence suffixes
    short).  At [jobs > 1] race-discovery order — and hence execution
    counts — may vary between runs, but verdicts and kept-violation sets
-   are schedule-independent (the differential suite asserts this). *)
+   are schedule-independent (the differential suite asserts this).
+
+   [rf] mode (--reduce=dpor-rf) stacks the data reduction on top:
+   {!Dpor.create}[ ~rf:true] stops queueing atomic write/read race
+   reversals (the read's data siblings already enumerate every rf edge a
+   reversal could realise), and a shared rf-class table keyed by
+   {!rf_class_key} deduplicates completed runs — a run whose class was
+   already counted books as [rf_pruned], skips the judge, and refunds its
+   budget slot, so [executions] counts exactly the distinct rf⊕mo
+   classes.  Every run still feeds {!Dpor.integrate}: duplicates can
+   still own unexplored data siblings. *)
 
 let dpor_drive ?(jobs = 1) ?(max_execs = 100_000) ?(incremental = true)
     ?(stride = default_stride) ?(until_violation = false)
-    ?(config = Machine.default_config) scenario =
-  let state = Dpor.create () in
+    ?(config = Machine.default_config) ?(rf = false) scenario =
+  let state = Dpor.create ~rf () in
+  (* rf-class dedup needs the access log; force-record it in rf mode. *)
+  let config =
+    if rf && not config.Machine.record_accesses then
+      { config with Machine.record_accesses = true }
+    else config
+  in
+  let reduction = if rf then Machine.RDporRf else Machine.RDpor in
+  let classes : (string, unit) Hashtbl.t = Hashtbl.create 199 in
+  let classes_lock = Mutex.create () in
+  let classify m outcome =
+    if not rf then true
+    else begin
+      let key = rf_class_key ~outcome (Machine.accesses m) in
+      Mutex.lock classes_lock;
+      let dup = Hashtbl.mem classes key in
+      if not dup then Hashtbl.add classes key ();
+      Mutex.unlock classes_lock;
+      not dup
+    end
+  in
   let spent = Atomic.make 0 in
   let budget_hit = Atomic.make false in
   let stop = Atomic.make false in
@@ -429,7 +588,7 @@ let dpor_drive ?(jobs = 1) ?(max_execs = 100_000) ?(incremental = true)
           (match List.assoc_opt pos installs with
           | Some entries -> Machine.set_sleep m (entries @ Machine.get_sleep m)
           | None -> ());
-          let c = script.(pos) in
+          let c = script.(pos).Decision.choice in
           if c >= arity then
             invalid_arg
               (Printf.sprintf "Explore.dpor: choice %d/%d at %d" c arity pos);
@@ -504,8 +663,8 @@ let dpor_drive ?(jobs = 1) ?(max_execs = 100_000) ?(incremental = true)
       Oracle.resume_make ~sched_aware:true ~pos ~log pick
     in
     let run =
-      make_runner ~mk_oracle ~incremental ~stride ~config
-        ~reduction:Machine.RDpor scenario
+      make_runner ~mk_oracle ~classify ~incremental ~stride ~config ~reduction
+        scenario
     in
     let rec loop () =
       if Atomic.get budget_hit || Atomic.get stop then ()
@@ -526,9 +685,11 @@ let dpor_drive ?(jobs = 1) ?(max_execs = 100_000) ?(incremental = true)
             end
             else begin
               cur_task := task;
-              let outcome, ds, _ars = run st ~count:true (Dpor.script task) in
-              (* Pruned runs are not executions: refund the budget slot. *)
-              if outcome = Machine.Pruned then
+              let rfp0 = st.rf_pruned in
+              let outcome, ds = run st ~count:true (Dpor.script task) in
+              (* Pruned and rf-deduplicated runs are not executions:
+                 refund the budget slot. *)
+              if outcome = Machine.Pruned || st.rf_pruned > rfp0 then
                 ignore (Atomic.fetch_and_add spent (-1));
               let m = Option.get !cur_m in
               ignore
@@ -567,38 +728,38 @@ let dpor_drive ?(jobs = 1) ?(max_execs = 100_000) ?(incremental = true)
 let dfs ?(max_execs = 100_000) ?(reduce = Machine.RNone) ?(incremental = true)
     ?(stride = default_stride) ?(until_violation = false)
     ?(config = Machine.default_config) scenario =
-  if reduce = Machine.RDpor then
-    dpor_drive ~jobs:1 ~max_execs ~incremental ~stride ~until_violation
-      ~config scenario
-  else begin
-    let st = fresh_stats () in
-    let run =
-      make_runner ~incremental ~stride ~config ~reduction:reduce scenario
-    in
-    let rec go script =
-      if st.execs >= max_execs then false
-      else begin
-        let _, ds, ars = run st ~count:true script in
-        if until_violation && st.viol_count > 0 then false
-        else
-          match bump ~lo:0 ~hi:max_int ds ars with
-          | None -> true
-          | Some script -> go script
-      end
-    in
-    let complete = go [||] in
-    to_report ~name:scenario.name ~complete st
-  end
+  match reduce with
+  | Machine.RDpor | Machine.RDporRf ->
+      dpor_drive ~jobs:1 ~max_execs ~incremental ~stride ~until_violation
+        ~config ~rf:(reduce = Machine.RDporRf) scenario
+  | Machine.RNone | Machine.RSleep ->
+      let st = fresh_stats () in
+      let run =
+        make_runner ~incremental ~stride ~config ~reduction:reduce scenario
+      in
+      let rec go script =
+        if st.execs >= max_execs then false
+        else begin
+          let _, tr = run st ~count:true script in
+          if until_violation && st.viol_count > 0 then false
+          else
+            match bump ~lo:0 ~hi:max_int tr with
+            | None -> true
+            | Some script -> go script
+        end
+      in
+      let complete = go [||] in
+      to_report ~name:scenario.name ~complete st
 
 (* -- parallel DFS: work-stealing frontier ------------------------------------
 
    The decision tree is partitioned into *tasks*.  A task [(script, lock)]
    owns the subtree of executions whose decision vectors extend [script]
    with positions below [lock] frozen.  Running the task's script yields
-   one leaf [(ds, ars)]; the rest of its subtree is exactly the disjoint
+   one leaf trace; the rest of its subtree is exactly the disjoint
    union of the child tasks
 
-     (ds[0..i) ++ [ds.(i)+1], i)     for lock <= i < |ds|, ds.(i)+1 < ars.(i)
+     (tr[0..i) ++ [bumped tr.(i)], i)   for lock <= i < |tr|, choice+1 < arity
 
    — child [i] covers every execution that agrees with the leaf below
    position [i] and diverges at [i].  Children are pushed shallow-first
@@ -631,10 +792,11 @@ let pdfs ?jobs ?(max_execs = 100_000) ?(reduce = Machine.RNone)
   let jobs =
     match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
   in
-  if reduce = Machine.RDpor then
-    dpor_drive ~jobs ~max_execs ~incremental ~stride ~until_violation ~config
-      scenario
-  else begin
+  match reduce with
+  | Machine.RDpor | Machine.RDporRf ->
+      dpor_drive ~jobs ~max_execs ~incremental ~stride ~until_violation
+        ~config ~rf:(reduce = Machine.RDporRf) scenario
+  | Machine.RNone | Machine.RSleep ->
   let deques = Array.init jobs (fun _ -> Wsdeque.create ()) in
   (* Tasks created but not yet finished; the search is over when it hits
      zero.  Seeded with the root task before any worker starts. *)
@@ -677,7 +839,7 @@ let pdfs ?jobs ?(max_execs = 100_000) ?(reduce = Machine.RNone)
       (if Atomic.get stop then ()
        else if not (take_slot ()) then ()
        else begin
-         let outcome, ds, ars = run st ~count:true script in
+         let outcome, tr = run st ~count:true script in
          (* Pruned runs are not executions: refund the budget slot so the
             parallel budget counts what sequential [dfs] counts. *)
          if outcome = Machine.Pruned then incr local;
@@ -685,10 +847,11 @@ let pdfs ?jobs ?(max_execs = 100_000) ?(reduce = Machine.RNone)
          else
            (* Split the remainder of this task's subtree into children,
               shallow-first so the owner's LIFO pop takes the deepest. *)
-           for i = lock to Array.length ds - 1 do
-             if ds.(i) + 1 < ars.(i) then begin
+           for i = lock to Array.length tr - 1 do
+             if tr.(i).Decision.choice + 1 < tr.(i).Decision.arity then begin
                Atomic.incr pending;
-               Wsdeque.push dq (Array.append (Array.sub ds 0 i) [| ds.(i) + 1 |], i)
+               Wsdeque.push dq
+                 (Array.append (Array.sub tr 0 i) [| Decision.bumped tr.(i) |], i)
              end
            done
        end);
@@ -740,7 +903,6 @@ let pdfs ?jobs ?(max_execs = 100_000) ?(reduce = Machine.RNone)
   to_report ~name:scenario.name
     ~complete:((not (Atomic.get budget_hit)) && not (Atomic.get stop))
     st
-  end
 
 (* Random sampling: [execs] seeded executions.  Decision vectors are
    fingerprinted so the report can say how many *distinct* executions the
@@ -756,9 +918,9 @@ let random ?(execs = 1_000) ?(seed = 0) ?(config = Machine.default_config)
     let oracle = Oracle.random ~seed:(seed + i) in
     let outcome = Machine.run m oracle in
     let verdict = judge outcome in
-    let ds = Array.of_list (Oracle.decisions oracle) in
-    Hashtbl.replace seen ds ();
-    account st outcome verdict ds
+    let tr = Oracle.trace oracle in
+    Hashtbl.replace seen (Decision.choices tr) ();
+    account st outcome verdict tr
   done;
   to_report ~distinct:(Hashtbl.length seen) ~name:scenario.name ~complete:false
     st

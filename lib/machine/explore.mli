@@ -1,16 +1,19 @@
 (** Exploration drivers: stateless model checking.
 
-    Executions replay from decision scripts.  The DFS driver enumerates
-    the decision tree exhaustively: after each run it takes the logged
-    (arity, choice) pairs, finds the deepest position with an untried
-    alternative, and restarts with the bumped prefix.  The parallel
-    driver {!pdfs} splits that tree into disjoint decision-prefix tasks
-    balanced across OCaml 5 domains by work stealing; [~reduce] selects a
-    partial-order reduction: sleep sets in the scheduler (see
-    {!Machine.run}) or source-DPOR with wakeup sequences ({!Dpor}).  The
-    random driver samples seeded executions.  Where
-    the paper {e proves} a property of all executions, we {e enumerate}
-    them (up to the configured bounds) and check it on each. *)
+    Executions replay from decision scripts — typed {!Decision} traces
+    carrying the choice taken, the branching factor, and (for reads) the
+    reads-from provenance.  The DFS driver enumerates the decision tree
+    exhaustively: after each run it takes the logged trace, finds the
+    deepest position with an untried alternative, and restarts with the
+    bumped prefix.  The parallel driver {!pdfs} splits that tree into
+    disjoint decision-prefix tasks balanced across OCaml 5 domains by
+    work stealing; [~reduce] selects a partial-order reduction: sleep
+    sets in the scheduler (see {!Machine.run}), source-DPOR with wakeup
+    sequences ({!Dpor}), or reads-from–aware source-DPOR ([RDporRf]: one
+    counted execution per distinct rf⊕mo class).  The random driver
+    samples seeded executions.  Where the paper {e proves} a property of
+    all executions, we {e enumerate} them (up to the configured bounds)
+    and check it on each. *)
 
 type verdict =
   | Pass
@@ -30,7 +33,10 @@ type scenario = {
           treat them as approximate when [jobs > 1]. *)
 }
 
-type failure = { message : string; script : int array }
+type failure = { message : string; trace : Decision.trace }
+
+val failure_script : failure -> int array
+(** the failure's decision vector — [Decision.choices] of its trace *)
 
 type report = {
   name : string;
@@ -51,6 +57,12 @@ type report = {
           threads scheduled by a stale branch.  An optimal DPOR search
           reports 0; nonzero counts measure how far the source-set
           approximation is from optimality on this scenario. *)
+  rf_pruned : int;
+      (** completed runs discarded under [~reduce:RDporRf] because their
+          reads-from class ({!rf_class_key}) was already counted.  Like
+          [pruned]/[dpor_pruned], never counted in [executions] and never
+          judged — on an exhaustive search [executions] equals the number
+          of distinct rf⊕mo classes. *)
   violations : failure list;  (** first few, oldest first *)
   complete : bool;  (** DFS exhausted the tree within the budget *)
 }
@@ -61,22 +73,46 @@ val ok : report -> bool
 (** no violations *)
 
 val report_to_json : report -> Compass_util.Jsonout.t
-(** the report (including [distinct] and the kept violation scripts) as a
-    JSON object, for [--json] flags and CI artifacts *)
+(** the report as a JSON object, for [--json] flags and CI artifacts.
+    Kept violations carry both the legacy ["script"] int array and the
+    typed ["trace"] (with per-decision kind and rf provenance). *)
 
 val run_one :
   config:Machine.config ->
   scenario ->
-  int array ->
+  Decision.trace ->
   Machine.t * Oracle.t * Machine.outcome * verdict
-(** one execution from a decision script (exposed for replay tooling) *)
+(** one execution from a decision script, {e strict}: an out-of-range
+    choice raises [Invalid_argument] (exposed for driver-internal replay,
+    where scripts are machine-generated and a mismatch is a bug) *)
 
-val replay :
-  config:Machine.config ->
-  scenario ->
-  int array ->
-  Machine.t * Machine.outcome * verdict
-(** re-run one script with tracing on, for counterexample display *)
+(** The result of one {e clamped} external replay: what the CLI, the
+    fuzzer's confirmation pass and the witness detail recovery use. *)
+type replayed = {
+  r_machine : Machine.t;
+  r_outcome : Machine.outcome;
+  r_verdict : verdict;
+  r_trace : Decision.trace;
+      (** the typed decision log of what actually ran — a valid strict
+          script, with kinds, sites and rf provenance filled in *)
+  r_clamped : int;  (** out-of-range choices clamped during the replay *)
+}
+
+val replay : config:Machine.config -> scenario -> Decision.trace -> replayed
+(** re-run one script with tracing on, for counterexample display.
+    Uniformly {e clamped}: scripts crossing a tool boundary (saved
+    corpora, witness files, hand-edited CLI input) may be stale, so
+    out-of-range choices take the last alternative and are counted in
+    [r_clamped] instead of raising. *)
+
+val rf_class_key : outcome:Machine.outcome -> Access.t list -> string
+(** canonical key of an execution's reads-from class: the outcome tag
+    plus, per thread in program order, each access's kind/location/mode
+    and the {e mo ranks} of the timestamps it read and wrote (ranks, not
+    raw timestamps, so the key is placement-independent under the [`Gap]
+    policy).  Two interleavings get equal keys iff they realise the same
+    execution graph (same per-thread accesses, rf edges and mo order).
+    Requires the access log ([record_accesses]). *)
 
 val default_stride : int
 (** decisions between checkpoints in the incremental engine (1: checkpoint
@@ -100,7 +136,12 @@ val dfs :
     [RDpor] switches to source-DPOR with wakeup sequences ({!Dpor}),
     which explores strictly fewer executions than sleep sets (near one
     per Mazurkiewicz trace) with the same verdicts and kept violations,
-    counting its few redundant kills in {!report.dpor_pruned}.
+    counting its few redundant kills in {!report.dpor_pruned}; [RDporRf]
+    stacks the reads-from reduction on top — atomic write/read race
+    reversals are not queued (every rf edge a reversal could realise is
+    already a read-choice alternative) and completed runs are
+    deduplicated by {!rf_class_key}, so [executions] counts exactly the
+    distinct rf⊕mo classes, with the same verdicts and kept violations.
 
     [incremental] (default on) explores with the checkpoint/restore
     engine: one machine built once, a stack of snapshots keyed by decision
@@ -142,12 +183,14 @@ val pdfs :
     its whole lifetime, and claims execution budget in batches rather
     than one atomic per run.
 
-    Under [~reduce:RDpor] the workers share a {!Dpor} frontier instead of
-    Chase-Lev deques: stolen prefix tasks carry their wakeup-sequence and
-    sleep-install obligations, so parallel DPOR keeps the same verdicts
-    and violation sets as the sequential search (the execution {e count}
-    may differ run to run — racing workers can both explore a branch the
-    other would have put to sleep). *)
+    Under [~reduce:RDpor] (and [RDporRf]) the workers share a {!Dpor}
+    frontier instead of Chase-Lev deques: stolen prefix tasks carry their
+    wakeup-sequence and sleep-install obligations, so parallel DPOR keeps
+    the same verdicts and violation sets as the sequential search (the
+    execution {e count} may differ run to run — racing workers can both
+    explore a branch the other would have put to sleep; under [RDporRf]
+    the shared rf-class table makes the counted executions — the distinct
+    classes — schedule-independent again on complete searches). *)
 
 val random : ?execs:int -> ?seed:int -> ?config:Machine.config -> scenario -> report
 

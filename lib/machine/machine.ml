@@ -76,6 +76,8 @@ let pp_outcome ppf = function
 type footprint = Deps.footprint =
   | FRead of Loc.t
   | FWrite of Loc.t
+  | FReadNa of Loc.t
+  | FWriteNa of Loc.t
   | FLocal
   | FGlobal
 
@@ -84,8 +86,10 @@ type footprint = Deps.footprint =
    replay; [RDpor] is driven from outside: the machine only records the
    (tid, footprint) step log, honours driver-installed sleep sets, and
    wakes sleepers on dependent steps — the backtrack/wakeup-tree logic
-   lives in {!Dpor}/{!Explore}. *)
-type reduction = RNone | RSleep | RDpor
+   lives in {!Dpor}/{!Explore}.  [RDporRf] is [RDpor] to the machine; the
+   driver additionally prunes race reversals and executions whose
+   reads-from class was already explored. *)
+type reduction = RNone | RSleep | RDpor | RDporRf
 
 (* Snapshot types are declared here because the machine keeps its last
    snapshot as a cache; the snapshot/restore machinery lives further
@@ -196,9 +200,11 @@ let record_fence m ~tid ?site fence =
   end
 
 (* Choices with a single alternative consume no oracle decision: this keeps
-   DFS decision scripts short. *)
-let choose ?kind oracle ~arity =
-  if arity = 1 then 0 else Oracle.choose ?kind oracle ~arity
+   DFS decision scripts short.  [dkind]/[site] type the logged decision;
+   post-pick annotation (scheduled tid, rf provenance) must therefore be
+   guarded with [arity > 1] by callers — an arity-1 choice logs nothing. *)
+let choose ?kind ?dkind ?site oracle ~arity =
+  if arity = 1 then 0 else Oracle.choose ?kind ?dkind ?site oracle ~arity
 
 (* -- commits ---------------------------------------------------------------- *)
 
@@ -283,7 +289,9 @@ let do_write m (th : thread) oracle ?site ~l ~value ~mode ?rmw_read () =
           Memory.append_ts m.mem l ~above
         else begin
           let choices = Memory.write_ts_choices m.mem l ~above in
-          List.nth choices (choose oracle ~arity:(List.length choices))
+          List.nth choices
+            (choose ~dkind:(Decision.Ts l) ?site oracle
+               ~arity:(List.length choices))
         end
   in
   let tv', view, lview = Tview.write th.tv ~l ~ts ~mode ?rmw_read () in
@@ -301,11 +309,17 @@ let do_write m (th : thread) oracle ?site ~l ~value ~mode ?rmw_read () =
 (* Read choice for an atomic load: count, decide, index — no choice list
    is ever built (on the flat backend the readable set is an index
    range). *)
-let pick_read m (th : thread) oracle l =
+let pick_read m (th : thread) oracle ?site l =
   let from = View.get th.tv.Tview.cur l in
   let arity = Memory.read_arity m.mem l ~from in
   assert (arity > 0);
-  Memory.read_nth m.mem l ~from (choose oracle ~arity)
+  let mref =
+    Memory.read_nth m.mem l ~from
+      (choose ~dkind:(Decision.Read l) ?site oracle ~arity)
+  in
+  if arity > 1 then
+    Oracle.annotate_rf oracle ~ts:!mref.Msg.ts ~wtid:!mref.Msg.wtid;
+  mref
 
 (* Execute one operation of thread [th].  Returns the continuation's next
    program.  Raises [Memory.Error] on races and whatever the program raises
@@ -326,7 +340,7 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
             record_access m ~tid:th.tid ?site ~loc:l ~kind:Access.Load
               ~mode:Mode.Na ~read_ts:None ~write_ts:None ();
             raise e)
-        else pick_read m th oracle l
+        else pick_read m th oracle ?site l
       in
       let msg = !mref in
       th.tv <- Tview.read th.tv msg mode;
@@ -350,7 +364,12 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
       let arity = Memory.sat_arity m.mem l ~from ~sat in
       (* The scheduler only runs an await when it is enabled. *)
       assert (arity > 0);
-      let mref = Memory.sat_nth m.mem l ~from ~sat (choose oracle ~arity) in
+      let mref =
+        Memory.sat_nth m.mem l ~from ~sat
+          (choose ~dkind:(Decision.Await l) ?site oracle ~arity)
+      in
+      if arity > 1 then
+        Oracle.annotate_rf oracle ~ts:!mref.Msg.ts ~wtid:!mref.Msg.wtid;
       let msg = !mref in
       th.tv <- Tview.read th.tv msg mode;
       if m.config.record_trace then
@@ -409,7 +428,13 @@ let exec_op m (th : thread) oracle (op : Prog.op) (k : Prog.res -> Value.t Prog.
             in
             let arity = Memory.sat_arity m.mem l ~from ~sat in
             assert (arity > 0);
-            Memory.sat_nth m.mem l ~from ~sat (choose oracle ~arity)
+            let mref =
+              Memory.sat_nth m.mem l ~from ~sat
+                (choose ~dkind:(Decision.Cas l) ?site oracle ~arity)
+            in
+            if arity > 1 then
+              Oracle.annotate_rf oracle ~ts:!mref.Msg.ts ~wtid:!mref.Msg.wtid;
+            mref
         | Prog.Faa _ | Prog.Xchg _ ->
             (* Unconditional RMWs always succeed: only the latest, which
                is readable because views never run ahead of mo. *)
@@ -593,14 +618,28 @@ let thread_view m tid = m.threads.(tid).tv
    isomorphic graph — and every checked predicate (consistency conditions,
    spec styles) is invariant under that isomorphism. *)
 
-let footprint (th : thread) =
+(* The footprint classifies the *effective* access: mode overrides (the
+   audit's weakened mutants) are applied first, so a load weakened to
+   non-atomic is [FReadNa] here exactly as it will execute, and a dropped
+   SC fence no longer counts as [FGlobal]. *)
+let footprint m (th : thread) =
   match th.prog with
   | Prog.Op (op, _) -> (
+      let site = op.Prog.site in
       match op.Prog.instr with
-      | Prog.Load (l, _, _) | Prog.Await (l, _, _, _) -> FRead l
-      | Prog.Store (l, _, _, _) | Prog.Rmw (l, _, _, _) -> FWrite l
-      | Prog.Fence Mode.F_sc -> FGlobal
-      | Prog.Fence _ -> FLocal
+      | Prog.Load (l, mode, _) | Prog.Await (l, mode, _, _) ->
+          if Override.access m.config.overrides ~site mode = Mode.Na then
+            FReadNa l
+          else FRead l
+      | Prog.Store (l, _, mode, _) ->
+          if Override.access m.config.overrides ~site mode = Mode.Na then
+            FWriteNa l
+          else FWrite l
+      | Prog.Rmw (l, _, _, _) -> FWrite l
+      | Prog.Fence f -> (
+          match Override.fence m.config.overrides ~site f with
+          | Some Mode.F_sc -> FGlobal
+          | Some _ | None -> FLocal)
       | Prog.Alloc _ -> FGlobal
       | Prog.Yield | Prog.Tid -> FLocal)
   | Prog.Ret _ | Prog.Reserve _ -> FLocal
@@ -618,7 +657,7 @@ let set_sleep m s = m.sleep <- s
 
 let pending_footprint m tid =
   let th = Array.find_opt (fun th -> th.tid = tid) m.threads in
-  match th with Some th -> footprint th | None -> FLocal
+  match th with Some th -> footprint m th | None -> FLocal
 
 (* Interleave the spawned threads until they all finish (or fault / block /
    exhaust the budget).
@@ -684,10 +723,12 @@ let run ?(reduction = RNone) ?(resume = false) ?on_step ?on_sched m oracle =
              what a priority scheduler would do with one runnable
              thread). *)
           let tids = Array.init arity (fun k -> threads.(runnable.(k)).tid) in
-          Oracle.choose ~kind:(Oracle.Sched tids) oracle ~arity
-        else Oracle.choose oracle ~arity
+          Oracle.choose ~kind:(Oracle.Sched tids)
+            ~dkind:(Decision.Sched (-1)) oracle ~arity
+        else Oracle.choose ~dkind:(Decision.Sched (-1)) oracle ~arity
       in
       let th = threads.(runnable.(j)) in
+      if arity > 1 then Oracle.annotate_sched oracle th.tid;
       if reduction <> RNone && List.mem_assq th.tid m.sleep then Pruned
       else begin
         (match reduction with
@@ -695,22 +736,22 @@ let run ?(reduction = RNone) ?(resume = false) ?on_step ?on_sched m oracle =
         | RSleep ->
             (* Earlier siblings fall asleep; survivors are the sleepers
                whose pending step is independent of the one now taken. *)
-            let fp = footprint th in
+            let fp = footprint m th in
             let explored = ref [] in
             for k = j - 1 downto 0 do
               let u = threads.(runnable.(k)) in
-              explored := (u.tid, footprint u) :: !explored
+              explored := (u.tid, footprint m u) :: !explored
             done;
             m.sleep <-
               List.filter
                 (fun (_, fu) -> independent fu fp)
                 (m.sleep @ !explored)
-        | RDpor ->
+        | RDpor | RDporRf ->
             (* No sibling-order sleep here: the DPOR driver installs sleep
                sets at branch points (source sets, not left-to-right DFS
                order).  The machine still wakes sleepers on dependent
                steps and logs every step for the dependency analysis. *)
-            let fp = footprint th in
+            let fp = footprint m th in
             m.sleep <- List.filter (fun (_, fu) -> independent fu fp) m.sleep;
             m.dpor_log <- (th.tid, fp) :: m.dpor_log);
         step_thread m th oracle;

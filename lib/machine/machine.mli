@@ -63,6 +63,12 @@ type reduction =
           honours driver-installed sleep sets ({!set_sleep}) and wakes
           sleepers on dependent steps; backtrack/wakeup-tree logic lives
           in the {!Explore} DPOR driver *)
+  | RDporRf
+      (** reads-from–aware source-DPOR: identical to [RDpor] inside the
+          machine; the driver additionally skips atomic write/read race
+          reversals (covered by read-choice alternatives) and deduplicates
+          executions by reads-from class — one counted execution per
+          distinct rf⊕mo graph *)
 
 type t
 

@@ -41,7 +41,7 @@ type detail = {
 type witness = {
   w_client : string;
   w_message : string;
-  w_script : int array;
+  w_trace : Decision.trace;
   w_raw_len : int;
   w_replays : int;
   w_detail : detail option;
@@ -127,10 +127,9 @@ let detail_of (e : Libspec.entry) kind c script =
         judge kind (Atomic.make 0) g o)
       c
   in
-  let m, outcome, _verdict =
-    Explore.replay ~config:Machine.default_config sc script
-  in
-  match (outcome, !gref) with
+  let r = Explore.replay ~config:Machine.default_config sc script in
+  let m = r.Explore.r_machine in
+  match (r.Explore.r_outcome, !gref) with
   | Machine.Fault s, Some g ->
       Some
         {
@@ -182,7 +181,7 @@ let run ?(options = default_options) (e : Libspec.entry) =
     (if !witness = None then
        match r.Explore.violations with
        | f :: _ ->
-           let raw = f.Explore.script in
+           let raw = f.Explore.trace in
            let script, replays =
              if options.shrink then
                let stats, shrunk =
@@ -198,7 +197,7 @@ let run ?(options = default_options) (e : Libspec.entry) =
                {
                  w_client = c.Mgc.id;
                  w_message = f.Explore.message;
-                 w_script = script;
+                 w_trace = script;
                  w_raw_len = Array.length raw;
                  w_replays = replays;
                  w_detail = detail_of e kind c script;
@@ -269,7 +268,7 @@ let pp ppf r =
          replays)@,"
         w.w_client
         (String.concat ","
-           (List.map string_of_int (Array.to_list w.w_script)))
+           (List.map string_of_int (Array.to_list (Decision.choices w.w_trace))))
         w.w_raw_len w.w_replays;
       (match w.w_detail with
       | Some d ->
@@ -317,7 +316,8 @@ let to_json r =
               ([
                  ("client", Jsonout.Str w.w_client);
                  ("message", Jsonout.Str w.w_message);
-                 ("script", Jsonout.int_array w.w_script);
+                 ("script", Jsonout.int_array (Decision.choices w.w_trace));
+                 ("trace", Decision.trace_to_json w.w_trace);
                  ("raw_len", Jsonout.Int w.w_raw_len);
                  ("shrink_replays", Jsonout.Int w.w_replays);
                ]

@@ -50,7 +50,7 @@ type detail = {
 type witness = {
   w_client : string;  (** generated client id (for [--sim-client]) *)
   w_message : string;
-  w_script : int array;  (** shrunk replay script *)
+  w_trace : Decision.trace;  (** shrunk replay script (typed trace) *)
   w_raw_len : int;
   w_replays : int;  (** shrink replays spent (0 when shrinking is off) *)
   w_detail : detail option;  (** from replaying the shrunk script *)

@@ -143,7 +143,7 @@ let test_audit_link_cas_necessary () =
   match s.Audit.verdict with
   | Audit.Necessary { witness; weakening } ->
       Alcotest.(check bool) "witness script nonempty" true
-        (Array.length witness.Explore.script > 0);
+        (Array.length witness.Explore.trace > 0);
       (* the weakest mutant of an acq_rel CAS is the fully relaxed one *)
       Alcotest.(check string) "weakening" "rlx"
         (Audit.weakening_to_string weakening)
@@ -188,7 +188,7 @@ let test_audit_witness_replays () =
       let overrides = Audit.override_of s.Audit.site weakening in
       let config = { Machine.default_config with overrides } in
       let _, _, _, verdict =
-        Explore.run_one ~config sc witness.Explore.script
+        Explore.run_one ~config sc witness.Explore.trace
       in
       (match verdict with
       | Explore.Violation _ -> ()
@@ -196,7 +196,7 @@ let test_audit_witness_replays () =
       | Explore.Discard d -> Alcotest.failf "witness script discarded: %s" d);
       (* and without the weakening the same script is healthy *)
       let _, _, _, verdict =
-        Explore.run_one ~config:Machine.default_config sc witness.Explore.script
+        Explore.run_one ~config:Machine.default_config sc witness.Explore.trace
       in
       (match verdict with
       | Explore.Violation v ->

@@ -1,5 +1,6 @@
 open Compass_rmc
 open Compass_machine
+open Compass_spec
 open Compass_dstruct
 open Compass_clients
 open Prog.Syntax
@@ -145,6 +146,148 @@ let test_litmus_differential () =
         && r_sleep.Explore.executions <= r_full.Explore.executions))
     (List.map (fun t () -> t) (Litmus.all ()))
 
+(* -- reads-from classes: dpor-rf counts one execution per rf⊕mo graph --------- *)
+
+(* Exhaustive census: wrap a scenario so every counted (non-[Pruned])
+   run records its {!Explore.rf_class_key} into [classes].  Run under
+   [RNone] with access recording on, the table afterwards holds every
+   distinct execution graph the scenario can produce — the ground truth
+   [--reduce=dpor-rf] must match exactly. *)
+let census_config = { Machine.default_config with Machine.record_accesses = true }
+
+let with_census classes (sc : Explore.scenario) =
+  {
+    sc with
+    Explore.build =
+      (fun m ->
+        let judge = sc.Explore.build m in
+        fun outcome ->
+          (match outcome with
+          | Machine.Pruned -> ()
+          | _ ->
+              Hashtbl.replace classes
+                (Explore.rf_class_key ~outcome (Machine.accesses m))
+                ());
+          judge outcome);
+  }
+
+let rf_census_litmus () =
+  [
+    ("corr", Litmus.corr);
+    ("cowr", Litmus.cowr);
+    ("sb", fun () -> Litmus.sb ());
+    ("iriw", Litmus.iriw);
+  ]
+
+let test_rf_census () =
+  List.iter
+    (fun (name, mk) ->
+      let max_execs = 400_000 in
+      let classes = Hashtbl.create 64 in
+      let t = mk () in
+      let full =
+        Explore.dfs ~config:census_config ~max_execs
+          (with_census classes t.Litmus.scenario)
+      in
+      Alcotest.(check bool) (name ^ ": exhaustive census complete") true
+        full.Explore.complete;
+      let n_classes = Hashtbl.length classes in
+      Alcotest.(check bool) (name ^ ": some classes observed") true
+        (n_classes > 0);
+      (* dpor-rf counts exactly one execution per distinct class, and
+         books every duplicate completed run as rf_pruned *)
+      let rf =
+        Explore.dfs ~reduce:Machine.RDporRf ~max_execs (mk ()).Litmus.scenario
+      in
+      Alcotest.(check bool) (name ^ ": dpor-rf complete") true
+        rf.Explore.complete;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: one execution per rf-class (census %d)" name
+           n_classes)
+        n_classes rf.Explore.executions;
+      (* the same census through the replay-from-root engine and the
+         parallel driver: the class count is enumeration-order
+         independent *)
+      let replay =
+        Explore.dfs ~reduce:Machine.RDporRf ~incremental:false ~max_execs
+          (mk ()).Litmus.scenario
+      in
+      Alcotest.(check int)
+        (name ^ ": replay-from-root counts the same classes")
+        n_classes replay.Explore.executions;
+      List.iter
+        (fun jobs ->
+          let par =
+            Explore.pdfs ~jobs ~reduce:Machine.RDporRf ~max_execs
+              (mk ()).Litmus.scenario
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: dpor-rf jobs %d complete" name jobs)
+            true par.Explore.complete;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: dpor-rf jobs %d counts the same classes" name
+               jobs)
+            n_classes par.Explore.executions)
+        [ 1; 2 ])
+    (rf_census_litmus ())
+
+(* dpor-rf must keep every litmus verdict of plain dpor while never
+   counting more executions. *)
+let test_rf_litmus_verdicts () =
+  List.iter
+    (fun mk ->
+      let ok_dpor, r_dpor, _ = Litmus.verdict ~reduce:Machine.RDpor (mk ()) in
+      let ok_rf, r_rf, _ = Litmus.verdict ~reduce:Machine.RDporRf (mk ()) in
+      let name = r_rf.Explore.name in
+      Alcotest.(check bool) (name ^ ": dpor-rf verdict") ok_dpor ok_rf;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: dpor-rf %d <= dpor %d executions" name
+           r_rf.Explore.executions r_dpor.Explore.executions)
+        true
+        (r_rf.Explore.executions <= r_dpor.Explore.executions))
+    (List.map (fun t () -> t) (Litmus.all ()))
+
+(* Client scenarios and every registry smoke workload: verdicts and
+   distinct violation sets agree with plain dpor; the rf pass only ever
+   removes counted duplicates. *)
+let test_rf_scenario_differential () =
+  List.iter
+    (fun (name, mk) ->
+      let max_execs = 400_000 in
+      let dpor = Explore.dfs ~reduce:Machine.RDpor ~max_execs (mk ()) in
+      let rf = Explore.dfs ~reduce:Machine.RDporRf ~max_execs (mk ()) in
+      check_equiv ~name:(name ^ " dpor-rf vs dpor") dpor rf;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: dpor-rf %d <= dpor %d executions" name
+           rf.Explore.executions dpor.Explore.executions)
+        true
+        (rf.Explore.executions <= dpor.Explore.executions))
+    (scenarios ())
+
+let test_rf_registry_smoke () =
+  List.iter
+    (fun (e : Libspec.entry) ->
+      let dpor =
+        Explore.dfs ~max_execs:8_000 ~reduce:Machine.RDpor (e.Libspec.smoke ())
+      in
+      let rf =
+        Explore.dfs ~max_execs:8_000 ~reduce:Machine.RDporRf
+          (e.Libspec.smoke ())
+      in
+      Alcotest.(check bool)
+        (e.Libspec.key ^ ": dpor-rf smoke verdict")
+        (dpor.Explore.violations <> [])
+        (rf.Explore.violations <> []);
+      Alcotest.(check (list string))
+        (e.Libspec.key ^ ": dpor-rf distinct violations")
+        (distinct_msgs dpor) (distinct_msgs rf);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: dpor-rf %d <= dpor %d executions" e.Libspec.key
+           rf.Explore.executions dpor.Explore.executions)
+        true
+        (rf.Explore.executions <= dpor.Explore.executions))
+    (Specreg.all ())
+
 (* -- hand-computed optimum: three threads, one write race --------------------- *)
 
 (* t0 and t1 write the same location (dependent), t2 writes another
@@ -267,4 +410,12 @@ let suite =
       test_litmus_differential;
     Alcotest.test_case "acceptance: mp-queue dpor < sleep runs" `Quick
       test_acceptance_mp_queue;
+    Alcotest.test_case "dpor-rf == exhaustive rf-class census (litmus)" `Slow
+      test_rf_census;
+    Alcotest.test_case "dpor-rf preserves litmus verdicts" `Slow
+      test_rf_litmus_verdicts;
+    Alcotest.test_case "dpor-rf == dpor verdicts (clients)" `Slow
+      test_rf_scenario_differential;
+    Alcotest.test_case "dpor-rf == dpor verdicts (registry smoke)" `Slow
+      test_rf_registry_smoke;
   ]

@@ -18,7 +18,7 @@ let msgs (r : Explore.report) =
 let scripts (r : Explore.report) =
   List.sort compare
     (List.map
-       (fun (f : Explore.failure) -> Array.to_list f.Explore.script)
+       (fun (f : Explore.failure) -> Array.to_list (Explore.failure_script f))
        r.Explore.violations)
 
 let report_eq ~name (a : Explore.report) (b : Explore.report) =
@@ -36,6 +36,7 @@ let red_name = function
   | Machine.RNone -> "none"
   | Machine.RSleep -> "sleep"
   | Machine.RDpor -> "dpor"
+  | Machine.RDporRf -> "dpor-rf"
 
 (* For two drivers with the same enumeration order (e.g. incremental vs
    replay-from-root DFS) the kept violations must match script for

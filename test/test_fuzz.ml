@@ -66,7 +66,7 @@ let test_shrink_preserves_violation () =
   let f = find_violation mp_rlx_scenario in
   let stats, small =
     Fz.Shrink.minimize ~scenario:(mp_rlx_scenario ()) ~message:f.Explore.message
-      f.Explore.script
+      f.Explore.trace
   in
   Alcotest.(check bool)
     "shrunk script reproduces the same violation" true
@@ -74,15 +74,15 @@ let test_shrink_preserves_violation () =
        ~message:f.Explore.message small);
   Alcotest.(check bool)
     "shrunk no longer than the original" true
-    (Array.length small <= Array.length f.Explore.script);
+    (Array.length small <= Array.length f.Explore.trace);
   Alcotest.(check int) "stats record the final length" (Array.length small)
     stats.Fz.Shrink.final_len;
   (* the shrunk script must also be a *valid strict* script: the strict
      replay path is what [compass replay] uses *)
-  let _, _, verdict = Explore.replay ~config:Machine.default_config
+  let r = Explore.replay ~config:Machine.default_config
       (mp_rlx_scenario ()) small
   in
-  (match verdict with
+  (match r.Explore.r_verdict with
   | Explore.Violation m ->
       Alcotest.(check string) "strict replay message" f.Explore.message m
   | _ -> Alcotest.fail "strict replay of the shrunk script must violate")
@@ -91,7 +91,7 @@ let test_shrink_one_minimal () =
   let f = find_violation mp_rlx_scenario in
   let _, small =
     Fz.Shrink.minimize ~scenario:(mp_rlx_scenario ()) ~message:f.Explore.message
-      f.Explore.script
+      f.Explore.trace
   in
   let reproduces s =
     Fz.Shrink.reproduces ~scenario:(mp_rlx_scenario ())
@@ -110,10 +110,10 @@ let test_shrink_one_minimal () =
     small;
   (* lowering any single choice must lose the violation too *)
   Array.iteri
-    (fun i c ->
-      if c > 0 then begin
+    (fun i (c : Decision.t) ->
+      if c.Decision.choice > 0 then begin
         let cand = Array.copy small in
-        cand.(i) <- c - 1;
+        cand.(i) <- Decision.resolve c (c.Decision.choice - 1);
         Alcotest.(check bool)
           (Printf.sprintf "decrementing position %d breaks reproduction" i)
           false (reproduces cand)
@@ -183,11 +183,11 @@ let test_pct_finds_ms_weak () =
   | [] -> Alcotest.fail "a first violation implies a kept failure"
   | f :: _ ->
       (* the (shrunk) reported script replays to the same violation *)
-      let _, _, verdict =
+      let r =
         Explore.replay ~config:opts.Fz.Fuzz.config (ms_weak ())
-          f.Explore.script
+          f.Explore.trace
       in
-      (match verdict with
+      (match r.Explore.r_verdict with
       | Explore.Violation m ->
           Alcotest.(check string) "replayed message" f.Explore.message m
       | _ -> Alcotest.fail "reported script must replay to a violation");
@@ -206,8 +206,8 @@ let test_corpus_mutants_never_raise () =
     let judge = sc.Explore.build m in
     let oracle = Oracle.random ~seed in
     ignore (judge (Machine.run m oracle));
-    let ds, _ = Oracle.vectors oracle in
-    Fz.Corpus.add corpus (Fz.Shrink.strip_trailing_zeros ds)
+    Fz.Corpus.add corpus
+      (Fz.Shrink.strip_trailing_zeros (Oracle.trace oracle))
   done;
   Alcotest.(check bool) "corpus non-empty" true (Fz.Corpus.size corpus > 0);
   let st = Random.State.make [| 0xfeed |] in
@@ -226,16 +226,20 @@ let test_corpus_mutants_never_raise () =
 
 let test_corpus_roundtrip () =
   let corpus = Fz.Corpus.create () in
-  Fz.Corpus.add corpus [| 1; 0; 2 |];
-  Fz.Corpus.add corpus [| 3 |];
+  Fz.Corpus.add corpus (Decision.of_ints [| 1; 0; 2 |]);
+  Fz.Corpus.add corpus (Decision.of_ints [| 3 |]);
   let file = Filename.temp_file "compass" ".corpus" in
   Fz.Corpus.save corpus file;
   let back = Fz.Corpus.load file in
   Sys.remove file;
   Alcotest.(check (list (list int)))
     "corpus survives save/load"
-    (List.map Array.to_list (Fz.Corpus.to_list corpus))
-    (List.map Array.to_list (Fz.Corpus.to_list back))
+    (List.map
+       (fun t -> Array.to_list (Decision.choices t))
+       (Fz.Corpus.to_list corpus))
+    (List.map
+       (fun t -> Array.to_list (Decision.choices t))
+       (Fz.Corpus.to_list back))
 
 (* -- Explore.random distinct statistics ---------------------------------------- *)
 

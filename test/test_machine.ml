@@ -56,7 +56,7 @@ let test_race_is_fault () =
         [
           Prog.returning_unit (Prog.store x (vi 1) Mode.Na); Prog.load x Mode.Na;
         ];
-      match Machine.run m (Oracle.script script) with
+      match Machine.run m (Oracle.script (Decision.of_ints script)) with
       | Machine.Fault _ -> ()
       | _ -> find_fault (Array.append script [| 0 |]) (n + 1)
   in
@@ -123,7 +123,7 @@ let test_replay_determinism () =
   in
   let run script =
     let m = mk () in
-    let outcome = Machine.run m (Oracle.script script) in
+    let outcome = Machine.run m (Oracle.script (Decision.of_ints script)) in
     (Format.asprintf "%a" Machine.pp_outcome outcome,
      Format.asprintf "%a" Trace.pp (Machine.trace m))
   in

@@ -12,6 +12,7 @@ let () =
       ("view", Test_view.suite);
       ("memory", Test_memory.suite);
       ("machine", Test_machine.suite);
+      ("decision", Test_decision.suite);
       ("explore", Test_explore.suite);
       ("dpor", Test_dpor.suite);
       ("fuzz", Test_fuzz.suite);

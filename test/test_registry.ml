@@ -284,10 +284,10 @@ let test_refine_msweak_fails_replayably () =
       match Refine.client_scenario e i with
       | None -> Alcotest.failf "no refinement client %d" i
       | Some sc -> (
-          let _, _, verdict =
-            Explore.replay ~config:Machine.default_config sc f.Explore.script
+          let r =
+            Explore.replay ~config:Machine.default_config sc f.Explore.trace
           in
-          match verdict with
+          match r.Explore.r_verdict with
           | Explore.Violation m ->
               Alcotest.(check string) "replay reproduces the violation"
                 f.Explore.message m

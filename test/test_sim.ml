@@ -252,10 +252,10 @@ let test_mgc_well_formed_all_entries () =
       List.iter
         (fun c ->
           let sc = Mgc.scenario e ~judge:(fun _ _ -> Explore.Pass) c in
-          let _, _outcome, verdict =
+          let r =
             Explore.replay ~config:Machine.default_config sc [||]
           in
-          match verdict with
+          match r.Explore.r_verdict with
           | Explore.Violation m ->
               Alcotest.failf "%s / %s first path violates: %s" e.Libspec.key
                 c.Mgc.id m
@@ -283,10 +283,10 @@ let test_sim_msweak_witness () =
       match Sim.client_scenario ~depth:1 e w.Sim.w_client with
       | None -> Alcotest.failf "no generated client %s" w.Sim.w_client
       | Some sc -> (
-          let _, _, verdict =
-            Explore.replay ~config:Machine.default_config sc w.Sim.w_script
+          let r =
+            Explore.replay ~config:Machine.default_config sc w.Sim.w_trace
           in
-          match verdict with
+          match r.Explore.r_verdict with
           | Explore.Violation m ->
               Alcotest.(check string) "replay reproduces the break"
                 w.Sim.w_message m
@@ -364,7 +364,7 @@ let test_hw_depth2_weak_empdeq () =
                 Explore.Pass)
               c
           in
-          let _ = Explore.replay ~config:Machine.default_config sc w.Sim.w_script in
+          let _ = Explore.replay ~config:Machine.default_config sc w.Sim.w_trace in
           match !gref with
           | None -> Alcotest.fail "replay did not reach the judge"
           | Some g -> (
@@ -427,6 +427,7 @@ let test_sim_verdict_invariance () =
                    (match reduce with
                    | Machine.RSleep -> "sleep"
                    | Machine.RDpor -> "dpor"
+                   | Machine.RDporRf -> "dpor-rf"
                    | Machine.RNone -> "none")
                    incremental jobs)
                 true (v = verdict))
